@@ -1,0 +1,97 @@
+// Ablations of the IPC substrate's design choices (section 2.1):
+//   - the copy/remap threshold: below it messages are physically copied
+//     twice, above it the receiver's map is rewritten copy-on-write;
+//   - the NetMsgServer fragment size: per-fragment overhead vs pipelining
+//     granularity on the wire.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+// Simulated time to deliver a local message of `bytes` under `threshold`.
+double LocalDelivery(ByteCount bytes, ByteCount threshold) {
+  TestbedConfig config;
+  config.costs.ipc_copy_threshold = threshold;
+  Testbed bed(config);
+  struct Sink : Receiver {
+    bool got = false;
+    void HandleMessage(Message) override { got = true; }
+  } sink;
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "sink");
+
+  Message msg;
+  msg.dest = port;
+  if (bytes >= kPageSize) {
+    std::vector<PageData> pages(bytes / kPageSize, MakePatternPage(1));
+    msg.regions.push_back(MemoryRegion::Data(0, std::move(pages)));
+  } else {
+    msg.inline_bytes = bytes;
+  }
+  const SimTime start = bed.sim().Now();
+  ACCENT_CHECK(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  ACCENT_CHECK(sink.got);
+  return ToSeconds(bed.sim().Now() - start) * 1e3;  // ms
+}
+
+// Simulated time to move a bulk message across the wire at `frag_bytes`.
+double RemoteBulk(ByteCount frag_bytes) {
+  TestbedConfig config;
+  config.costs.netmsg_fragment_bytes = frag_bytes;
+  Testbed bed(config);
+  struct Sink : Receiver {
+    bool got = false;
+    void HandleMessage(Message) override { got = true; }
+  } sink;
+  const PortId port = bed.fabric().AllocatePort(bed.host(1)->id, &sink, "sink");
+
+  Message msg;
+  msg.dest = port;
+  msg.no_ious = true;
+  std::vector<PageData> pages(512, MakePatternPage(1));  // 256 KB
+  msg.regions.push_back(MemoryRegion::Data(0, std::move(pages)));
+  const SimTime start = bed.sim().Now();
+  ACCENT_CHECK(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  ACCENT_CHECK(sink.got);
+  return ToSeconds(bed.sim().Now() - start);
+}
+
+void Run() {
+  PrintHeading("Ablation: IPC copy/remap threshold and fragment size", "");
+
+  std::printf("Local delivery latency (ms) by message size and threshold:\n");
+  TextTable threshold_table({"message", "thr 512 B", "thr 2 KB", "thr 16 KB", "thr 1 MB"});
+  for (ByteCount bytes : {256u, 1024u, 8u * 1024u, 64u * 1024u}) {
+    std::vector<std::string> row{FormatWithCommas(bytes) + " B"};
+    for (ByteCount threshold : {512u, 2048u, 16u * 1024u, 1024u * 1024u}) {
+      row.push_back(FormatDouble(LocalDelivery(bytes, threshold), 2));
+    }
+    threshold_table.AddRow(row);
+  }
+  std::printf("%s\n", threshold_table.ToString().c_str());
+  std::printf("Above the threshold, cost is flat (map rewrite); below it, it grows with\n"
+              "bytes (double copy). Accent's lazy mapping is what makes \"a message can\n"
+              "hold all of memory\" affordable — and it is why 99.98%% of data in\n"
+              "Fitzgerald's study was never physically copied.\n\n");
+
+  std::printf("256 KB remote transfer time (s) by fragment size:\n");
+  TextTable frag_table({"fragment", "transfer (s)"});
+  for (ByteCount frag : {2u * 1024u, 4u * 1024u, 16u * 1024u, 64u * 1024u, 256u * 1024u}) {
+    frag_table.AddRow({FormatWithCommas(frag) + " B", FormatSeconds(RemoteBulk(frag))});
+  }
+  std::printf("%s\n", frag_table.ToString().c_str());
+  std::printf("Tiny fragments pay per-fragment overhead; huge ones only round the tail.\n"
+              "The 16 KB default sits on the flat part of the curve.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::Run();
+  return 0;
+}

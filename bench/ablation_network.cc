@@ -1,0 +1,89 @@
+// Ablation: what if the network software were faster? (a forward-looking
+// sweep the paper could not run).
+//
+// The 1987 bottleneck was the NetMsgServer's per-byte handling (~33 us/byte
+// per node), not the 10 Mbit wire. This sweep scales that software cost
+// down and asks when eager copying catches up with copy-on-reference on
+// the Figure 4-2 metric (transfer + remote execution). The structural
+// answer: as per-byte cost falls, pure-copy's bulk transfer shrinks toward
+// zero while pure-IOU keeps paying per-fault latency — the crossover the
+// post-copy/pre-copy debate still lives on today.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+struct Row {
+  double scale;
+  double copy_total;
+  double iou_total;
+};
+
+Row RunAt(const char* workload, double scale) {
+  Row row;
+  row.scale = scale;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    TestbedConfig config;
+    config.costs.netmsg_per_byte =
+        SimDuration(static_cast<std::int64_t>(33.0 * scale));  // us/byte
+    // Faster software usually rides faster wires too.
+    config.costs.wire_bytes_per_sec = 1.25e6 * 0.8 / scale;
+    Testbed bed(config);
+    WorkloadInstance instance = BuildWorkload(WorkloadByName(workload), bed.host(0), 42);
+    Process* proc = instance.process.get();
+    bed.manager(0)->RegisterLocal(proc);
+
+    MigrationRecord record;
+    bool done = false;
+    bed.manager(0)->Migrate(proc, bed.manager(1)->port(),
+                            pass == 0 ? TransferStrategy::kPureCopy
+                                      : TransferStrategy::kPureIou,
+                            [&](const MigrationRecord& r) {
+                              record = r;
+                              done = true;
+                            });
+    bed.sim().Run();
+    ACCENT_CHECK(done);
+    Process* remote = bed.manager(1)->adopted().at(0).get();
+    ACCENT_CHECK(remote->done());
+    const double total = ToSeconds(record.RimasTransferTime()) +
+                         ToSeconds(remote->finish_time() - record.resumed);
+    (pass == 0 ? row.copy_total : row.iou_total) = total;
+  }
+  return row;
+}
+
+void Run() {
+  PrintHeading("Ablation: network software speed sweep",
+               "Transfer + remote execution (s) as NetMsgServer per-byte handling\n"
+               "scales from the 1987 testbed (1.0x = 33 us/byte/node) toward modern\n"
+               "speeds. IOU advantage shrinks with touched fraction and network speed.");
+
+  for (const char* workload : {"Lisp-Del", "PM-Start", "Minprog"}) {
+    std::printf("--- %s ---\n", workload);
+    TextTable table({"scale", "copy total", "IOU total", "winner"});
+    for (double scale : {1.0, 0.3, 0.1, 0.03, 0.01}) {
+      const Row row = RunAt(workload, scale);
+      table.AddRow({FormatDouble(scale, 2), FormatSeconds(row.copy_total),
+                    FormatSeconds(row.iou_total),
+                    row.iou_total < row.copy_total ? "IOU" : "copy"});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf("Fault latency has a floor (pager + RTT) that bulk bandwidth does not:\n"
+              "high-touch workloads flip to eager copying once wires get cheap, while\n"
+              "sparse-touch workloads (Lisp) stay lazy — the same trade modern post-copy\n"
+              "VM migration navigates.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Baseline comparison: iterative pre-copy (Theimer's V system, §5 related
+// work) vs the paper's strategies.
+//
+// The paper argues pre-copy "tried to hide transmission costs ... process
+// downtime was thus reduced, but both hosts still paid the transfer costs".
+// This bench quantifies exactly that trade on a process that keeps writing
+// while it is being moved: pre-copy wins on downtime, copy-on-reference
+// wins on bytes and total transfer work.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+struct Outcome {
+  SimDuration downtime{0};
+  SimDuration total{0};  // request -> remote completion
+  ByteCount bytes = 0;
+  int rounds = 0;
+};
+
+std::unique_ptr<Process> BuildWriter(Testbed* bed) {
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed->sim().AllocateId()),
+                                              bed->host(0)->id);
+  Segment* image = bed->segments().CreateReal(512 * kPageSize, "img");  // 256 KB
+  for (PageIndex p = 0; p < 512; ++p) {
+    image->StorePage(p, MakePatternPage(p + 1));
+  }
+  space->MapReal(0, 512 * kPageSize, image, 0, false);
+  space->Validate(512 * kPageSize, 1024 * kPageSize);
+
+  auto proc = std::make_unique<Process>(ProcId(bed->sim().AllocateId()), "writer",
+                                        bed->host(0), std::move(space), 9);
+  TraceBuilder trace;
+  Rng rng(17);
+  for (int i = 0; i < 120; ++i) {
+    trace.Write(PageBase(rng.NextBelow(512)) + 64, static_cast<std::uint8_t>(i));
+    trace.Compute(Ms(250));
+  }
+  trace.Terminate();
+  proc->SetTrace(trace.Build(), 0);
+  return proc;
+}
+
+Outcome Run(TransferStrategy strategy, bool precopy) {
+  Testbed bed;
+  auto proc = BuildWriter(&bed);
+  proc->Start();
+  bed.sim().RunUntil(Sec(2.0));  // mid-execution migration
+
+  bed.manager(0)->RegisterLocal(proc.get());
+  MigrationRecord record;
+  bool done = false;
+  auto on_done = [&](const MigrationRecord& r) {
+    record = r;
+    done = true;
+  };
+  if (precopy) {
+    PreCopyConfig config;
+    config.max_rounds = 4;
+    bed.manager(0)->MigratePreCopy(proc.get(), bed.manager(1)->port(), config, on_done);
+  } else {
+    bed.manager(0)->Migrate(proc.get(), bed.manager(1)->port(), strategy, on_done);
+  }
+  bed.sim().Run();
+  ACCENT_CHECK(done);
+  Process* remote = bed.manager(1)->adopted().at(0).get();
+  ACCENT_CHECK(remote->done());
+
+  Outcome outcome;
+  outcome.downtime = record.Downtime();
+  outcome.total = remote->finish_time() - record.requested;
+  outcome.bytes = bed.traffic().TotalBytes();
+  outcome.rounds = record.precopy_rounds;
+  return outcome;
+}
+
+void Report(const char* name, const Outcome& outcome) {
+  std::printf("  %-28s downtime %7.2f s   total %7.1f s   bytes %11s   rounds %d\n", name,
+              ToSeconds(outcome.downtime), ToSeconds(outcome.total),
+              FormatWithCommas(outcome.bytes).c_str(), outcome.rounds);
+}
+
+void RunAll() {
+  PrintHeading("Baseline: iterative pre-copy (V system) vs Accent strategies",
+               "A 256 KB process writing throughout its 30 s run, migrated at t=2 s.\n"
+               "Downtime = time the process cannot execute anywhere.");
+  Report("pure-copy", Run(TransferStrategy::kPureCopy, false));
+  Report("pre-copy (<=4 rounds)", Run(TransferStrategy::kPureCopy, true));
+  Report("resident-set", Run(TransferStrategy::kResidentSet, false));
+  Report("pure-IOU (copy-on-reference)", Run(TransferStrategy::kPureIou, false));
+  std::printf(
+      "\nPre-copy cuts downtime but re-ships dirtied pages (bytes > one full copy),\n"
+      "and both hosts still pay the full handling cost — §5's critique. Copy-on-\n"
+      "reference gets the same downtime win while *also* moving the fewest bytes.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::RunAll();
+  return 0;
+}

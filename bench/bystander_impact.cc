@@ -1,0 +1,78 @@
+// The bystander experiment: "each second of execution time spent by the
+// NetMsgServer to handle message traffic is not only a second stolen from
+// the migrated process but from all processes in both systems" (§4.4.2).
+//
+// An innocent compute-bound process runs on the source host while another
+// process is migrated away. Its slowdown relative to an idle machine
+// measures exactly the stolen time — large and bursty under pure-copy,
+// small and spread out under copy-on-reference (§4.4.3's cost
+// distribution argument).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+// Runs a 60 s compute-bound bystander on host 1; optionally migrates a
+// workload away mid-run. Returns the bystander's elapsed completion time.
+double BystanderElapsed(const char* workload, int strategy_or_none) {
+  Testbed bed;
+
+  auto bystander_space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                        bed.host(0)->id);
+  bystander_space->Validate(0, 16 * kPageSize);
+  auto bystander = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "bystander",
+                                             bed.host(0), std::move(bystander_space), 1);
+  TraceBuilder trace;
+  for (int i = 0; i < 120; ++i) {
+    trace.Compute(Ms(500));
+    trace.Read(PageBase(static_cast<PageIndex>(i % 16)));
+  }
+  trace.Terminate();
+  bystander->SetTrace(trace.Build(), 0);
+  bystander->Start();
+
+  WorkloadInstance instance;
+  if (strategy_or_none >= 0) {
+    instance = BuildWorkload(WorkloadByName(workload), bed.host(0), 42);
+    bed.manager(0)->RegisterLocal(instance.process.get());
+    bed.manager(0)->Migrate(instance.process.get(), bed.manager(1)->port(),
+                            static_cast<TransferStrategy>(strategy_or_none),
+                            [](const MigrationRecord&) {});
+  }
+  bed.sim().Run();
+  ACCENT_CHECK(bystander->done());
+  return ToSeconds(bystander->finish_time() - bystander->start_time());
+}
+
+void Run() {
+  PrintHeading("Bystander impact: time stolen from other processes (§4.4.2)",
+               "A 60 s compute job on the source host while a neighbour migrates away.\n"
+               "Slowdown = extra elapsed time vs an otherwise idle machine.");
+
+  TextTable table({"Migrating", "idle (s)", "copy (s)", "IOU (s)", "RS (s)",
+                   "copy slowdown", "IOU slowdown"});
+  for (const char* workload : {"Lisp-Del", "PM-Start", "Minprog"}) {
+    const double idle = BystanderElapsed(workload, -1);
+    const double copy = BystanderElapsed(workload, 0);
+    const double iou = BystanderElapsed(workload, 1);
+    const double rs = BystanderElapsed(workload, 2);
+    table.AddRow({workload, FormatSeconds(idle), FormatSeconds(copy), FormatSeconds(iou),
+                  FormatSeconds(rs), FormatPercent(copy / idle - 1.0, 1),
+                  FormatPercent(iou / idle - 1.0, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Pure-copy's bulk transfer monopolises the source NetMsgServer (and CPU)\n"
+              "in one burst; copy-on-reference spreads a smaller total cost across the\n"
+              "remote lifetime — the cost-distribution argument of §4.4.3.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces the claim behind Accent's IPC design (section 2.1):
+// "Fitzgerald's study reveals that up to 99.98% of data passed between
+// processes in a system-building application did not have to be physically
+// copied."
+//
+// A system-building workload is modelled as local IPC between a compiler,
+// a linker and a librarian: many small control messages (physically copied
+// below the threshold) and a few very large object-file transfers (mapped
+// copy-on-write above it). The harness counts the bytes that actually had
+// to be copied.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+void Run() {
+  PrintHeading("Fitzgerald's observation: bytes physically copied by local IPC",
+               "A system-building message mix: many small control messages, few large\n"
+               "mapped transfers. Paper anchor (§2.1): up to 99.98% of data passed\n"
+               "between processes did not have to be physically copied.");
+
+  Testbed bed;
+  struct Sink : Receiver {
+    std::uint64_t received = 0;
+    void HandleMessage(Message) override { ++received; }
+  } sink;
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "builder");
+
+  Rng rng(7);
+  ByteCount total_bytes = 0;
+  ByteCount copied_bytes = 0;
+  std::uint64_t small_messages = 0;
+  std::uint64_t large_messages = 0;
+  const ByteCount threshold = bed.costs().ipc_copy_threshold;
+
+  for (int i = 0; i < 2000; ++i) {
+    Message msg;
+    msg.dest = port;
+    if (rng.NextBool(0.9)) {
+      // Control traffic: status, symbols, commands (64..512 bytes).
+      msg.inline_bytes = 64 + rng.NextBelow(448);
+      ++small_messages;
+    } else {
+      // An object file or expanded source: 64 KB .. 1 MB, mapped.
+      const PageIndex pages = 128 + rng.NextBelow(1920);
+      std::vector<PageData> data(pages);  // zero pages: contents irrelevant here
+      msg.regions.push_back(MemoryRegion::Data(0, std::move(data)));
+      msg.no_ious = true;
+      ++large_messages;
+    }
+    const ByteCount wire = msg.WireSize(bed.costs());
+    total_bytes += wire;
+    if (wire <= threshold) {
+      copied_bytes += wire;
+    }
+    ACCENT_CHECK(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  }
+  bed.sim().Run();
+  ACCENT_CHECK(sink.received == 2000);
+
+  const double copied_pct =
+      100.0 * static_cast<double>(copied_bytes) / static_cast<double>(total_bytes);
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"messages", FormatWithCommas(2000)});
+  table.AddRow({"  small (copied)", FormatWithCommas(small_messages)});
+  table.AddRow({"  large (mapped copy-on-write)", FormatWithCommas(large_messages)});
+  table.AddRow({"bytes passed", FormatWithCommas(total_bytes)});
+  table.AddRow({"bytes physically copied", FormatWithCommas(copied_bytes)});
+  table.AddRow({"copied fraction", FormatDouble(copied_pct, 3) + "%"});
+  table.AddRow({"avoided", FormatDouble(100.0 - copied_pct, 3) + "% (paper: up to 99.98%)"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Large transfers dominate the byte count but ride the copy-on-write map;\n"
+              "only the small control messages are ever copied. This is the property\n"
+              "the copy-on-reference mechanism generalises across the network.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::Run();
+  return 0;
+}

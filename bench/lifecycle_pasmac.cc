@@ -1,0 +1,60 @@
+// Lifecycle reproduction of the Pasmac family (PM-Start / PM-Mid / PM-End):
+// the *same executed program* migrated at 10%, 50% and 90% of its file
+// scan, with the pre-migration phase actually run on the source host.
+//
+// Unlike the staged Table 4-2/4-3 trials, the resident set here is
+// emergent — it is whatever the source's physical memory holds when the
+// migration request arrives — and the paper's trends fall out of the
+// mechanism rather than being configured:
+//   - the later in life, the less is touched remotely under pure-IOU;
+//   - the later in life, the *larger* the (stale) resident set;
+//   - resident-set shipment stays near-constant in utility because it is
+//     dominated by already-processed file pages (§4.2.3).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/experiments/lifecycle.h"
+
+namespace accent {
+namespace {
+
+void Run() {
+  PrintHeading("Lifecycle: Pasmac migrated early / midway / late in life",
+               "Executed pre-phase; emergent resident sets. Compare trends with\n"
+               "Tables 4-2/4-3 (PM-Start 29.4%/58.0%, PM-Mid 42.8%/51.5%, PM-End\n"
+               "61.4%/26.9% — RS as %% of RealMem / remote-touch %% under pure-IOU).");
+
+  TextTable table({"Migrated at", "Emergent RS (%Real)", "Remote faults (IOU)",
+                   "%image touched remotely", "RS strategy faults", "IOU xfer (s)"});
+  for (double at : {0.1, 0.5, 0.9}) {
+    LifecycleConfig config;
+    config.migrate_at = at;
+    config.strategy = TransferStrategy::kPureIou;
+    const LifecycleResult iou = RunLifecycle(config);
+    config.strategy = TransferStrategy::kResidentSet;
+    const LifecycleResult rs = RunLifecycle(config);
+
+    const double rs_pct = 100.0 * static_cast<double>(iou.resident_bytes) /
+                          static_cast<double>(iou.real_bytes_at_migration);
+    table.AddRow({FormatPercent(at, 0), FormatDouble(rs_pct, 1),
+                  std::to_string(iou.dest_pager.imag_faults),
+                  FormatDouble(100.0 * iou.FractionOfImageTouchedRemotely(), 1),
+                  std::to_string(rs.dest_pager.imag_faults),
+                  FormatSeconds(iou.migration.RimasTransferTime())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The emergent resident set *grows* with life stage (disk-cache pollution by\n"
+      "already-scanned pages) while the remote touch fraction *shrinks* — exactly\n"
+      "the opposing trends of Tables 4-2 and 4-3, now produced by execution\n"
+      "rather than staging. Note the RS strategy still faults heavily: its\n"
+      "shipped pages are mostly behind the scan cursor.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-measurements of the fault paths (section 4.3.3 anchors) plus
+// google-benchmark timings of the simulator's own hot paths.
+//
+// Simulated-time anchors measured here:
+//   - local disk fault  ~= 40.8 ms,
+//   - remote imaginary fault ~= 115 ms,
+//   - their ratio ~= 2.8x ("referencing imaginary memory through the
+//     intermediary Scheduler and NetMsgServer processes").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/experiments/testbed.h"
+#include "src/vm/backer.h"
+
+namespace accent {
+namespace {
+
+struct FaultLab {
+  Testbed bed;
+  AddressSpace* space = nullptr;
+  Segment* image = nullptr;
+  SegmentBacker* remote_backer = nullptr;
+  std::unique_ptr<SegmentBacker> backer_storage;
+  std::unique_ptr<AddressSpace> space_storage;
+
+  FaultLab() {
+    // Host 0 faults; host 1 backs an imaginary object remotely.
+    space_storage =
+        std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()), bed.host(0)->id);
+    space = space_storage.get();
+
+    image = bed.segments().CreateReal(1024 * kPageSize, "lab-image");
+    for (PageIndex p = 0; p < 1024; ++p) {
+      image->StorePage(p, MakePatternPage(p + 1));
+    }
+
+    backer_storage = std::make_unique<SegmentBacker>(bed.host(1)->id, &bed.sim(), &bed.costs(),
+                                                     &bed.fabric(), &bed.segments(),
+                                                     CpuWork::kProcess, "lab-backer");
+    remote_backer = backer_storage.get();
+    remote_backer->Start();
+
+    // Layout: [0,1024) disk-backed real, [1024,2048) zero, [2048,3072)
+    // imaginary backed on host 1.
+    space->MapReal(0, 1024 * kPageSize, image, 0, /*copy_on_write=*/false);
+    space->Validate(1024 * kPageSize, 2048 * kPageSize);
+    Segment* remote_obj = bed.segments().CreateReal(1024 * kPageSize, "lab-remote");
+    for (PageIndex p = 0; p < 1024; ++p) {
+      remote_obj->StorePage(p, MakePatternPage(p + 5000));
+    }
+    const IouRef iou = remote_backer->Back(remote_obj);
+    Segment* standin = bed.segments().CreateImaginary(1024 * kPageSize, iou, "lab-standin");
+    space->MapImaginary(2048 * kPageSize, 3072 * kPageSize, standin, 0);
+  }
+
+  // Returns simulated latency of touching `addr`.
+  SimDuration Touch(Addr addr) {
+    const SimTime start = bed.sim().Now();
+    SimTime done_at = start;
+    bool done = false;
+    bed.pager(0)->Access(space, addr, /*write=*/false, [&](const AccessOutcome&) {
+      done_at = bed.sim().Now();
+      done = true;
+    });
+    bed.sim().Run();
+    ACCENT_CHECK(done);
+    return done_at - start;
+  }
+};
+
+void PrintAnchors() {
+  FaultLab lab;
+  const SimDuration fillzero = lab.Touch(1024 * kPageSize);
+  const SimDuration disk = lab.Touch(0);
+  const SimDuration imag = lab.Touch(2048 * kPageSize);
+  const SimDuration resident = lab.Touch(0);  // second touch: already resident
+
+  std::printf("\n=== Section 4.3.3 latency anchors (simulated time) ===\n");
+  std::printf("FillZero fault:        %7.1f ms\n", ToSeconds(fillzero) * 1e3);
+  std::printf("Local disk fault:      %7.1f ms   (paper: 40.8 ms)\n", ToSeconds(disk) * 1e3);
+  std::printf("Remote imaginary fault:%7.1f ms   (paper: 115 ms)\n", ToSeconds(imag) * 1e3);
+  std::printf("Resident access:       %7.3f ms\n", ToSeconds(resident) * 1e3);
+  std::printf("Remote/local ratio:    %7.2fx   (paper: 2.8x)\n\n",
+              ToSeconds(imag) / ToSeconds(disk));
+}
+
+// --- real-time benchmarks of the simulator hot paths ---------------------
+
+void BM_LocalDiskFault(benchmark::State& state) {
+  FaultLab lab;
+  PageIndex page = 0;
+  for (auto _ : state) {
+    lab.Touch(PageBase(page % 1024));
+    ++page;
+  }
+}
+BENCHMARK(BM_LocalDiskFault);
+
+void BM_RemoteImaginaryFault(benchmark::State& state) {
+  FaultLab lab;
+  PageIndex page = 0;
+  for (auto _ : state) {
+    lab.Touch(PageBase(2048 + page % 1024));
+    ++page;
+  }
+}
+BENCHMARK(BM_RemoteImaginaryFault);
+
+void BM_FillZeroFault(benchmark::State& state) {
+  FaultLab lab;
+  PageIndex page = 0;
+  for (auto _ : state) {
+    lab.Touch(PageBase(1024 + page % 1024));
+    ++page;
+  }
+}
+BENCHMARK(BM_FillZeroFault);
+
+}  // namespace
+}  // namespace accent
+
+int main(int argc, char** argv) {
+  accent::PrintAnchors();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "src/experiments/trial.h"
+// Micro-benchmarks of the IPC and simulation substrates (google-benchmark,
+// real wall-clock time): event-queue throughput, local/remote message
+// delivery, interval-map operations. These are the engineering-quality
+// benchmarks for the library itself, next to the paper-figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "src/base/interval_map.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAfter(Us(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_LocalIpcSend(benchmark::State& state) {
+  Testbed bed;
+  struct Sink : Receiver {
+    std::uint64_t count = 0;
+    void HandleMessage(Message) override { ++count; }
+  } sink;
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "sink");
+  for (auto _ : state) {
+    Message msg;
+    msg.dest = port;
+    msg.inline_bytes = 128;
+    ACCENT_CHECK(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+    bed.sim().Run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sink.count));
+}
+BENCHMARK(BM_LocalIpcSend);
+
+void BM_RemoteIpcSend(benchmark::State& state) {
+  const ByteCount bytes = static_cast<ByteCount>(state.range(0));
+  Testbed bed;
+  struct Sink : Receiver {
+    std::uint64_t count = 0;
+    void HandleMessage(Message) override { ++count; }
+  } sink;
+  const PortId port = bed.fabric().AllocatePort(bed.host(1)->id, &sink, "remote-sink");
+  for (auto _ : state) {
+    Message msg;
+    msg.dest = port;
+    msg.inline_bytes = bytes;
+    ACCENT_CHECK(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+    bed.sim().Run();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RemoteIpcSend)->Arg(128)->Arg(16 * 1024)->Arg(512 * 1024);
+
+void BM_IntervalMapAssign(benchmark::State& state) {
+  const int regions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    IntervalMap<int> map;
+    for (int i = 0; i < regions; ++i) {
+      const Addr base = static_cast<Addr>(i) * 2 * kPageSize;
+      map.Assign(base, base + kPageSize, i % 4);
+    }
+    benchmark::DoNotOptimize(map.TotalBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * regions);
+}
+BENCHMARK(BM_IntervalMapAssign)->Arg(100)->Arg(1000);
+
+void BM_AMapClassify(benchmark::State& state) {
+  AMap amap;
+  for (int i = 0; i < 1000; ++i) {
+    const Addr base = static_cast<Addr>(i) * 3 * kPageSize;
+    amap.Set(base, base + kPageSize, i % 2 == 0 ? MemClass::kReal : MemClass::kRealZero);
+  }
+  Addr probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amap.ClassOf(probe));
+    probe = (probe + kPageSize) % (3000 * kPageSize);
+  }
+}
+BENCHMARK(BM_AMapClassify);
+
+void BM_ExciseInsertRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    TrialConfig config;
+    config.workload = "Minprog";
+    config.strategy = TransferStrategy::kPureIou;
+    benchmark::DoNotOptimize(RunTrial(config).bytes_total);
+  }
+}
+BENCHMARK(BM_ExciseInsertRoundTrip);
+
+}  // namespace
+}  // namespace accent
+
+BENCHMARK_MAIN();

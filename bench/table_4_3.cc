@@ -1,0 +1,59 @@
+// Regenerates Table 4-3: percent of address space accessed (transferred to
+// the new site) under pure-IOU and resident-set strategies, no prefetch.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace accent {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double iou_real;   // % of RealMem, pure-IOU
+  double iou_total;  // % of total space
+  double rs_real;    // % of RealMem, resident-set
+  double rs_total;
+};
+
+// Lisp-T's row is illegible in the published scan; the summary bounds it
+// (3%-58% of RealMem, min taken by Lisp): we report it without a reference.
+constexpr PaperRow kPaper[] = {
+    {"Minprog", 8.6, 3.7, 50.4, 21.7},
+    {"Lisp-T", -1, -1, -1, -1},
+    {"Lisp-Del", 16.5, 0.002, 17.4, 0.009},
+    {"PM-Start", 58.0, 27.4, 76.0, 35.9},
+    {"PM-Mid", 51.5, 25.2, -1, -1},
+    {"PM-End", 26.9, 14.8, 72.5, 40.1},
+    {"Chess", 35.6, 13.9, 66.0, 25.8},
+};
+
+std::string Ref(double v) { return v < 0 ? "(n/a)" : "(" + FormatDouble(v, 1) + ")"; }
+
+void Run() {
+  PrintHeading("Table 4-3: Percent of Address Space Accessed",
+               "Percent of RealMem shipped to the new site ([.] = percent of total space);\n"
+               "pure-copy ships 100% of RealMem by definition. Paper values in parentheses.");
+
+  TextTable table({"Process", "IOU %Real", "[%Total]", "(paper)", "RS %Real", "[%Total]",
+                   "(paper)"});
+  for (const PaperRow& row : kPaper) {
+    const TrialResult& iou = SweepCache::Find(row.name, TransferStrategy::kPureIou, 0);
+    const TrialResult& rs = SweepCache::Find(row.name, TransferStrategy::kResidentSet, 0);
+    table.AddRow({row.name, FormatDouble(iou.FractionOfRealTransferred() * 100.0, 1),
+                  "[" + FormatDouble(iou.FractionOfTotalTransferred() * 100.0, 3) + "]",
+                  Ref(row.iou_real), FormatDouble(rs.FractionOfRealTransferred() * 100.0, 1),
+                  "[" + FormatDouble(rs.FractionOfTotalTransferred() * 100.0, 3) + "]",
+                  Ref(row.rs_real)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("The Lisp family touches the least of its (huge) space; Pasmac the most\n"
+              "(sequential whole-file scans); RS always ships more than is used.\n");
+}
+
+}  // namespace
+}  // namespace accent
+
+int main() {
+  accent::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: migrate a process between two simulated Accent hosts with
+// copy-on-reference and watch what actually moves.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the whole public API surface: build a testbed, lay out an address
+// space, give the process a trace and a port, migrate it pure-IOU, and read
+// the phase timings and byte counters back.
+#include <cstdio>
+
+#include "src/experiments/testbed.h"
+#include "src/metrics/table.h"
+
+using namespace accent;  // NOLINT: example brevity
+
+int main() {
+  // A two-host Perq testbed: CPUs, disks, pagers, NetMsgServers,
+  // MigrationManagers, one shared Ethernet.
+  Testbed bed;
+
+  // --- build a process on host 0 -------------------------------------------------
+  // 64 KB program image (RealMem), 128 KB of validated-but-untouched memory
+  // (RealZeroMem). Zero memory costs nothing to validate and never crosses
+  // the wire.
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  Segment* image = bed.segments().CreateReal(128 * kPageSize, "demo-image");
+  for (PageIndex p = 0; p < 128; ++p) {
+    image->StorePage(p, MakePatternPage(p));
+  }
+  space->MapReal(0, 128 * kPageSize, image, 0, /*copy_on_write=*/false);
+  space->Validate(128 * kPageSize, 384 * kPageSize);
+
+  auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "demo",
+                                        bed.host(0), std::move(space), /*token=*/1);
+
+  // The "program": touch a sixth of the image, write a result, exit.
+  TraceBuilder trace;
+  trace.Compute(Ms(20));
+  for (PageIndex p = 0; p < 128; p += 6) {
+    trace.Read(PageBase(p));
+    trace.Compute(Ms(10));
+  }
+  trace.Write(200 * kPageSize, 0x42);  // into zero-fill memory
+  trace.Terminate();
+  proc->SetTrace(trace.Build(), 0);
+
+  // A port the process owns; the receive right travels with the context.
+  const PortId inbox = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "demo-inbox");
+  proc->AttachReceiveRight(inbox);
+
+  // --- migrate it -------------------------------------------------------------------
+  bed.manager(0)->RegisterLocal(proc.get());
+  MigrationRecord record;
+  bed.manager(0)->Migrate(proc.get(), bed.manager(1)->port(), TransferStrategy::kPureIou,
+                          [&](const MigrationRecord& r) { record = r; });
+  bed.sim().Run();
+
+  Process* remote = bed.manager(1)->adopted().at(0).get();
+
+  // --- report -------------------------------------------------------------------------
+  std::printf("Migrated '%s' host 1 -> host 2 using %s\n\n", record.name.c_str(),
+              StrategyName(record.strategy));
+  std::printf("  excision            %6.2f s  (AMap %.2f s, RIMAS collapse %.2f s)\n",
+              ToSeconds(record.excise_overall), ToSeconds(record.excise_amap),
+              ToSeconds(record.excise_rimas));
+  std::printf("  RIMAS transfer      %6.2f s  (an IOU for 64 KB of RealMem)\n",
+              ToSeconds(record.RimasTransferTime()));
+  std::printf("  Core transfer       %6.2f s  (PCB + microstate + AMap + port rights)\n",
+              ToSeconds(record.CoreTransferTime()));
+  std::printf("  insertion           %6.2f s\n", ToSeconds(record.insert_time));
+  std::printf("  remote execution    %6.2f s\n",
+              ToSeconds(remote->finish_time() - record.resumed));
+
+  const PagerStats& pager = bed.pager(1)->stats();
+  std::printf("\n  remote faults: %llu imaginary (pages fetched on reference), "
+              "%llu zero-fill\n",
+              static_cast<unsigned long long>(pager.imag_faults),
+              static_cast<unsigned long long>(pager.fillzero_faults));
+  std::printf("  bytes on the wire: %s (image is %s — untouched pages never moved)\n",
+              FormatWithCommas(bed.traffic().TotalBytes()).c_str(),
+              FormatWithCommas(128 * kPageSize).c_str());
+
+  // The data is intact at the new site, including the remote write.
+  ACCENT_CHECK(remote->space()->ReadPage(6) == MakePatternPage(6));
+  ACCENT_CHECK(remote->space()->ReadByte(200 * kPageSize) == 0x42);
+  // The port still works: senders never noticed the move.
+  Message ping;
+  ping.dest = inbox;
+  ACCENT_CHECK(bed.fabric().Send(bed.host(0)->id, std::move(ping)).ok());
+  bed.sim().Run();
+  ACCENT_CHECK(remote->user_messages_received() == 1);
+  std::printf("\n  integrity checks passed: data, zero-fill write, port transparency\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// A distributed indexing pipeline: files + lazy mapping + migration.
+//
+// Host 3 is a file server holding four "document" files. An indexer
+// process on host 1 maps each document lazily (whole-file
+// copy-on-reference through the FileServer's backing port), scans a sample
+// of each, and writes a small index into its own memory. Midway through,
+// the cluster operator migrates the indexer to host 2 — pure-IOU, so the
+// move costs ~1 s — and the job finishes there, its lazy file mappings and
+// partial index intact.
+//
+// Everything the paper's conclusion sketches in one program: remote file
+// access by IOU, migration over the same mechanism, and an address space
+// that ends up physically dispersed across three machines yet behaves as
+// one.
+//
+//   $ ./build/examples/remote_indexer
+#include <cstdio>
+
+#include "src/base/rng.h"
+#include "src/experiments/testbed.h"
+#include "src/fs/file_service.h"
+#include "src/metrics/table.h"
+
+using namespace accent;  // NOLINT: example brevity
+
+namespace {
+
+constexpr PageIndex kDocPages = 512;  // 256 KB per document
+constexpr int kDocs = 4;
+constexpr int kSamplesPerDoc = 40;
+
+Addr DocBase(int doc) { return static_cast<Addr>(doc) * kDocPages * kPageSize; }
+
+}  // namespace
+
+int main() {
+  TestbedConfig config;
+  config.host_count = 3;
+  Testbed bed(config);
+
+  // --- the file server (host 3) ----------------------------------------------
+  FileServer server(bed.host(2));
+  server.Start();
+  for (int d = 0; d < kDocs; ++d) {
+    server.CreateFile("doc-" + std::to_string(d), kDocPages * kPageSize,
+                      1000ull * (d + 1));
+  }
+
+  // --- the indexer (host 1) ----------------------------------------------------
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  const Addr index_base = DocBase(kDocs);  // index lives above the documents
+  space->Validate(index_base, index_base + 64 * kPageSize);
+
+  FileClient client(bed.host(0), server.port());
+  client.Start();
+  int mapped = 0;
+  for (int d = 0; d < kDocs; ++d) {
+    client.OpenAndMap("doc-" + std::to_string(d), space.get(), DocBase(d),
+                      [&](FileClient::OpenResult result) {
+                        ACCENT_CHECK(result.ok && result.lazy);
+                        ++mapped;
+                      });
+  }
+  bed.sim().Run();
+  ACCENT_CHECK(mapped == kDocs);
+
+  // The job: sample records from every document, append index entries.
+  TraceBuilder trace;
+  Rng rng(2026);
+  Addr index_cursor = index_base;
+  for (int d = 0; d < kDocs; ++d) {
+    for (int s = 0; s < kSamplesPerDoc; ++s) {
+      const PageIndex page = rng.NextBelow(kDocPages);
+      trace.Read(DocBase(d) + PageBase(page));
+      trace.Write(index_cursor, static_cast<std::uint8_t>(page));
+      index_cursor += 64;  // a small index entry
+      trace.Compute(Ms(120));
+    }
+  }
+  // Final pass: re-read the whole index (verification sweep). After the
+  // migration this faults the early index pages back from host 1's cache —
+  // the dispersed address space reassembling on demand.
+  for (Addr a = index_base; a < index_cursor; a += kPageSize) {
+    trace.Read(a);
+    trace.Compute(Ms(5));
+  }
+  trace.Terminate();
+
+  auto indexer = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "indexer",
+                                           bed.host(0), std::move(space), 1);
+  indexer->SetTrace(trace.Build(), 0);
+  bed.manager(0)->RegisterLocal(indexer.get());
+  indexer->Start();
+
+  // --- migrate it mid-job -------------------------------------------------------
+  bed.sim().RunUntil(Sec(10.0));
+  std::printf("t=10 s: indexer has issued ~%zu of %d samples on host 1; migrating...\n",
+              indexer->trace_pc() / 3, kDocs * kSamplesPerDoc);
+  MigrationRecord record;
+  bool migrated = false;
+  bed.manager(0)->Migrate(indexer.get(), bed.manager(1)->port(), TransferStrategy::kPureIou,
+                          [&](const MigrationRecord& r) {
+                            record = r;
+                            migrated = true;
+                          });
+  bed.sim().Run();
+  ACCENT_CHECK(migrated);
+  Process* remote = bed.manager(1)->adopted().at(0).get();
+  ACCENT_CHECK(remote->done());
+
+  // --- report ----------------------------------------------------------------------
+  std::printf("t=%.0f s: indexer finished on host 2\n\n", ToSeconds(remote->finish_time()));
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"documents mapped lazily", std::to_string(kDocs) + " x 256 KB"});
+  table.AddRow({"migration transfer time",
+                FormatSeconds(record.TransferPhase()) + " s (pure-IOU)"});
+  table.AddRow({"doc pages faulted on host 1",
+                std::to_string(bed.pager(0)->stats().imag_faults)});
+  table.AddRow({"doc pages faulted on host 2",
+                std::to_string(bed.pager(1)->stats().imag_faults)});
+  table.AddRow({"bytes moved in total", FormatWithCommas(bed.traffic().TotalBytes())});
+  table.AddRow({"of 1 MB of documents", FormatPercent(
+      static_cast<double>(bed.traffic().TotalBytes()) /
+      static_cast<double>(kDocs * kDocPages * kPageSize), 1)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Verify the index: every entry matches the trace's record of it.
+  const Trace& ops = *remote->trace();
+  Addr cursor = index_base;
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kTouch && op.write) {
+      ACCENT_CHECK(remote->space()->ReadByte(cursor) == op.value);
+      cursor += 64;
+    }
+  }
+  std::printf("index verified: %d entries intact across the migration.\n",
+              kDocs * kSamplesPerDoc);
+  std::printf("The indexer's address space ended up dispersed across all three hosts\n"
+              "(index pages local, sampled doc pages fetched, the rest still at the\n"
+              "file server) and never stopped behaving like one address space.\n");
+  return 0;
+}

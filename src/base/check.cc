@@ -1,0 +1,13 @@
+#include "src/base/check.h"
+
+namespace accent {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message) {
+  std::fprintf(stderr, "ACCENT_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace accent

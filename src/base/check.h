@@ -1,0 +1,60 @@
+// Contract-checking macros (CppCoreGuidelines I.6/I.8 style Expects/Ensures).
+//
+// ACCENT_CHECK is always on: invariant violations in a simulator silently
+// corrupt every downstream measurement, so we prefer a loud abort.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace accent {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+namespace check_internal {
+
+// Collects an optional streamed message for a failing check.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { CheckFailure(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+}  // namespace accent
+
+#define ACCENT_CHECK(cond)                                               \
+  if (cond) {                                                            \
+  } else /* NOLINT */                                                    \
+    ::accent::check_internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define ACCENT_CHECK_LE(a, b) ACCENT_CHECK((a) <= (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define ACCENT_CHECK_LT(a, b) ACCENT_CHECK((a) < (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define ACCENT_CHECK_GE(a, b) ACCENT_CHECK((a) >= (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define ACCENT_CHECK_GT(a, b) ACCENT_CHECK((a) > (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define ACCENT_CHECK_EQ(a, b) ACCENT_CHECK((a) == (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define ACCENT_CHECK_NE(a, b) ACCENT_CHECK((a) != (b)) << " lhs=" << (a) << " rhs=" << (b)
+
+// Expects/Ensures aliases to make contract intent explicit at call sites.
+#define ACCENT_EXPECTS(cond) ACCENT_CHECK(cond) << " (precondition)"
+#define ACCENT_ENSURES(cond) ACCENT_CHECK(cond) << " (postcondition)"
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,190 @@
+// IntervalMap<V>: a sparse map from half-open address ranges [begin, end) to
+// values, with automatic splitting and coalescing.
+//
+// This is the backbone of Accent's sparse 4 GB address spaces and of
+// Accessibility Maps: validating gigabytes of zero-fill memory costs one map
+// node, and accessibility queries over ranges walk only the mapped intervals.
+//
+// Invariants (checked in debug paths, relied upon everywhere):
+//   - intervals are non-empty, pairwise disjoint, sorted by begin;
+//   - no two adjacent intervals with equal values (they are coalesced).
+#ifndef SRC_BASE_INTERVAL_MAP_H_
+#define SRC_BASE_INTERVAL_MAP_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+template <typename V>
+class IntervalMap {
+ public:
+  struct Interval {
+    Addr begin = 0;
+    Addr end = 0;
+    V value{};
+
+    ByteCount size() const { return end - begin; }
+  };
+
+  // Sets [begin, end) to `value`, overwriting any previous mappings there.
+  void Assign(Addr begin, Addr end, V value) {
+    ACCENT_EXPECTS(begin < end);
+    SplitAt(begin);
+    SplitAt(end);
+    // Remove fully-covered intervals.
+    auto it = map_.lower_bound(begin);
+    while (it != map_.end() && it->first < end) {
+      it = map_.erase(it);
+    }
+    map_.emplace(begin, Node{end, std::move(value)});
+    CoalesceAround(begin);
+    CoalesceAround(end);
+  }
+
+  // Removes all mappings intersecting [begin, end).
+  void Erase(Addr begin, Addr end) {
+    ACCENT_EXPECTS(begin < end);
+    SplitAt(begin);
+    SplitAt(end);
+    auto it = map_.lower_bound(begin);
+    while (it != map_.end() && it->first < end) {
+      it = map_.erase(it);
+    }
+  }
+
+  void Clear() { map_.clear(); }
+
+  // Returns the value covering `addr`, or nullptr if unmapped.
+  const V* Find(Addr addr) const {
+    auto it = FindNode(addr);
+    return it == map_.end() ? nullptr : &it->second.value;
+  }
+
+  V* FindMutable(Addr addr) {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) {
+      return nullptr;
+    }
+    --it;
+    return addr < it->second.end ? &it->second.value : nullptr;
+  }
+
+  // Returns the full interval covering `addr`, if any.
+  std::optional<Interval> FindInterval(Addr addr) const {
+    auto it = FindNode(addr);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return Interval{it->first, it->second.end, it->second.value};
+  }
+
+  // Invokes fn(Interval) for every mapped interval intersecting
+  // [begin, end), clipped to that window, in address order.
+  template <typename Fn>
+  void ForEachIn(Addr begin, Addr end, Fn fn) const {
+    ACCENT_EXPECTS(begin <= end);
+    auto it = map_.upper_bound(begin);
+    if (it != map_.begin()) {
+      --it;
+      if (it->second.end <= begin) {
+        ++it;
+      }
+    }
+    for (; it != map_.end() && it->first < end; ++it) {
+      Interval clipped{std::max(it->first, begin), std::min(it->second.end, end),
+                       it->second.value};
+      if (clipped.begin < clipped.end) {
+        fn(clipped);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& [begin, node] : map_) {
+      fn(Interval{begin, node.end, node.value});
+    }
+  }
+
+  // True if every byte of [begin, end) is mapped.
+  bool Covers(Addr begin, Addr end) const {
+    ACCENT_EXPECTS(begin <= end);
+    Addr cursor = begin;
+    bool gap = false;
+    ForEachIn(begin, end, [&](const Interval& iv) {
+      if (iv.begin != cursor) {
+        gap = true;
+      }
+      cursor = iv.end;
+    });
+    return !gap && cursor == end;
+  }
+
+  bool empty() const { return map_.empty(); }
+  std::size_t interval_count() const { return map_.size(); }
+
+  // Sum of mapped interval lengths.
+  ByteCount TotalBytes() const {
+    ByteCount total = 0;
+    for (const auto& [begin, node] : map_) {
+      total += node.end - begin;
+    }
+    return total;
+  }
+
+ private:
+  struct Node {
+    Addr end;
+    V value;
+  };
+
+  using MapType = std::map<Addr, Node>;
+
+  typename MapType::const_iterator FindNode(Addr addr) const {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) {
+      return map_.end();
+    }
+    --it;
+    return addr < it->second.end ? it : map_.end();
+  }
+
+  // Ensures no interval spans `addr`: a crossing interval is split in two.
+  void SplitAt(Addr addr) {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) {
+      return;
+    }
+    --it;
+    if (it->first < addr && addr < it->second.end) {
+      Node right{it->second.end, it->second.value};
+      it->second.end = addr;
+      map_.emplace(addr, std::move(right));
+    }
+  }
+
+  // Merges the interval ending/starting at `boundary` with its left
+  // neighbour when values compare equal.
+  void CoalesceAround(Addr boundary) {
+    auto right = map_.lower_bound(boundary);
+    if (right == map_.end() || right == map_.begin()) {
+      return;
+    }
+    auto left = std::prev(right);
+    if (left->second.end == right->first && left->second.value == right->second.value) {
+      left->second.end = right->second.end;
+      map_.erase(right);
+    }
+  }
+
+  MapType map_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_BASE_INTERVAL_MAP_H_

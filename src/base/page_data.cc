@@ -1,0 +1,48 @@
+#include "src/base/page_data.h"
+
+#include "src/base/rng.h"
+
+namespace accent {
+
+PageData MakePatternPage(std::uint64_t seed) {
+  Rng rng(seed);
+  PageData page(kPageSize);
+  for (ByteCount i = 0; i < kPageSize; i += 8) {
+    const std::uint64_t word = rng.Next() | 1;  // never all-zero
+    for (int b = 0; b < 8; ++b) {
+      page[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return page;
+}
+
+std::uint64_t PageChecksum(const PageData& page) {
+  ACCENT_EXPECTS(page.empty() || page.size() == kPageSize);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (ByteCount i = 0; i < kPageSize; ++i) {
+    const std::uint8_t byte = page.empty() ? 0 : page[i];
+    hash = (hash ^ byte) * 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint8_t PageByteAt(const PageData& page, ByteCount offset) {
+  ACCENT_EXPECTS(offset < kPageSize);
+  if (page.empty()) {
+    return 0;
+  }
+  return page[offset];
+}
+
+void PageWriteByte(PageData& page, ByteCount offset, std::uint8_t value) {
+  ACCENT_EXPECTS(offset < kPageSize);
+  if (page.empty()) {
+    if (value == 0) {
+      return;
+    }
+    page.assign(kPageSize, 0);
+  }
+  page[offset] = value;
+}
+
+}  // namespace accent

@@ -1,0 +1,37 @@
+// Page contents.
+//
+// The simulator moves *real* bytes so that tests can prove end-to-end data
+// integrity under every migration strategy (a migrated process must read
+// exactly what it wrote at the source). An empty PageData means "all
+// zeros" — the common case for RealZeroMem — so validating gigabytes of
+// zero-fill memory allocates nothing.
+#ifndef SRC_BASE_PAGE_DATA_H_
+#define SRC_BASE_PAGE_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+using PageData = std::vector<std::uint8_t>;  // empty == zero page, else kPageSize bytes
+
+// Deterministic non-zero page contents derived from `seed`.
+PageData MakePatternPage(std::uint64_t seed);
+
+// FNV-1a over the page (zero pages hash as kPageSize zero bytes).
+std::uint64_t PageChecksum(const PageData& page);
+
+// Byte at `offset` (zero pages read as 0). Precondition: offset < kPageSize.
+std::uint8_t PageByteAt(const PageData& page, ByteCount offset);
+
+// Writes `value` at `offset`, materialising a zero page if needed.
+void PageWriteByte(PageData& page, ByteCount offset, std::uint8_t value);
+
+inline bool IsZeroPage(const PageData& page) { return page.empty(); }
+
+}  // namespace accent
+
+#endif  // SRC_BASE_PAGE_DATA_H_

@@ -1,0 +1,77 @@
+// Result<T>: a tiny expected-like type (std::expected is C++23).
+//
+// Used on fallible API boundaries (IPC sends, VM operations) where aborting
+// via ACCENT_CHECK would be wrong: callers are entitled to observe and
+// handle the failure (e.g. sending to a dead port).
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace accent {
+
+struct Error {
+  std::string message;
+};
+
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT: implicit by design
+  Result(Error error) : value_(std::move(error)) {}    // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    ACCENT_EXPECTS(ok()) << " error: " << error().message;
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    ACCENT_EXPECTS(ok()) << " error: " << error().message;
+    return std::get<T>(value_);
+  }
+  T&& take() && {
+    ACCENT_EXPECTS(ok()) << " error: " << error().message;
+    return std::get<T>(std::move(value_));
+  }
+
+  const Error& error() const {
+    ACCENT_EXPECTS(!ok());
+    return std::get<Error>(value_);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const Error& error() const {
+    ACCENT_EXPECTS(!ok_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+inline Result<void> OkResult() { return Result<void>(); }
+
+}  // namespace accent
+
+#endif  // SRC_BASE_RESULT_H_

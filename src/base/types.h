@@ -1,0 +1,94 @@
+// Fundamental value types shared by every accent module.
+//
+// All identifiers are small integer handles scoped to one Simulation. Strong
+// enum-class wrappers are deliberately avoided for ids that are used as map
+// keys and printed constantly; instead each id gets its own named struct with
+// explicit construction so ids of different kinds cannot be mixed silently.
+#ifndef SRC_BASE_TYPES_H_
+#define SRC_BASE_TYPES_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace accent {
+
+// A virtual address within a process address space. Accent gives every
+// process a full 32-bit (4 GB) space; we use 64-bit arithmetic so that
+// end-of-range computations (e.g. 4 GB exactly) never overflow.
+using Addr = std::uint64_t;
+
+// Sizes and offsets in bytes.
+using ByteCount = std::uint64_t;
+
+// Accent's virtual memory page: 512 bytes (see paper, section 2.1).
+inline constexpr ByteCount kPageSize = 512;
+inline constexpr Addr kAddressSpaceLimit = 4ull * 1024 * 1024 * 1024;  // 4 GB.
+
+// Index of a page within an address space (addr / kPageSize).
+using PageIndex = std::uint64_t;
+
+constexpr PageIndex PageOf(Addr addr) { return addr / kPageSize; }
+constexpr Addr PageBase(PageIndex page) { return page * kPageSize; }
+constexpr Addr RoundDownToPage(Addr addr) { return addr & ~(kPageSize - 1); }
+constexpr Addr RoundUpToPage(Addr addr) {
+  return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+// Simulated time. A SimTime is a duration since simulation start.
+using SimDuration = std::chrono::microseconds;
+using SimTime = std::chrono::microseconds;
+
+constexpr SimDuration Us(std::int64_t v) { return SimDuration(v); }
+constexpr SimDuration Ms(std::int64_t v) { return SimDuration(v * 1000); }
+constexpr SimDuration Sec(double v) {
+  return SimDuration(static_cast<std::int64_t>(v * 1e6));
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+// Generic strongly-typed id. Tag types below make each id kind distinct.
+template <typename Tag>
+struct Id {
+  std::uint64_t value = 0;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << Tag::kName << '#' << id.value;
+  }
+};
+
+struct HostTag { static constexpr const char* kName = "host"; };
+struct PortTag { static constexpr const char* kName = "port"; };
+struct ProcTag { static constexpr const char* kName = "proc"; };
+struct SegmentTag { static constexpr const char* kName = "seg"; };
+struct MsgTag { static constexpr const char* kName = "msg"; };
+struct SpaceTag { static constexpr const char* kName = "space"; };
+
+using HostId = Id<HostTag>;
+using PortId = Id<PortTag>;
+using ProcId = Id<ProcTag>;
+using SegmentId = Id<SegmentTag>;
+using MsgId = Id<MsgTag>;
+using SpaceId = Id<SpaceTag>;
+
+}  // namespace accent
+
+namespace std {
+template <typename Tag>
+struct hash<accent::Id<Tag>> {
+  size_t operator()(accent::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>()(id.value);
+  }
+};
+}  // namespace std
+
+#endif  // SRC_BASE_TYPES_H_

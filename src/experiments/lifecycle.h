@@ -1,0 +1,67 @@
+// Lifecycle trials: migrate a program at a chosen point in its life.
+//
+// The staged trials (trial.h) construct the migration-time state directly
+// from the published tables. Lifecycle trials instead *execute* the whole
+// program: the pre-migration phase runs on the source host, faulting pages
+// in naturally — so the resident set at migration time is emergent (LRU
+// state of physical memory, including the "old file pages" pollution the
+// paper blames for resident-set shipment's poor showing) rather than
+// staged. This reproduces the PM-Start / PM-Mid / PM-End methodology: the
+// same program migrated early, midway and late in life.
+#ifndef SRC_EXPERIMENTS_LIFECYCLE_H_
+#define SRC_EXPERIMENTS_LIFECYCLE_H_
+
+#include <string>
+
+#include "src/migration/migration_record.h"
+#include "src/migration/strategy.h"
+#include "src/vm/pager.h"
+
+namespace accent {
+
+struct LifecycleConfig {
+  // A Pasmac-shaped program: scan `image_pages` of mapped file sequentially
+  // (read mostly, every 4th touch writes), emitting `output_pages` into
+  // zero-fill memory along the way.
+  PageIndex image_pages = 877;   // PM's ~449 KB of RealMem
+  PageIndex zero_pages = 980;    // validated output space
+  PageIndex output_pages = 220;
+  SimDuration compute = Sec(8.0);
+
+  // Migrate after this fraction of the scan has executed.
+  double migrate_at = 0.1;
+
+  TransferStrategy strategy = TransferStrategy::kPureIou;
+  std::uint32_t prefetch = 0;
+  std::uint64_t seed = 42;
+  std::size_t frames_per_host = 4096;
+};
+
+struct LifecycleResult {
+  LifecycleConfig config;
+
+  // Emergent state at migration time.
+  ByteCount resident_bytes = 0;    // sampled from PhysicalMemory (Table 4-2)
+  ByteCount real_bytes_at_migration = 0;  // image + materialised output pages
+  std::uint64_t pre_touched_pages = 0;
+
+  // Remote behaviour.
+  std::uint64_t remote_touched_pages = 0;
+  PagerStats dest_pager;
+  MigrationRecord migration;
+  SimTime finished{0};
+  SimDuration remote_exec{0};
+  ByteCount bytes_total = 0;
+
+  double FractionOfImageTouchedRemotely() const {
+    return static_cast<double>(dest_pager.imag_faults + dest_pager.prefetch_hits) /
+           static_cast<double>(config.image_pages);
+  }
+};
+
+// Runs one lifecycle trial end to end. Deterministic per config.
+LifecycleResult RunLifecycle(const LifecycleConfig& config);
+
+}  // namespace accent
+
+#endif  // SRC_EXPERIMENTS_LIFECYCLE_H_

@@ -1,0 +1,100 @@
+#include "src/experiments/report.h"
+
+#include <sstream>
+
+#include "src/metrics/table.h"
+
+namespace accent {
+
+std::string TrialReport(const TrialResult& r) {
+  std::ostringstream out;
+  out << "Migration trial: " << r.spec.name << ", " << StrategyName(r.config.strategy)
+      << ", prefetch " << r.config.prefetch << ", seed " << r.config.seed << "\n\n";
+
+  out << "Address space: Real " << FormatWithCommas(r.spec.real_bytes) << " B, RealZero "
+      << FormatWithCommas(r.spec.zero_bytes) << " B ("
+      << (r.spec.real_regions + r.spec.zero_regions) << " map entries)\n";
+  out << "Resident set:  " << FormatWithCommas(r.spec.resident_bytes) << " B\n\n";
+
+  out << "Phases (simulated seconds):\n";
+  out << "  excision          " << FormatSeconds(r.migration.excise_overall) << "   (AMap "
+      << FormatSeconds(r.migration.excise_amap) << ", RIMAS collapse "
+      << FormatSeconds(r.migration.excise_rimas) << ")\n";
+  out << "  RIMAS transfer    " << FormatSeconds(r.migration.RimasTransferTime()) << "\n";
+  out << "  Core transfer     " << FormatSeconds(r.migration.CoreTransferTime()) << "\n";
+  out << "  insertion         " << FormatSeconds(r.migration.insert_time) << "\n";
+  out << "  remote execution  " << FormatSeconds(r.remote_exec) << "\n";
+  out << "  transfer + exec   " << FormatSeconds(r.TransferPlusExec()) << "\n";
+  out << "  downtime          " << FormatSeconds(r.migration.Downtime()) << "\n\n";
+
+  out << "Traffic: total " << FormatWithCommas(r.bytes_total) << " B (core "
+      << FormatWithCommas(r.bytes_core) << ", bulk " << FormatWithCommas(r.bytes_bulk)
+      << ", fault " << FormatWithCommas(r.bytes_fault) << ", control "
+      << FormatWithCommas(r.bytes_control) << ") in " << r.messages_total << " messages\n";
+  out << "RealMem shipped: " << FormatWithCommas(r.real_bytes_transferred) << " B ("
+      << FormatPercent(r.FractionOfRealTransferred(), 1) << " of RealMem)\n\n";
+
+  out << "Destination faults: imaginary " << r.dest_pager.imag_faults << " (fetched "
+      << r.dest_pager.imag_pages_fetched << ", prefetched " << r.dest_pager.prefetched_pages
+      << ", hits " << r.dest_pager.prefetch_hits << "), zero-fill "
+      << r.dest_pager.fillzero_faults << ", disk " << r.dest_pager.disk_faults << ", cow "
+      << r.dest_pager.cow_faults << ", page-outs " << r.dest_pager.pageouts << "\n";
+  out << "Message handling (both NetMsgServers): " << FormatSeconds(r.netmsg_busy) << " s\n";
+  return out.str();
+}
+
+std::string TrialCsvHeader() {
+  return "workload,strategy,prefetch,seed,"
+         "real_bytes,zero_bytes,resident_bytes,"
+         "excise_s,amap_s,rimas_collapse_s,rimas_transfer_s,core_transfer_s,insert_s,"
+         "remote_exec_s,transfer_plus_exec_s,downtime_s,"
+         "bytes_total,bytes_core,bytes_bulk,bytes_fault,bytes_control,messages,"
+         "real_bytes_transferred,imag_faults,pages_fetched,prefetched,prefetch_hits,"
+         "fillzero_faults,disk_faults,netmsg_busy_s";
+}
+
+std::string TrialCsvRow(const TrialResult& r) {
+  std::ostringstream out;
+  out << r.spec.name << ',' << StrategyName(r.config.strategy) << ',' << r.config.prefetch
+      << ',' << r.config.seed << ',' << r.spec.real_bytes << ',' << r.spec.zero_bytes << ','
+      << r.spec.resident_bytes << ',' << ToSeconds(r.migration.excise_overall) << ','
+      << ToSeconds(r.migration.excise_amap) << ',' << ToSeconds(r.migration.excise_rimas)
+      << ',' << ToSeconds(r.migration.RimasTransferTime()) << ','
+      << ToSeconds(r.migration.CoreTransferTime()) << ','
+      << ToSeconds(r.migration.insert_time) << ',' << ToSeconds(r.remote_exec) << ','
+      << ToSeconds(r.TransferPlusExec()) << ',' << ToSeconds(r.migration.Downtime()) << ','
+      << r.bytes_total << ',' << r.bytes_core << ',' << r.bytes_bulk << ',' << r.bytes_fault
+      << ',' << r.bytes_control << ',' << r.messages_total << ','
+      << r.real_bytes_transferred << ',' << r.dest_pager.imag_faults << ','
+      << r.dest_pager.imag_pages_fetched << ',' << r.dest_pager.prefetched_pages << ','
+      << r.dest_pager.prefetch_hits << ',' << r.dest_pager.fillzero_faults << ','
+      << r.dest_pager.disk_faults << ',' << ToSeconds(r.netmsg_busy);
+  return out.str();
+}
+
+std::string TrialsToCsv(const std::vector<TrialResult>& results) {
+  std::ostringstream out;
+  out << TrialCsvHeader() << '\n';
+  for (const TrialResult& result : results) {
+    out << TrialCsvRow(result) << '\n';
+  }
+  return out.str();
+}
+
+std::string SeriesToCsv(const TrialResult& result) {
+  std::ostringstream out;
+  out << "time_s,fault_bytes,other_bytes\n";
+  for (const auto& bucket : result.series) {
+    const ByteCount fault = bucket.bytes[static_cast<int>(TrafficKind::kFaultData)];
+    ByteCount other = 0;
+    for (std::size_t k = 0; k < bucket.bytes.size(); ++k) {
+      if (k != static_cast<std::size_t>(TrafficKind::kFaultData)) {
+        other += bucket.bytes[k];
+      }
+    }
+    out << ToSeconds(bucket.start) << ',' << fault << ',' << other << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace accent

@@ -1,0 +1,98 @@
+#include "src/experiments/testbed.h"
+
+namespace accent {
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config),
+      segments_(&sim_),
+      traffic_(&sim_, config_.traffic_bucket),
+      network_(&sim_, &config_.costs, &traffic_),
+      fabric_(&sim_, &config_.costs) {
+  ACCENT_EXPECTS(config_.host_count >= 1);
+  hosts_.reserve(static_cast<std::size_t>(config_.host_count));
+  for (int i = 0; i < config_.host_count; ++i) {
+    const HostId id(static_cast<std::uint64_t>(i) + 1);
+    HostParts parts;
+    parts.cpu = std::make_unique<Cpu>(&sim_, id);
+    parts.disk = std::make_unique<Disk>(&sim_, &config_.costs);
+    parts.memory = std::make_unique<PhysicalMemory>(config_.frames_per_host);
+    fabric_.RegisterHost(id, parts.cpu.get());
+
+    parts.pager = std::make_unique<Pager>(id, &sim_, &config_.costs, &fabric_, parts.disk.get(),
+                                          parts.memory.get());
+    parts.pager->Start();
+
+    parts.netmsg = std::make_unique<NetMsgServer>(id, &sim_, &config_.costs, &fabric_, &network_,
+                                                  &segments_, &directory_);
+    parts.netmsg->Start();
+    parts.netmsg->set_iou_caching(config_.iou_caching);
+
+    parts.env = std::make_unique<HostEnv>();
+    parts.env->id = id;
+    parts.env->sim = &sim_;
+    parts.env->costs = &config_.costs;
+    parts.env->fabric = &fabric_;
+    parts.env->cpu = parts.cpu.get();
+    parts.env->disk = parts.disk.get();
+    parts.env->memory = parts.memory.get();
+    parts.env->pager = parts.pager.get();
+    parts.env->netmsg = parts.netmsg.get();
+    parts.env->segments = &segments_;
+
+    parts.manager = std::make_unique<MigrationManager>(parts.env.get());
+    parts.manager->Start();
+
+    hosts_.push_back(std::move(parts));
+  }
+}
+
+Testbed::~Testbed() = default;
+
+HostEnv* Testbed::host(int index) {
+  ACCENT_EXPECTS(index >= 0 && index < host_count());
+  return hosts_[static_cast<std::size_t>(index)].env.get();
+}
+
+MigrationManager* Testbed::manager(int index) {
+  ACCENT_EXPECTS(index >= 0 && index < host_count());
+  return hosts_[static_cast<std::size_t>(index)].manager.get();
+}
+
+NetMsgServer* Testbed::netmsg(int index) {
+  ACCENT_EXPECTS(index >= 0 && index < host_count());
+  return hosts_[static_cast<std::size_t>(index)].netmsg.get();
+}
+
+Pager* Testbed::pager(int index) {
+  ACCENT_EXPECTS(index >= 0 && index < host_count());
+  return hosts_[static_cast<std::size_t>(index)].pager.get();
+}
+
+Cpu* Testbed::cpu(int index) {
+  ACCENT_EXPECTS(index >= 0 && index < host_count());
+  return hosts_[static_cast<std::size_t>(index)].cpu.get();
+}
+
+void Testbed::SetPrefetch(std::uint32_t pages) {
+  for (HostParts& parts : hosts_) {
+    parts.pager->set_prefetch_pages(pages);
+  }
+}
+
+SimDuration Testbed::TotalNetMsgBusy() const {
+  SimDuration total{0};
+  for (const HostParts& parts : hosts_) {
+    total += parts.cpu->BusyTime(CpuWork::kNetMsgServer);
+  }
+  return total;
+}
+
+SimDuration Testbed::TotalPagerBusy() const {
+  SimDuration total{0};
+  for (const HostParts& parts : hosts_) {
+    total += parts.cpu->BusyTime(CpuWork::kPager);
+  }
+  return total;
+}
+
+}  // namespace accent

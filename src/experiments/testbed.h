@@ -1,0 +1,92 @@
+// The simulated two-Perq Accent testbed.
+//
+// Assembles N hosts — CPU, disk, physical memory, pager, NetMsgServer,
+// MigrationManager — over one shared Ethernet, one IPC fabric and one
+// segment table, exactly the environment the paper's measurements were
+// taken on (section 4). Every experiment and example builds on this.
+#ifndef SRC_EXPERIMENTS_TESTBED_H_
+#define SRC_EXPERIMENTS_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/host/costs.h"
+#include "src/host/cpu.h"
+#include "src/host/disk.h"
+#include "src/host/physical_memory.h"
+#include "src/ipc/fabric.h"
+#include "src/migration/migration_manager.h"
+#include "src/net/network.h"
+#include "src/net/traffic.h"
+#include "src/netmsg/netmsgserver.h"
+#include "src/proc/host_env.h"
+#include "src/sim/simulator.h"
+#include "src/vm/pager.h"
+#include "src/vm/segment.h"
+
+namespace accent {
+
+struct TestbedConfig {
+  int host_count = 2;
+  // A Perq carried ~2 MB of memory: 4096 frames of 512 bytes.
+  std::size_t frames_per_host = 4096;
+  CostTable costs{};
+  SimDuration traffic_bucket = Ms(500);
+  // NetMsgServer IOU substitution (the paper's system has it on).
+  bool iou_caching = true;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config = TestbedConfig{});
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const CostTable& costs() const { return config_.costs; }
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+
+  HostEnv* host(int index);
+  MigrationManager* manager(int index);
+  NetMsgServer* netmsg(int index);
+  Pager* pager(int index);
+  Cpu* cpu(int index);
+
+  TrafficRecorder& traffic() { return traffic_; }
+  IpcFabric& fabric() { return fabric_; }
+  SegmentTable& segments() { return segments_; }
+
+  // Sets the imaginary-fault prefetch on every host's pager.
+  void SetPrefetch(std::uint32_t pages);
+
+  // NetMsgServer busy time summed over all hosts (Figure 4-4's metric).
+  SimDuration TotalNetMsgBusy() const;
+  // Pager busy time summed over all hosts.
+  SimDuration TotalPagerBusy() const;
+
+ private:
+  struct HostParts {
+    std::unique_ptr<Cpu> cpu;
+    std::unique_ptr<Disk> disk;
+    std::unique_ptr<PhysicalMemory> memory;
+    std::unique_ptr<Pager> pager;
+    std::unique_ptr<NetMsgServer> netmsg;
+    std::unique_ptr<HostEnv> env;
+    std::unique_ptr<MigrationManager> manager;
+  };
+
+  TestbedConfig config_;
+  Simulator sim_;
+  SegmentTable segments_;
+  TrafficRecorder traffic_;
+  Network network_;
+  IpcFabric fabric_;
+  NetMsgDirectory directory_;
+  std::vector<HostParts> hosts_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_EXPERIMENTS_TESTBED_H_

@@ -1,0 +1,104 @@
+#include "src/experiments/trial.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+
+TrialResult RunTrial(const TrialConfig& config) {
+  TestbedConfig testbed_config;
+  testbed_config.host_count = 2;
+  testbed_config.iou_caching = config.iou_caching;
+  testbed_config.frames_per_host = config.frames_per_host;
+  testbed_config.traffic_bucket = config.traffic_bucket;
+  Testbed bed(testbed_config);
+
+  TrialResult result;
+  result.config = config;
+
+  bed.SetPrefetch(config.prefetch);
+
+  WorkloadInstance instance = BuildWorkload(WorkloadByName(config.workload), bed.host(0),
+                                            config.seed);
+  result.spec = instance.spec;
+  Process* proc = instance.process.get();
+
+  // Give the process a port so right-transfer is exercised on every trial.
+  const PortId owned_port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "proc-owned");
+  proc->AttachReceiveRight(owned_port);
+  bed.manager(0)->RegisterLocal(proc);
+
+  Process* remote_proc = nullptr;
+  bed.manager(1)->set_on_insert([&](Process* inserted) { remote_proc = inserted; });
+
+  bool completed = false;
+  bed.manager(0)->Migrate(proc, bed.manager(1)->port(), config.strategy,
+                          [&](const MigrationRecord& record) {
+                            result.migration = record;
+                            completed = true;
+                          });
+
+  bed.sim().Run();
+  ACCENT_CHECK(completed) << " migration of " << config.workload << " never completed";
+  ACCENT_CHECK(remote_proc != nullptr);
+  ACCENT_CHECK(remote_proc->done())
+      << " " << config.workload << " did not finish remote execution";
+
+  result.finished = remote_proc->finish_time();
+  result.remote_exec = result.finished - result.migration.resumed;
+
+  const TrafficRecorder& traffic = bed.traffic();
+  result.bytes_total = traffic.TotalBytes();
+  result.bytes_control = traffic.BytesOf(TrafficKind::kControl);
+  result.bytes_core = traffic.BytesOf(TrafficKind::kCoreContext);
+  result.bytes_bulk = traffic.BytesOf(TrafficKind::kBulkData);
+  result.bytes_fault = traffic.BytesOf(TrafficKind::kFaultData);
+  result.messages_total = traffic.TotalMessages();
+  result.series = traffic.buckets();
+  result.series_bucket = traffic.bucket_width();
+  result.netmsg_busy = bed.TotalNetMsgBusy();
+  result.dest_pager = bed.pager(1)->stats();
+
+  // RealMem bytes that crossed as page data: shipped at migration time plus
+  // pages fetched by imaginary faults (incl. prefetch).
+  ByteCount shipped = 0;
+  switch (config.strategy) {
+    case TransferStrategy::kPureCopy:
+      shipped = result.spec.real_bytes;
+      break;
+    case TransferStrategy::kPureIou:
+      shipped = 0;
+      break;
+    case TransferStrategy::kResidentSet:
+      shipped = result.migration.resident_bytes_shipped;
+      break;
+  }
+  result.real_bytes_transferred =
+      shipped + result.dest_pager.imag_pages_fetched * kPageSize;
+  return result;
+}
+
+std::vector<TrialResult> RunStrategySweep(const std::string& workload, std::uint64_t seed) {
+  std::vector<TrialResult> results;
+  TrialConfig config;
+  config.workload = workload;
+  config.seed = seed;
+
+  config.strategy = TransferStrategy::kPureCopy;
+  config.prefetch = 0;
+  results.push_back(RunTrial(config));
+
+  for (TransferStrategy strategy :
+       {TransferStrategy::kPureIou, TransferStrategy::kResidentSet}) {
+    for (std::uint32_t prefetch : kPaperPrefetchValues) {
+      config.strategy = strategy;
+      config.prefetch = prefetch;
+      results.push_back(RunTrial(config));
+    }
+  }
+  return results;
+}
+
+}  // namespace accent

@@ -1,0 +1,84 @@
+// One migration trial: the unit of the paper's evaluation.
+//
+// Builds a fresh two-host testbed, stages a representative process at its
+// migration point on host A, migrates it to host B under a given strategy
+// and prefetch value, runs it to completion there and collects every metric
+// the evaluation section reports.
+#ifndef SRC_EXPERIMENTS_TRIAL_H_
+#define SRC_EXPERIMENTS_TRIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/migration/migration_record.h"
+#include "src/migration/strategy.h"
+#include "src/net/traffic.h"
+#include "src/vm/pager.h"
+#include "src/workloads/workload.h"
+
+namespace accent {
+
+struct TrialConfig {
+  std::string workload = "Minprog";
+  TransferStrategy strategy = TransferStrategy::kPureCopy;
+  std::uint32_t prefetch = 0;
+  std::uint64_t seed = 42;
+  bool iou_caching = true;  // ablation: NetMsgServer substitution on/off
+  std::size_t frames_per_host = 4096;
+  SimDuration traffic_bucket = Ms(500);  // Figure 4-5 series resolution
+};
+
+struct TrialResult {
+  TrialConfig config;
+  WorkloadSpec spec;
+  MigrationRecord migration;
+
+  SimTime finished{0};        // remote completion
+  SimDuration remote_exec{0}; // finished - resumed
+
+  // Byte traffic between the machines (Figure 4-3 / 4-5).
+  ByteCount bytes_total = 0;
+  ByteCount bytes_control = 0;
+  ByteCount bytes_core = 0;
+  ByteCount bytes_bulk = 0;
+  ByteCount bytes_fault = 0;
+  std::uint64_t messages_total = 0;
+  std::vector<TrafficRecorder::Bucket> series;
+  SimDuration series_bucket{0};
+
+  // Message-handling cost (Figure 4-4): NetMsgServer busy time, both nodes.
+  SimDuration netmsg_busy{0};
+
+  // Destination-side fault behaviour.
+  PagerStats dest_pager;
+
+  // RealMem bytes that crossed the wire as page data (Table 4-3).
+  ByteCount real_bytes_transferred = 0;
+
+  // --- derived -------------------------------------------------------------
+  // Figure 4-2's summed metric: address-space transfer + remote execution.
+  SimDuration TransferPlusExec() const {
+    return migration.RimasTransferTime() + remote_exec;
+  }
+  double FractionOfRealTransferred() const {
+    return spec.real_bytes == 0
+               ? 0.0
+               : static_cast<double>(real_bytes_transferred) / static_cast<double>(spec.real_bytes);
+  }
+  double FractionOfTotalTransferred() const {
+    return spec.total_bytes() == 0 ? 0.0
+                                   : static_cast<double>(real_bytes_transferred) /
+                                         static_cast<double>(spec.total_bytes());
+  }
+};
+
+// Runs a complete trial. Deterministic for a given config.
+TrialResult RunTrial(const TrialConfig& config);
+
+// Sweeps the paper's full grid for one workload: strategies x prefetch.
+// Pure-copy ignores prefetch, so it runs once.
+std::vector<TrialResult> RunStrategySweep(const std::string& workload, std::uint64_t seed = 42);
+
+}  // namespace accent
+
+#endif  // SRC_EXPERIMENTS_TRIAL_H_

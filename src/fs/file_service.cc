@@ -1,0 +1,262 @@
+#include "src/fs/file_service.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace accent {
+namespace {
+
+// CPU cost of serving an open (directory lookup, map preparation).
+constexpr SimDuration kOpenService = Ms(12);
+// CPU cost of applying one written-back page.
+constexpr SimDuration kWriteBackPerPage = Ms(1);
+
+}  // namespace
+
+FileServer::FileServer(HostEnv* env)
+    : env_(env),
+      backer_(env->id, env->sim, env->costs, env->fabric, env->segments,
+              CpuWork::kProcess, "file-backer") {
+  ACCENT_EXPECTS(env != nullptr && env->complete());
+}
+
+void FileServer::Start() {
+  ACCENT_EXPECTS(!port_.valid()) << " file server started twice";
+  port_ = env_->fabric->AllocatePort(env_->id, this, "file-server");
+  backer_.Start();
+}
+
+Segment* FileServer::CreateFile(const std::string& name, ByteCount size, std::uint64_t seed) {
+  ACCENT_EXPECTS(size > 0 && size % kPageSize == 0);
+  ACCENT_EXPECTS(files_.count(name) == 0) << " file exists: " << name;
+  Segment* segment = env_->segments->CreateReal(size, "file:" + name);
+  if (seed != 0) {
+    for (PageIndex p = 0; p < segment->page_count(); ++p) {
+      segment->StorePage(p, MakePatternPage(seed + p));
+    }
+  }
+  files_[name] = segment;
+  return segment;
+}
+
+Segment* FileServer::Find(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+void FileServer::HandleMessage(Message msg) {
+  if (msg.op != MsgOp::kUser) {
+    ACCENT_LOG(kDebug) << "file server ignoring " << MsgOpName(msg.op);
+    return;
+  }
+  // Dispatch on the FsOp selector.
+  if (const auto* open = std::any_cast<FsOpenRequest>(&msg.body)) {
+    (void)open;
+    ServeOpen(msg);
+    return;
+  }
+  if (std::any_cast<FsWriteBack>(&msg.body) != nullptr) {
+    ServeWriteBack(std::move(msg));
+    return;
+  }
+  ACCENT_LOG(kDebug) << "file server: unrecognised user message";
+}
+
+void FileServer::ServeOpen(const Message& msg) {
+  const auto& request = msg.BodyAs<FsOpenRequest>();
+  ++opens_served_;
+
+  FsOpenReply reply;
+  reply.request_id = request.request_id;
+  Segment* file = Find(request.name);
+  if (file != nullptr) {
+    reply.found = true;
+    reply.size = file->size();
+    reply.local_segment = file->id();
+    // Back the file lazily; every open adds a reference so one client's
+    // death never retires a file other clients still map.
+    reply.iou = backer_.Back(file);
+    backed_files_[file->id().value] = request.name;
+  }
+
+  Message response;
+  response.dest = request.reply_port;
+  response.op = MsgOp::kUser;
+  response.inline_bytes = 64;
+  response.body = reply;
+  env_->cpu->Submit(CpuWork::kProcess, kOpenService,
+                    [this, response = std::move(response)]() mutable {
+                      Result<void> sent = env_->fabric->Send(env_->id, std::move(response));
+                      if (!sent.ok()) {
+                        ACCENT_LOG(kDebug) << "open reply dropped: " << sent.error().message;
+                      }
+                    });
+}
+
+void FileServer::ServeWriteBack(Message msg) {
+  const auto& request = msg.BodyAs<FsWriteBack>();
+  Segment* file = Find(request.name);
+
+  FsWriteBackAck ack;
+  ack.request_id = request.request_id;
+  SimDuration apply_cost = SimDuration::zero();
+  if (file != nullptr && !msg.regions.empty()) {
+    for (const MemoryRegion& region : msg.regions) {
+      if (region.mem_class != MemClass::kReal) {
+        continue;
+      }
+      const PageIndex first = PageOf(region.base);
+      for (PageIndex i = 0; i < region.page_count(); ++i) {
+        if (first + i < file->page_count()) {
+          file->StorePage(first + i, region.pages[i]);
+          ++ack.pages_written;
+        }
+      }
+    }
+    ack.ok = true;
+    pages_written_back_ += ack.pages_written;
+    apply_cost = kWriteBackPerPage * static_cast<std::int64_t>(ack.pages_written);
+    // The new contents also go to the local disk.
+    if (ack.pages_written > 0) {
+      env_->disk->Write(ack.pages_written, nullptr);
+    }
+  }
+
+  Message response;
+  response.dest = request.reply_port;
+  response.op = MsgOp::kUser;
+  response.inline_bytes = 32;
+  response.body = ack;
+  env_->cpu->Submit(CpuWork::kProcess, kOpenService + apply_cost,
+                    [this, response = std::move(response)]() mutable {
+                      Result<void> sent = env_->fabric->Send(env_->id, std::move(response));
+                      if (!sent.ok()) {
+                        ACCENT_LOG(kDebug) << "write-back ack dropped: " << sent.error().message;
+                      }
+                    });
+}
+
+FileClient::FileClient(HostEnv* env, PortId server_port)
+    : env_(env), server_port_(server_port) {
+  ACCENT_EXPECTS(env != nullptr && env->complete());
+}
+
+void FileClient::Start() {
+  ACCENT_EXPECTS(!reply_port_.valid()) << " file client started twice";
+  reply_port_ = env_->fabric->AllocatePort(env_->id, this, "file-client");
+}
+
+void FileClient::OpenAndMap(const std::string& name, AddressSpace* space, Addr base,
+                            OpenDone done) {
+  ACCENT_EXPECTS(space != nullptr && done != nullptr);
+  ACCENT_EXPECTS(reply_port_.valid()) << " client not started";
+  const std::uint64_t id = next_request_++;
+  pending_opens_[id] = PendingOpen{space, base, std::move(done)};
+
+  FsOpenRequest request;
+  request.request_id = id;
+  request.name = name;
+  request.reply_port = reply_port_;
+
+  Message msg;
+  msg.dest = server_port_;
+  msg.op = MsgOp::kUser;
+  msg.inline_bytes = 64 + name.size();
+  msg.body = request;
+  Result<void> sent = env_->fabric->Send(env_->id, std::move(msg));
+  if (!sent.ok()) {
+    PendingOpen pending = std::move(pending_opens_.at(id));
+    pending_opens_.erase(id);
+    pending.done(OpenResult{});
+  }
+}
+
+void FileClient::WriteBack(const std::string& name, AddressSpace* space, Addr base,
+                           const std::vector<PageIndex>& file_pages, FlushDone done) {
+  ACCENT_EXPECTS(space != nullptr && done != nullptr);
+  const std::uint64_t id = next_request_++;
+  pending_flushes_[id] = std::move(done);
+
+  FsWriteBack request;
+  request.request_id = id;
+  request.name = name;
+  request.reply_port = reply_port_;
+
+  Message msg;
+  msg.dest = server_port_;
+  msg.op = MsgOp::kUser;
+  msg.no_ious = true;  // written data must physically reach the server
+  msg.inline_bytes = 64 + name.size();
+  msg.body = request;
+  // One region per contiguous run of dirty pages, in file coordinates.
+  std::size_t i = 0;
+  while (i < file_pages.size()) {
+    std::size_t j = i + 1;
+    while (j < file_pages.size() && file_pages[j] == file_pages[j - 1] + 1) {
+      ++j;
+    }
+    std::vector<PageData> pages;
+    for (std::size_t k = i; k < j; ++k) {
+      pages.push_back(space->ReadPage(PageOf(base) + file_pages[k]));
+    }
+    msg.regions.push_back(MemoryRegion::Data(PageBase(file_pages[i]), std::move(pages)));
+    i = j;
+  }
+
+  Result<void> sent = env_->fabric->Send(env_->id, std::move(msg));
+  if (!sent.ok()) {
+    FlushDone pending = std::move(pending_flushes_.at(id));
+    pending_flushes_.erase(id);
+    pending(false);
+  }
+}
+
+void FileClient::HandleMessage(Message msg) {
+  if (const auto* reply = std::any_cast<FsOpenReply>(&msg.body)) {
+    auto it = pending_opens_.find(reply->request_id);
+    if (it == pending_opens_.end()) {
+      return;
+    }
+    PendingOpen pending = std::move(it->second);
+    pending_opens_.erase(it);
+
+    OpenResult result;
+    result.ok = reply->found;
+    result.size = reply->size;
+    if (!reply->found) {
+      pending.done(result);
+      return;
+    }
+
+    const HostId server_home = env_->fabric->HomeOf(server_port_);
+    if (server_home == env_->id) {
+      // Local file: map the segment directly (disk-backed RealMem).
+      Segment* segment = env_->segments->Find(reply->local_segment);
+      ACCENT_CHECK(segment != nullptr);
+      pending.space->MapReal(pending.base, pending.base + reply->size, segment, 0,
+                             /*copy_on_write=*/true);
+    } else {
+      // Remote file: whole-file copy-on-reference via the server's backer.
+      result.lazy = true;
+      Segment* standin =
+          env_->segments->CreateImaginary(reply->size, reply->iou, "file-standin");
+      pending.space->MapImaginary(pending.base, pending.base + reply->size, standin, 0);
+    }
+    pending.done(result);
+    return;
+  }
+  if (const auto* ack = std::any_cast<FsWriteBackAck>(&msg.body)) {
+    auto it = pending_flushes_.find(ack->request_id);
+    if (it == pending_flushes_.end()) {
+      return;
+    }
+    FlushDone done = std::move(it->second);
+    pending_flushes_.erase(it);
+    done(ack->ok);
+    return;
+  }
+  ACCENT_LOG(kDebug) << "file client: unrecognised reply";
+}
+
+}  // namespace accent

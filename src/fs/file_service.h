@@ -1,0 +1,154 @@
+// Files through IPC — the Accent file model (sections 2.1 and 6).
+//
+// Accent accesses files through an IPC interface and maps them *in their
+// entirety* into process memory, which is what lets the copy-on-write and
+// copy-on-reference machinery apply to file data. A FileServer owns the
+// files of one host (name -> segment on the local disk) and answers open
+// requests:
+//   - a local client maps the returned segment directly (RealMem; faults go
+//     to the local disk);
+//   - a remote client receives an IouRef instead and maps the file
+//     imaginary — whole-file remote access becomes copy-on-reference, the
+//     "remote file and database access" application the paper's conclusion
+//     proposes.
+// Dirty pages are written back through kFsWriteBack messages.
+#ifndef SRC_FS_FILE_SERVICE_H_
+#define SRC_FS_FILE_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/base/types.h"
+#include "src/ipc/fabric.h"
+#include "src/proc/host_env.h"
+#include "src/vm/address_space.h"
+#include "src/vm/backer.h"
+#include "src/vm/segment.h"
+
+namespace accent {
+
+// File protocol ops ride on MsgOp::kUser with this selector in the body.
+enum class FsOp : int {
+  kOpenRequest,
+  kOpenReply,
+  kWriteBack,
+  kWriteBackAck,
+};
+
+struct FsOpenRequest {
+  FsOp fs_op = FsOp::kOpenRequest;
+  std::uint64_t request_id = 0;
+  std::string name;
+  PortId reply_port;
+};
+
+struct FsOpenReply {
+  FsOp fs_op = FsOp::kOpenReply;
+  std::uint64_t request_id = 0;
+  bool found = false;
+  ByteCount size = 0;
+  // Remote opens: the file as a lazily-delivered object.
+  IouRef iou;
+  // Local opens: the segment to map directly.
+  SegmentId local_segment;
+};
+
+struct FsWriteBack {
+  FsOp fs_op = FsOp::kWriteBack;
+  std::uint64_t request_id = 0;
+  std::string name;
+  PortId reply_port;
+  // Dirty pages ride as the message's data region (base = file offset).
+};
+
+struct FsWriteBackAck {
+  FsOp fs_op = FsOp::kWriteBackAck;
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  PageIndex pages_written = 0;
+};
+
+class FileServer : public Receiver {
+ public:
+  explicit FileServer(HostEnv* env);
+
+  // Allocates the service port and the backing port.
+  void Start();
+  PortId port() const { return port_; }
+  HostId host() const { return env_->id; }
+
+  // Creates a file of `size` bytes filled from `seed` (deterministic
+  // pattern; page p carries MakePatternPage(seed + p)). Zero seed leaves
+  // the file sparse (all zeroes).
+  Segment* CreateFile(const std::string& name, ByteCount size, std::uint64_t seed);
+
+  Segment* Find(const std::string& name) const;
+  std::size_t file_count() const { return files_.size(); }
+  std::uint64_t opens_served() const { return opens_served_; }
+  std::uint64_t pages_written_back() const { return pages_written_back_; }
+
+  // Receiver.
+  void HandleMessage(Message msg) override;
+  const char* receiver_name() const override { return "file-server"; }
+
+ private:
+  void ServeOpen(const Message& msg);
+  void ServeWriteBack(Message msg);
+
+  HostEnv* env_;
+  PortId port_;
+  SegmentBacker backer_;
+  std::map<std::string, Segment*> files_;
+  std::map<std::uint64_t, std::string> backed_files_;  // segment id -> name
+  std::uint64_t opens_served_ = 0;
+  std::uint64_t pages_written_back_ = 0;
+};
+
+// Client-side helper: opens `name` against a FileServer and maps the whole
+// file at `base` in `space` — directly when the server is local, imaginary
+// (copy-on-reference) when it is remote.
+class FileClient : public Receiver {
+ public:
+  FileClient(HostEnv* env, PortId server_port);
+
+  void Start();
+
+  struct OpenResult {
+    bool ok = false;
+    ByteCount size = 0;
+    bool lazy = false;  // mapped imaginary (remote server)
+  };
+  using OpenDone = std::function<void(OpenResult)>;
+
+  // Opens and maps; `done` runs when the mapping is installed.
+  void OpenAndMap(const std::string& name, AddressSpace* space, Addr base, OpenDone done);
+
+  // Ships `pages` (file-relative) of dirty data back to the server.
+  using FlushDone = std::function<void(bool ok)>;
+  void WriteBack(const std::string& name, AddressSpace* space, Addr base,
+                 const std::vector<PageIndex>& file_pages, FlushDone done);
+
+  // Receiver: open replies / write-back acks.
+  void HandleMessage(Message msg) override;
+  const char* receiver_name() const override { return "file-client"; }
+
+ private:
+  struct PendingOpen {
+    AddressSpace* space;
+    Addr base;
+    OpenDone done;
+  };
+
+  HostEnv* env_;
+  PortId server_port_;
+  PortId reply_port_;
+  std::uint64_t next_request_ = 1;
+  std::map<std::uint64_t, PendingOpen> pending_opens_;
+  std::map<std::uint64_t, FlushDone> pending_flushes_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_FS_FILE_SERVICE_H_

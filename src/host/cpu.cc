@@ -1,0 +1,73 @@
+#include "src/host/cpu.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace accent {
+
+const char* CpuWorkName(CpuWork work) {
+  switch (work) {
+    case CpuWork::kProcess: return "process";
+    case CpuWork::kKernel: return "kernel";
+    case CpuWork::kPager: return "pager";
+    case CpuWork::kNetMsgServer: return "netmsg";
+    case CpuWork::kMigration: return "migration";
+    case CpuWork::kCategoryCount: break;
+  }
+  return "?";
+}
+
+void Cpu::Submit(CpuWork category, SimDuration work, std::function<void()> done,
+                 CpuPriority priority) {
+  ACCENT_EXPECTS(work >= SimDuration::zero());
+  Item item{category, work, std::move(done)};
+  backlog_ += work;
+  if (priority == CpuPriority::kHigh) {
+    high_.push_back(std::move(item));
+  } else {
+    normal_.push_back(std::move(item));
+  }
+  if (!running_) {
+    StartNext();
+  }
+}
+
+void Cpu::StartNext() {
+  std::deque<Item>* lane = !high_.empty() ? &high_ : (!normal_.empty() ? &normal_ : nullptr);
+  if (lane == nullptr) {
+    running_ = false;
+    return;
+  }
+  running_ = true;
+  Item item = std::move(lane->front());
+  lane->pop_front();
+
+  backlog_ -= item.work;
+  busy_[static_cast<std::size_t>(item.category)] += item.work;
+  current_ends_ = sim_.Now() + item.work;
+  sim_.ScheduleAt(current_ends_, [this, done = std::move(item.done)]() {
+    if (done != nullptr) {
+      done();
+    }
+    StartNext();
+  });
+}
+
+SimDuration Cpu::TotalBusyTime() const {
+  SimDuration total{0};
+  for (SimDuration d : busy_) {
+    total += d;
+  }
+  return total;
+}
+
+SimTime Cpu::available_at() const {
+  if (!running_) {
+    return sim_.Now();
+  }
+  return current_ends_ + backlog_;
+}
+
+void Cpu::ResetAccounting() { busy_.fill(SimDuration::zero()); }
+
+}  // namespace accent

@@ -1,0 +1,90 @@
+// Single-core CPU model with two non-preemptive priority lanes.
+//
+// Every CPU-consuming activity on a host — a user process executing, the
+// pager servicing a fault, the NetMsgServer fragmenting a message — submits
+// work items here. Items run to completion (a Perq has one processor and no
+// preemption in this model); between items, the high lane drains before the
+// normal lane, and each lane is FCFS. With everything submitted at normal
+// priority (the default, matching the measured 1987 system) the schedule is
+// plain FCFS.
+//
+// Busy time is attributed to cost categories; the paper's "message-handling
+// cost" metric (Figure 4-4) is exactly the NetMsgServer category's busy
+// time summed over both nodes.
+#ifndef SRC_HOST_CPU_H_
+#define SRC_HOST_CPU_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/base/types.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+
+enum class CpuWork : int {
+  kProcess = 0,        // user process instruction execution
+  kKernel = 1,         // kernel traps, IPC, fault short paths
+  kPager = 2,          // Pager/Scheduler fault service
+  kNetMsgServer = 3,   // network message server handling
+  kMigration = 4,      // MigrationManager + excise/insert
+  kCategoryCount = 5,
+};
+
+const char* CpuWorkName(CpuWork work);
+
+enum class CpuPriority : int {
+  kNormal = 0,
+  kHigh = 1,  // drains before kNormal between items (never preempts)
+};
+
+class Cpu {
+ public:
+  Cpu(Simulator* sim, HostId host) : sim_(*sim), host_(host) { ACCENT_EXPECTS(sim != nullptr); }
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // Charges `work` of CPU time under `category`, then invokes `done`.
+  void Submit(CpuWork category, SimDuration work, std::function<void()> done,
+              CpuPriority priority = CpuPriority::kNormal);
+
+  // Cumulative busy time attributed to `category`.
+  SimDuration BusyTime(CpuWork category) const {
+    return busy_[static_cast<std::size_t>(category)];
+  }
+  SimDuration TotalBusyTime() const;
+
+  // Earliest simulated time new normal-priority work could start if
+  // submitted now (the queueing backlog).
+  SimTime available_at() const;
+  HostId host() const { return host_; }
+
+  std::size_t queued_items() const { return high_.size() + normal_.size(); }
+
+  void ResetAccounting();
+
+ private:
+  struct Item {
+    CpuWork category;
+    SimDuration work;
+    std::function<void()> done;
+  };
+
+  void StartNext();
+
+  Simulator& sim_;
+  HostId host_;
+  std::deque<Item> high_;
+  std::deque<Item> normal_;
+  bool running_ = false;
+  SimTime current_ends_{0};
+  SimDuration backlog_{0};  // queued work not yet started
+  std::array<SimDuration, static_cast<std::size_t>(CpuWork::kCategoryCount)> busy_{};
+};
+
+}  // namespace accent
+
+#endif  // SRC_HOST_CPU_H_

@@ -1,0 +1,18 @@
+#include "src/host/disk.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace accent {
+
+void Disk::Submit(SimDuration duration, std::function<void()> done) {
+  ACCENT_EXPECTS(duration >= SimDuration::zero());
+  const SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + duration;
+  busy_ += duration;
+  if (done != nullptr) {
+    sim_.ScheduleAt(busy_until_, std::move(done));
+  }
+}
+
+}  // namespace accent

@@ -1,0 +1,59 @@
+// Local disk timing model.
+//
+// Accent pages its 512-byte pages to a local Micropolis winchester; the
+// paper's anchor is a 40.8 ms end-to-end local fault, of which the disk
+// contributes the transfer+seek portion. Requests queue FCFS on the single
+// spindle. The Disk models *timing only*: page contents live in segment
+// stores (src/vm) — a deliberate split so that data integrity and timing can
+// be tested independently.
+#ifndef SRC_HOST_DISK_H_
+#define SRC_HOST_DISK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/types.h"
+#include "src/host/costs.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+
+class Disk {
+ public:
+  Disk(Simulator* sim, const CostTable* costs) : sim_(*sim), costs_(*costs) {
+    ACCENT_EXPECTS(sim != nullptr && costs != nullptr);
+  }
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Reads `pages` consecutive pages; `done` runs when the transfer finishes.
+  void Read(std::uint64_t pages, std::function<void()> done) {
+    reads_ += pages;
+    Submit(costs_.disk_page_read * static_cast<std::int64_t>(pages), std::move(done));
+  }
+
+  // Writes `pages` pages (used for page-out of dirty imaginary data).
+  void Write(std::uint64_t pages, std::function<void()> done) {
+    writes_ += pages;
+    Submit(costs_.disk_page_write * static_cast<std::int64_t>(pages), std::move(done));
+  }
+
+  std::uint64_t reads_completed() const { return reads_; }
+  std::uint64_t writes_completed() const { return writes_; }
+  SimDuration busy_time() const { return busy_; }
+
+ private:
+  void Submit(SimDuration duration, std::function<void()> done);
+
+  Simulator& sim_;
+  const CostTable& costs_;
+  SimTime busy_until_{0};
+  SimDuration busy_{0};
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace accent
+
+#endif  // SRC_HOST_DISK_H_

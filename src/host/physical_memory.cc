@@ -1,0 +1,87 @@
+#include "src/host/physical_memory.h"
+
+#include <algorithm>
+
+namespace accent {
+
+std::optional<PhysicalMemory::Eviction> PhysicalMemory::Insert(SpaceId space, PageIndex page,
+                                                               bool dirty) {
+  const Key key{space, page};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.dirty = it->second.dirty || dirty;
+    return std::nullopt;
+  }
+
+  std::optional<Eviction> eviction;
+  if (frames_.size() >= frame_count_) {
+    const Key victim = lru_.back();
+    auto victim_it = frames_.find(victim);
+    ACCENT_CHECK(victim_it != frames_.end());
+    eviction = Eviction{victim.space, victim.page, victim_it->second.dirty};
+    lru_.pop_back();
+    frames_.erase(victim_it);
+  }
+
+  lru_.push_front(key);
+  frames_.emplace(key, Frame{lru_.begin(), dirty});
+  return eviction;
+}
+
+void PhysicalMemory::Touch(SpaceId space, PageIndex page) {
+  auto it = frames_.find(Key{space, page});
+  ACCENT_EXPECTS(it != frames_.end()) << " touch of non-resident page " << page;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+}
+
+void PhysicalMemory::MarkDirty(SpaceId space, PageIndex page) {
+  auto it = frames_.find(Key{space, page});
+  ACCENT_EXPECTS(it != frames_.end()) << " dirtying non-resident page " << page;
+  it->second.dirty = true;
+}
+
+bool PhysicalMemory::IsDirty(SpaceId space, PageIndex page) const {
+  auto it = frames_.find(Key{space, page});
+  return it != frames_.end() && it->second.dirty;
+}
+
+void PhysicalMemory::Remove(SpaceId space, PageIndex page) {
+  auto it = frames_.find(Key{space, page});
+  if (it == frames_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
+
+std::vector<PageIndex> PhysicalMemory::RemoveSpace(SpaceId space) {
+  std::vector<PageIndex> removed = PagesOf(space);
+  for (PageIndex page : removed) {
+    Remove(space, page);
+  }
+  return removed;
+}
+
+std::vector<PageIndex> PhysicalMemory::PagesOf(SpaceId space) const {
+  std::vector<PageIndex> pages;
+  for (const auto& [key, frame] : frames_) {
+    if (key.space == space) {
+      pages.push_back(key.page);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+std::size_t PhysicalMemory::ResidentCount(SpaceId space) const {
+  std::size_t n = 0;
+  for (const auto& [key, frame] : frames_) {
+    if (key.space == space) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace accent

@@ -1,0 +1,89 @@
+// Physical page-frame pool of one host.
+//
+// Tracks which (address space, page) pairs are resident, in LRU order, with
+// dirty bits. Under Accent physical memory doubles as a disk cache — a fact
+// the paper leans on to explain why resident-set shipment drags along stale
+// file pages (section 4.2.3) — so residency here is exactly what the
+// resident-set migration strategy samples at migration time.
+#ifndef SRC_HOST_PHYSICAL_MEMORY_H_
+#define SRC_HOST_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::size_t frame_count) : frame_count_(frame_count) {
+    ACCENT_EXPECTS(frame_count > 0);
+  }
+
+  struct Eviction {
+    SpaceId space;
+    PageIndex page = 0;
+    bool dirty = false;
+  };
+
+  // Makes (space, page) resident, most-recently-used. If the pool is full,
+  // the least-recently-used frame is reclaimed and returned so the caller
+  // can account a page-out for dirty victims. Inserting an already-resident
+  // page just refreshes recency/dirtiness.
+  std::optional<Eviction> Insert(SpaceId space, PageIndex page, bool dirty);
+
+  bool Contains(SpaceId space, PageIndex page) const {
+    return frames_.count(Key{space, page}) != 0;
+  }
+
+  // Moves the page to most-recently-used. Precondition: resident.
+  void Touch(SpaceId space, PageIndex page);
+
+  // Marks a resident page dirty. Precondition: resident.
+  void MarkDirty(SpaceId space, PageIndex page);
+
+  bool IsDirty(SpaceId space, PageIndex page) const;
+
+  // Drops one page (no writeback accounting; caller decides).
+  void Remove(SpaceId space, PageIndex page);
+
+  // Drops every page of `space` (process excision or death). Returns the
+  // pages dropped, in ascending page order.
+  std::vector<PageIndex> RemoveSpace(SpaceId space);
+
+  // Resident pages of `space` in ascending page order (the resident set).
+  std::vector<PageIndex> PagesOf(SpaceId space) const;
+
+  std::size_t ResidentCount(SpaceId space) const;
+  std::size_t used_frames() const { return frames_.size(); }
+  std::size_t frame_count() const { return frame_count_; }
+
+ private:
+  struct Key {
+    SpaceId space;
+    PageIndex page;
+    bool operator==(const Key& o) const { return space == o.space && page == o.page; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.space.value * 0x9e3779b97f4a7c15ull ^ k.page);
+    }
+  };
+  struct Frame {
+    std::list<Key>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  std::size_t frame_count_;
+  std::list<Key> lru_;  // front = most recent, back = victim
+  std::unordered_map<Key, Frame, KeyHash> frames_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_HOST_PHYSICAL_MEMORY_H_

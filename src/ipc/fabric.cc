@@ -1,0 +1,182 @@
+#include "src/ipc/fabric.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace accent {
+
+void IpcFabric::RegisterHost(HostId host, Cpu* cpu) {
+  ACCENT_EXPECTS(cpu != nullptr);
+  ACCENT_EXPECTS(hosts_.count(host.value) == 0) << " host registered twice";
+  hosts_[host.value] = HostRecord{cpu, nullptr};
+}
+
+void IpcFabric::SetTransport(HostId host, RemoteTransport* transport) {
+  auto it = hosts_.find(host.value);
+  ACCENT_EXPECTS(it != hosts_.end());
+  it->second.transport = transport;
+}
+
+Cpu* IpcFabric::CpuOf(HostId host) const {
+  auto it = hosts_.find(host.value);
+  ACCENT_EXPECTS(it != hosts_.end()) << " unknown " << host;
+  return it->second.cpu;
+}
+
+PortId IpcFabric::AllocatePort(HostId host, Receiver* receiver, std::string debug_name) {
+  ACCENT_EXPECTS(hosts_.count(host.value) != 0) << " port on unregistered " << host;
+  const PortId port(sim_.AllocateId());
+  ports_[port.value] = PortRecord{host, receiver, false, std::move(debug_name), {}};
+  return port;
+}
+
+IpcFabric::PortRecord& IpcFabric::RecordOf(PortId port) {
+  auto it = ports_.find(port.value);
+  ACCENT_EXPECTS(it != ports_.end()) << " unknown " << port;
+  return it->second;
+}
+
+const IpcFabric::PortRecord& IpcFabric::RecordOf(PortId port) const {
+  auto it = ports_.find(port.value);
+  ACCENT_EXPECTS(it != ports_.end()) << " unknown " << port;
+  return it->second;
+}
+
+void IpcFabric::MovePort(PortId port, HostId new_home, Receiver* receiver) {
+  PortRecord& record = RecordOf(port);
+  ACCENT_EXPECTS(!record.dead) << " moving dead " << port;
+  record.home = new_home;
+  record.receiver = receiver;
+  if (record.receiver != nullptr) {
+    // Re-dispatch anything that queued while the right was in motion.
+    std::deque<Message> queued = std::move(record.queued);
+    record.queued.clear();
+    for (Message& msg : queued) {
+      DeliverAt(new_home, std::move(msg));
+    }
+  }
+}
+
+void IpcFabric::SetReceiver(PortId port, Receiver* receiver) {
+  PortRecord& record = RecordOf(port);
+  ACCENT_EXPECTS(!record.dead);
+  record.receiver = receiver;
+  if (receiver != nullptr && !record.queued.empty()) {
+    std::deque<Message> queued = std::move(record.queued);
+    record.queued.clear();
+    const HostId home = record.home;
+    for (Message& msg : queued) {
+      DeliverAt(home, std::move(msg));
+    }
+  }
+}
+
+void IpcFabric::DestroyPort(PortId port) {
+  PortRecord& record = RecordOf(port);
+  record.dead = true;
+  record.receiver = nullptr;
+  record.queued.clear();
+}
+
+bool IpcFabric::IsAlive(PortId port) const {
+  auto it = ports_.find(port.value);
+  return it != ports_.end() && !it->second.dead;
+}
+
+HostId IpcFabric::HomeOf(PortId port) const { return RecordOf(port).home; }
+
+const std::string& IpcFabric::NameOf(PortId port) const { return RecordOf(port).name; }
+
+SimDuration IpcFabric::TransferCost(const Message& msg) const {
+  const ByteCount bytes = msg.WireSize(costs_);
+  if (bytes <= costs_.ipc_copy_threshold) {
+    // Below the threshold the kernel physically copies twice
+    // (sender -> kernel -> receiver); ipc_copy_per_byte covers both.
+    return costs_.ipc_copy_per_byte * static_cast<std::int64_t>(bytes);
+  }
+  // Above it, regions are remapped copy-on-write: cost scales with the
+  // number of mappings, not bytes (the whole point of section 2.1).
+  const auto mappings = static_cast<std::int64_t>(msg.regions.size() + (msg.has_amap ? 1 : 0) + 1);
+  return costs_.ipc_map_region * mappings;
+}
+
+Result<void> IpcFabric::Send(HostId from_host, Message msg) {
+  if (ports_.count(msg.dest.value) == 0) {
+    return Err("send to unknown port");
+  }
+  if (RecordOf(msg.dest).dead) {
+    return Err("send to dead port " + NameOf(msg.dest));
+  }
+  if (!msg.id.valid()) {
+    msg.id = NextMsgId();
+  }
+  ++messages_sent_;
+
+  const SimDuration send_cost = costs_.ipc_send_fixed + TransferCost(msg);
+  Cpu* cpu = CpuOf(from_host);
+  const CpuPriority priority = PriorityOf(msg);
+  // The kernel send path runs on the sender's CPU; routing happens once the
+  // trap completes.
+  cpu->Submit(CpuWork::kKernel, send_cost, [this, from_host, msg = std::move(msg)]() mutable {
+    auto it = ports_.find(msg.dest.value);
+    if (it == ports_.end() || it->second.dead) {
+      ACCENT_LOG(kDebug) << "message " << msg.id << " dropped: port died in flight";
+      return;
+    }
+    const HostId home = it->second.home;
+    if (home == from_host) {
+      CompleteDelivery(home, std::move(msg));
+      return;
+    }
+    ++remote_forwards_;
+    RemoteTransport* transport = hosts_.at(from_host.value).transport;
+    ACCENT_CHECK(transport != nullptr)
+        << " remote send from " << from_host << " without a NetMsgServer";
+    transport->ForwardToRemote(home, std::move(msg));
+  }, priority);
+  return OkResult();
+}
+
+CpuPriority IpcFabric::PriorityOf(const Message& msg) const {
+  const bool fault_related =
+      msg.op == MsgOp::kImagReadRequest || msg.op == MsgOp::kImagReadReply;
+  return costs_.fault_priority_lane && fault_related ? CpuPriority::kHigh
+                                                     : CpuPriority::kNormal;
+}
+
+void IpcFabric::DeliverAt(HostId host, Message msg) {
+  auto it = ports_.find(msg.dest.value);
+  if (it == ports_.end() || it->second.dead) {
+    ACCENT_LOG(kDebug) << "arriving message " << msg.id << " dropped: dead port";
+    return;
+  }
+  if (it->second.home != host) {
+    // The receive right moved while the message was in flight: chase it.
+    ++remote_forwards_;
+    RemoteTransport* transport = hosts_.at(host.value).transport;
+    ACCENT_CHECK(transport != nullptr);
+    transport->ForwardToRemote(it->second.home, std::move(msg));
+    return;
+  }
+  CompleteDelivery(host, std::move(msg));
+}
+
+void IpcFabric::CompleteDelivery(HostId host, Message msg) {
+  PortRecord& record = RecordOf(msg.dest);
+  if (record.receiver == nullptr) {
+    record.queued.push_back(std::move(msg));
+    return;
+  }
+  ++local_deliveries_;
+  const SimDuration receive_cost = costs_.ipc_receive_fixed + TransferCost(msg);
+  Receiver* receiver = record.receiver;
+  const CpuPriority priority = PriorityOf(msg);
+  CpuOf(host)->Submit(CpuWork::kKernel, receive_cost,
+                      [receiver, msg = std::move(msg)]() mutable {
+                        receiver->HandleMessage(std::move(msg));
+                      },
+                      priority);
+}
+
+}  // namespace accent

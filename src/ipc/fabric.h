@@ -1,0 +1,127 @@
+// The IPC fabric: ports, rights, routing, and delivery costs.
+//
+// Ports are location-transparent kernel objects: senders name a port, never
+// a host. The fabric tracks where each port's receive right currently lives;
+// a send whose destination is local is delivered through the kernel (with
+// copy-on-write mapping above the size threshold, per section 2.1), and one
+// whose destination is remote is handed to the local NetMsgServer, which is
+// a *user-level* server — exactly the structure that lets Accent extend
+// copy-on-reference across machines (section 2.4).
+#ifndef SRC_IPC_FABRIC_H_
+#define SRC_IPC_FABRIC_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/host/cpu.h"
+#include "src/ipc/message.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+
+// Anything that can hold a port's receive right and consume its messages.
+class Receiver {
+ public:
+  virtual ~Receiver() = default;
+  virtual void HandleMessage(Message msg) = 0;
+  virtual const char* receiver_name() const { return "receiver"; }
+};
+
+// Implemented by the NetMsgServer: moves a message towards a port whose
+// receive right lives on another host.
+class RemoteTransport {
+ public:
+  virtual ~RemoteTransport() = default;
+  virtual void ForwardToRemote(HostId dest_host, Message msg) = 0;
+};
+
+class IpcFabric {
+ public:
+  IpcFabric(Simulator* sim, const CostTable* costs) : sim_(*sim), costs_(*costs) {
+    ACCENT_EXPECTS(sim != nullptr && costs != nullptr);
+  }
+
+  IpcFabric(const IpcFabric&) = delete;
+  IpcFabric& operator=(const IpcFabric&) = delete;
+
+  // --- host registration ---------------------------------------------------
+  void RegisterHost(HostId host, Cpu* cpu);
+  void SetTransport(HostId host, RemoteTransport* transport);
+  Cpu* CpuOf(HostId host) const;
+
+  // --- port lifecycle --------------------------------------------------------
+  // Allocates a port homed on `host`. `receiver` may be null: messages then
+  // queue on the port until a receiver claims it (Receive semantics).
+  PortId AllocatePort(HostId host, Receiver* receiver, std::string debug_name);
+
+  // Moves the receive right (process migration, IOU caching). Queued
+  // messages are re-dispatched at the new home.
+  void MovePort(PortId port, HostId new_home, Receiver* receiver);
+
+  // Attaches/detaches a receiver without moving the right.
+  void SetReceiver(PortId port, Receiver* receiver);
+
+  void DestroyPort(PortId port);
+
+  bool IsAlive(PortId port) const;
+  HostId HomeOf(PortId port) const;
+  const std::string& NameOf(PortId port) const;
+
+  // --- messaging ---------------------------------------------------------------
+  // Sends `msg` from `from_host`. Charges the kernel send path on the
+  // sender's CPU, then routes locally or through the host's transport.
+  // Fails if the destination port is dead or unknown.
+  Result<void> Send(HostId from_host, Message msg);
+
+  // Injects a message arriving from the network at `host` (used by
+  // NetMsgServers after a remote hop). Re-forwards if the port moved again.
+  void DeliverAt(HostId host, Message msg);
+
+  // --- accounting -----------------------------------------------------------------
+  std::uint64_t local_deliveries() const { return local_deliveries_; }
+  std::uint64_t remote_forwards() const { return remote_forwards_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+  MsgId NextMsgId() { return MsgId(sim_.AllocateId()); }
+
+ private:
+  struct PortRecord {
+    HostId home;
+    Receiver* receiver = nullptr;
+    bool dead = false;
+    std::string name;
+    std::deque<Message> queued;
+  };
+  struct HostRecord {
+    Cpu* cpu = nullptr;
+    RemoteTransport* transport = nullptr;
+  };
+
+  PortRecord& RecordOf(PortId port);
+  const PortRecord& RecordOf(PortId port) const;
+
+  // Charges the receive path and hands the message to the receiver.
+  void CompleteDelivery(HostId host, Message msg);
+
+  // Kernel CPU cost of moving `msg` across one address-space boundary:
+  // physical double-copy below the threshold, copy-on-write remap above.
+  SimDuration TransferCost(const Message& msg) const;
+
+  // High lane for fault traffic when the cost table enables it.
+  CpuPriority PriorityOf(const Message& msg) const;
+
+  Simulator& sim_;
+  const CostTable& costs_;
+  std::unordered_map<std::uint64_t, PortRecord> ports_;
+  std::unordered_map<std::uint64_t, HostRecord> hosts_;
+  std::uint64_t local_deliveries_ = 0;
+  std::uint64_t remote_forwards_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace accent
+
+#endif  // SRC_IPC_FABRIC_H_

@@ -1,0 +1,89 @@
+#include "src/ipc/message.h"
+
+namespace accent {
+
+const char* MsgOpName(MsgOp op) {
+  switch (op) {
+    case MsgOp::kUser: return "User";
+    case MsgOp::kImagReadRequest: return "ImagReadRequest";
+    case MsgOp::kImagReadReply: return "ImagReadReply";
+    case MsgOp::kImagSegmentDeath: return "ImagSegmentDeath";
+    case MsgOp::kMigrateRequest: return "MigrateRequest";
+    case MsgOp::kMigrateCore: return "MigrateCore";
+    case MsgOp::kMigrateRimas: return "MigrateRimas";
+    case MsgOp::kMigrateComplete: return "MigrateComplete";
+    case MsgOp::kAck: return "Ack";
+  }
+  return "?";
+}
+
+MemoryRegion MemoryRegion::Data(Addr base, std::vector<PageData> pages) {
+  ACCENT_EXPECTS(!pages.empty());
+  MemoryRegion region;
+  region.base = base;
+  region.size = static_cast<ByteCount>(pages.size()) * kPageSize;
+  region.mem_class = MemClass::kReal;
+  region.pages = std::move(pages);
+  return region;
+}
+
+MemoryRegion MemoryRegion::Iou(Addr base, ByteCount size, IouRef ref) {
+  ACCENT_EXPECTS(size > 0 && size % kPageSize == 0);
+  ACCENT_EXPECTS(ref.valid());
+  MemoryRegion region;
+  region.base = base;
+  region.size = size;
+  region.mem_class = MemClass::kImag;
+  region.iou = ref;
+  return region;
+}
+
+MemoryRegion MemoryRegion::Zero(Addr base, ByteCount size) {
+  ACCENT_EXPECTS(size > 0);
+  MemoryRegion region;
+  region.base = base;
+  region.size = size;
+  region.mem_class = MemClass::kRealZero;
+  return region;
+}
+
+ByteCount MemoryRegion::WireSize(const CostTable& costs) const {
+  switch (mem_class) {
+    case MemClass::kReal:
+      // Page payload plus a small range descriptor.
+      return size + costs.amap_entry_bytes;
+    case MemClass::kImag:
+      return costs.iou_descriptor_bytes;
+    case MemClass::kRealZero:
+      // Shape only: zero contents are recreated, never transmitted.
+      return costs.amap_entry_bytes;
+    case MemClass::kBad:
+      break;
+  }
+  ACCENT_CHECK(false) << " BadMem region in a message";
+  return 0;
+}
+
+ByteCount Message::WireSize(const CostTable& costs) const {
+  ByteCount total = kMessageHeaderBytes + inline_bytes;
+  if (has_amap) {
+    total += amap.SerializedSize(costs.amap_entry_bytes);
+  }
+  for (const MemoryRegion& region : regions) {
+    total += region.WireSize(costs);
+  }
+  total += kPortRightBytes * rights.size();
+  return total;
+}
+
+ByteCount Message::DataBytes() const {
+  ByteCount total = 0;
+  for (const MemoryRegion& region : regions) {
+    if (region.mem_class == MemClass::kReal) {
+      total += region.size;
+    }
+  }
+  return total;
+}
+
+}  // namespace accent

@@ -1,0 +1,120 @@
+// Accent IPC messages.
+//
+// A single Accent message can carry all of the memory addressable by a
+// process (section 2.1): besides a small typed body it may carry out-of-line
+// memory regions, each either physical page data (RealMem), an IOU promising
+// lazy delivery through a backing port (ImagMem), or a zero-fill description
+// (RealZeroMem, shape only — zero pages never cross the wire). Messages also
+// transfer port rights, which is how ExciseProcess hands a process's entire
+// port namespace to the migration agent without disrupting senders.
+#ifndef SRC_IPC_MESSAGE_H_
+#define SRC_IPC_MESSAGE_H_
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/page_data.h"
+#include "src/base/types.h"
+#include "src/host/costs.h"
+#include "src/net/traffic.h"
+#include "src/vm/amap.h"
+
+namespace accent {
+
+// Operation selector. Protocol bodies live with their subsystems; the op
+// code lets receivers dispatch without inspecting std::any types.
+enum class MsgOp : int {
+  kUser = 0,
+  // Imaginary segment protocol (section 2.2).
+  kImagReadRequest,
+  kImagReadReply,
+  kImagSegmentDeath,
+  // Migration protocol (section 3).
+  kMigrateRequest,
+  kMigrateCore,
+  kMigrateRimas,
+  kMigrateComplete,
+  kAck,
+};
+
+const char* MsgOpName(MsgOp op);
+
+// Reference to lazily-delivered memory: the receiver may fault pages in by
+// sending kImagReadRequest to `backing_port` for `segment` at `offset`.
+struct IouRef {
+  PortId backing_port;
+  SegmentId segment;
+  ByteCount offset = 0;
+
+  bool valid() const { return backing_port.valid() && segment.valid(); }
+};
+
+// One out-of-line memory range carried by a message.
+struct MemoryRegion {
+  Addr base = 0;        // position in the described address-space layout
+  ByteCount size = 0;   // bytes covered (page multiple)
+  MemClass mem_class = MemClass::kBad;
+  IouRef iou;                   // valid iff mem_class == kImag
+  std::vector<PageData> pages;  // size/kPageSize entries iff mem_class == kReal
+
+  static MemoryRegion Data(Addr base, std::vector<PageData> pages);
+  static MemoryRegion Iou(Addr base, ByteCount size, IouRef ref);
+  static MemoryRegion Zero(Addr base, ByteCount size);
+
+  PageIndex page_count() const { return size / kPageSize; }
+
+  // Bytes this region contributes on the wire.
+  ByteCount WireSize(const CostTable& costs) const;
+};
+
+struct PortRightTransfer {
+  PortId port;
+  bool receive_right = false;  // else a send right
+};
+
+struct Message {
+  MsgId id;
+  PortId dest;
+  PortId reply_port;  // where responses should go (optional)
+  MsgOp op = MsgOp::kUser;
+
+  // The NoIOUs header bit (section 2.4): when set, intermediaries must not
+  // substitute IOUs for physically-present data.
+  bool no_ious = false;
+
+  // How the wire accounts this message's bytes.
+  TrafficKind traffic = TrafficKind::kControl;
+
+  // Declared size of the typed body on the wire.
+  ByteCount inline_bytes = 0;
+  std::any body;
+
+  // AMap rider describing a whole address space (the Core message).
+  AMap amap;
+  bool has_amap = false;
+
+  std::vector<MemoryRegion> regions;
+  std::vector<PortRightTransfer> rights;
+
+  template <typename T>
+  const T& BodyAs() const {
+    const T* typed = std::any_cast<T>(&body);
+    ACCENT_CHECK(typed != nullptr) << " message body type mismatch, op=" << MsgOpName(op);
+    return *typed;
+  }
+
+  // Total bytes on the wire (header + body + amap + regions + rights).
+  ByteCount WireSize(const CostTable& costs) const;
+
+  // Bytes of real page data carried (used for copy-cost accounting).
+  ByteCount DataBytes() const;
+};
+
+inline constexpr ByteCount kMessageHeaderBytes = 16;
+inline constexpr ByteCount kPortRightBytes = 8;
+
+}  // namespace accent
+
+#endif  // SRC_IPC_MESSAGE_H_

@@ -1,0 +1,92 @@
+#include "src/metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace accent {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ACCENT_EXPECTS(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  ACCENT_EXPECTS(cells.size() == headers_.size())
+      << " row has " << cells.size() << " cells, table has " << headers_.size() << " columns";
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool left_first) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      if (c == 0 && left_first) {
+        out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      } else {
+        out << std::right << std::setw(static_cast<int>(widths[c])) << cells[c];
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_, true);
+  std::size_t total = headers_.size() * 2 - 2;
+  for (std::size_t w : widths) {
+    total += w;
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row, true);
+  }
+  return out.str();
+}
+
+std::string FormatWithCommas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      result.push_back(',');
+    }
+    result.push_back(*it);
+    ++count;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+std::string FormatSeconds(double seconds, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << seconds;
+  return out.str();
+}
+
+std::string FormatSeconds(SimDuration d, int precision) {
+  return FormatSeconds(ToSeconds(d), precision);
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace accent

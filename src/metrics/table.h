@@ -1,0 +1,43 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// The benches print the same rows and columns as the paper's tables, with
+// the paper's published value alongside ours where the paper gives one.
+#ifndef SRC_METRICS_TABLE_H_
+#define SRC_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace accent {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// 1234567 -> "1,234,567".
+std::string FormatWithCommas(std::uint64_t value);
+
+// Seconds with fixed precision, e.g. "2.79".
+std::string FormatSeconds(double seconds, int precision = 2);
+std::string FormatSeconds(SimDuration d, int precision = 2);
+
+// "58.2%".
+std::string FormatPercent(double fraction, int precision = 1);
+
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace accent
+
+#endif  // SRC_METRICS_TABLE_H_

@@ -1,0 +1,483 @@
+#include "src/migration/migration_manager.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace accent {
+
+const char* StrategyName(TransferStrategy strategy) {
+  switch (strategy) {
+    case TransferStrategy::kPureCopy: return "pure-copy";
+    case TransferStrategy::kPureIou: return "pure-IOU";
+    case TransferStrategy::kResidentSet: return "resident-set";
+  }
+  return "?";
+}
+
+MigrationManager::MigrationManager(HostEnv* env) : env_(env) {
+  ACCENT_EXPECTS(env != nullptr && env->complete());
+  ACCENT_EXPECTS(env->netmsg != nullptr) << " migration requires a NetMsgServer";
+}
+
+void MigrationManager::Start() {
+  ACCENT_EXPECTS(!port_.valid()) << " manager started twice";
+  port_ = env_->fabric->AllocatePort(env_->id, this, "migration-manager");
+}
+
+void MigrationManager::RegisterLocal(Process* proc) {
+  ACCENT_EXPECTS(proc != nullptr);
+  local_[proc->id().value] = proc;
+}
+
+std::vector<Process*> MigrationManager::RunnableLocalProcesses() const {
+  std::vector<Process*> runnable;
+  for (const auto& [id, proc] : local_) {
+    if (proc->state() == ProcState::kRunning || proc->state() == ProcState::kReady) {
+      runnable.push_back(proc);
+    }
+  }
+  return runnable;
+}
+
+std::unique_ptr<Process> MigrationManager::ReleaseAdopted(ProcId proc) {
+  auto it = std::find_if(adopted_.begin(), adopted_.end(),
+                         [proc](const std::unique_ptr<Process>& p) { return p->id() == proc; });
+  ACCENT_EXPECTS(it != adopted_.end()) << " process " << proc << " was not adopted here";
+  std::unique_ptr<Process> released = std::move(*it);
+  adopted_.erase(it);
+  return released;
+}
+
+void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
+                                     const std::vector<PageIndex>& resident_pages,
+                                     MigrationRecord* record) {
+  switch (strategy) {
+    case TransferStrategy::kPureCopy:
+      // Guarantee physical delivery of every RealMem page (section 2.4).
+      rimas->no_ious = true;
+      return;
+    case TransferStrategy::kPureIou:
+      // Let the intermediary NetMsgServer cache the data and substitute
+      // IOUs on its own initiative (section 3.2).
+      rimas->no_ious = false;
+      return;
+    case TransferStrategy::kResidentSet:
+      break;
+  }
+
+  // Resident-set: keep resident pages as physical data, hand everything
+  // else to the local NetMsgServer as a single VA-indexed backed object.
+  const std::set<PageIndex> resident(resident_pages.begin(), resident_pages.end());
+  std::vector<MemoryRegion> kept;
+  std::vector<std::pair<PageIndex, PageData>> owed;
+  Addr owed_lo = kAddressSpaceLimit;
+  Addr owed_hi = 0;
+
+  for (MemoryRegion& region : rimas->regions) {
+    if (region.mem_class != MemClass::kReal) {
+      kept.push_back(std::move(region));
+      continue;
+    }
+    const PageIndex first = PageOf(region.base);
+    PageIndex i = 0;
+    while (i < region.page_count()) {
+      if (resident.count(first + i) != 0) {
+        // Collect a resident run.
+        std::vector<PageData> pages;
+        const PageIndex run_start = i;
+        while (i < region.page_count() && resident.count(first + i) != 0) {
+          pages.push_back(std::move(region.pages[i]));
+          ++i;
+        }
+        kept.push_back(MemoryRegion::Data(region.base + run_start * kPageSize, std::move(pages)));
+        continue;
+      }
+      owed_lo = std::min(owed_lo, region.base + i * kPageSize);
+      owed_hi = std::max(owed_hi, region.base + (i + 1) * kPageSize);
+      owed.emplace_back(first + i, std::move(region.pages[i]));
+      ++i;
+    }
+  }
+
+  if (!owed.empty()) {
+    IouRef iou = env_->netmsg->AdoptPages(std::move(owed), "rs-owed:" + record->name);
+    // The backed object is VA-indexed; the region offset convention is
+    // relative to the region base, so anchor it there.
+    iou.offset = owed_lo;
+    kept.push_back(MemoryRegion::Iou(owed_lo, owed_hi - owed_lo, iou));
+  }
+  rimas->regions = std::move(kept);
+  rimas->no_ious = true;  // what remains physical must stay physical
+  for (const MemoryRegion& region : rimas->regions) {
+    if (region.mem_class == MemClass::kReal) {
+      record->resident_bytes_shipped += region.size;
+    }
+  }
+}
+
+void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrategy strategy,
+                               MigrateDone done) {
+  ACCENT_EXPECTS(proc != nullptr && done != nullptr);
+  ACCENT_EXPECTS(proc->env() == env_) << " process is not on this manager's host";
+
+  MigrationRecord record;
+  record.proc = proc->id();
+  record.name = proc->name();
+  record.strategy = strategy;
+  record.requested = env_->sim->Now();
+  outbound_[proc->id().value] = record;
+  done_[proc->id().value] = std::move(done);
+
+  proc->RequestSuspend([this, proc, dest_manager, strategy]() {
+    // Sample the resident set now: excision destroys residency.
+    std::vector<PageIndex> resident = env_->memory->PagesOf(proc->space()->id());
+
+    ExciseProcess(proc, [this, proc, dest_manager, strategy,
+                         resident = std::move(resident)](ExciseResult excised) {
+      MigrationRecord& record = outbound_.at(proc->id().value);
+      record.excise_amap = excised.amap_time;
+      record.excise_rimas = excised.rimas_time;
+      record.excise_overall = excised.overall_time;
+      record.excise_done = env_->sim->Now();
+
+      ApplyStrategy(&excised.rimas, strategy, resident, &record);
+
+      SendExcisedContext(proc->id(), dest_manager, std::move(excised));
+    });
+  });
+}
+
+void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
+                                          ExciseResult excised) {
+  // The RIMAS message goes first so lazy transfers aren't queued behind the
+  // Core/AMap stream; its manager handling is charged up front and is the
+  // floor of Table 4-5's ~0.16 s pure-IOU transfers. The heavier
+  // per-migration control work is charged at the destination manager
+  // (command processing around the Core message, §4.3.2's ~1 s).
+  outbound_.at(proc.value).rimas_sent = env_->sim->Now();
+  env_->cpu->Submit(CpuWork::kMigration, env_->costs->migration_rimas_handling,
+                    [this, proc, dest_manager, excised = std::move(excised)]() mutable {
+    MigrationRecord& rec = outbound_.at(proc.value);
+    excised.rimas.dest = dest_manager;
+    excised.rimas.reply_port = port_;
+    Result<void> rimas_sent = env_->fabric->Send(env_->id, std::move(excised.rimas));
+    ACCENT_CHECK(rimas_sent.ok()) << rimas_sent.error().message;
+
+    excised.core.dest = dest_manager;
+    excised.core.reply_port = port_;
+    rec.core_sent = env_->sim->Now();
+    Result<void> core_sent = env_->fabric->Send(env_->id, std::move(excised.core));
+    ACCENT_CHECK(core_sent.ok()) << core_sent.error().message;
+
+    local_.erase(proc.value);
+  });
+}
+
+void MigrationManager::MigratePreCopy(Process* proc, PortId dest_manager,
+                                      const PreCopyConfig& config, MigrateDone done) {
+  ACCENT_EXPECTS(proc != nullptr && done != nullptr);
+  ACCENT_EXPECTS(proc->env() == env_) << " process is not on this manager's host";
+  ACCENT_EXPECTS(config.max_rounds >= 1);
+
+  MigrationRecord record;
+  record.proc = proc->id();
+  record.name = proc->name();
+  record.strategy = TransferStrategy::kPureCopy;  // pre-copy is a copy variant
+  record.requested = env_->sim->Now();
+  outbound_[proc->id().value] = record;
+  done_[proc->id().value] = std::move(done);
+
+  proc->space()->MarkAllClean();
+  RunPreCopyRound(proc, dest_manager, config, 0);
+}
+
+void MigrationManager::RunPreCopyRound(Process* proc, PortId dest_manager,
+                                       PreCopyConfig config, int round) {
+  AddressSpace* space = proc->space();
+  // Round 0 snapshots everything; later rounds re-ship what was dirtied
+  // while the previous round was in flight.
+  const std::vector<PageIndex> pages = round == 0 ? space->RealPages() : space->DirtyPages();
+  space->MarkAllClean();
+
+  MigrationRecord& record = outbound_.at(proc->id().value);
+  ++record.precopy_rounds;
+
+  PreCopyRoundBody body;
+  body.proc = proc->id();
+  body.round = round;
+  body.reply_port = port_;
+
+  Message msg;
+  msg.dest = dest_manager;
+  msg.op = MsgOp::kUser;
+  msg.no_ious = true;  // snapshots must arrive physically
+  msg.traffic = TrafficKind::kBulkData;
+  msg.inline_bytes = 32;
+  msg.body = body;
+  // Contiguous runs become regions.
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    std::size_t j = i + 1;
+    while (j < pages.size() && pages[j] == pages[j - 1] + 1) {
+      ++j;
+    }
+    std::vector<PageData> data;
+    data.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      data.push_back(space->ReadPage(pages[k]));
+    }
+    msg.regions.push_back(MemoryRegion::Data(PageBase(pages[i]), std::move(data)));
+    i = j;
+  }
+  record.precopy_bytes += msg.DataBytes();
+
+  // Continue when the receiver acknowledges this round (flow control: the
+  // V system's network overruns came from the lack of exactly this).
+  precopy_ack_waiters_[proc->id().value] = [this, proc, dest_manager, config, round]() {
+    const bool out_of_rounds = round + 1 >= config.max_rounds;
+    const bool converged = proc->space()->dirty_count() <= config.stop_threshold;
+    if (out_of_rounds || converged) {
+      FreezeAndFinishPreCopy(proc, dest_manager);
+      return;
+    }
+    RunPreCopyRound(proc, dest_manager, config, round + 1);
+  };
+
+  env_->cpu->Submit(CpuWork::kMigration, env_->costs->migration_rimas_handling,
+                    [this, msg = std::move(msg)]() mutable {
+                      Result<void> sent = env_->fabric->Send(env_->id, std::move(msg));
+                      ACCENT_CHECK(sent.ok()) << sent.error().message;
+                    });
+}
+
+void MigrationManager::FreezeAndFinishPreCopy(Process* proc, PortId dest_manager) {
+  proc->RequestSuspend([this, proc, dest_manager]() {
+    MigrationRecord& record = outbound_.at(proc->id().value);
+    record.frozen = env_->sim->Now();
+    // Pages dirtied since the last acknowledged round must travel in the
+    // RIMAS; everything else is already staged at the destination.
+    const std::vector<PageIndex> dirty_list = proc->space()->DirtyPages();
+    const std::set<PageIndex> dirty(dirty_list.begin(), dirty_list.end());
+
+    ExciseProcess(proc, [this, proc, dest_manager, dirty](ExciseResult excised) {
+      MigrationRecord& rec = outbound_.at(proc->id().value);
+      rec.excise_amap = excised.amap_time;
+      rec.excise_rimas = excised.rimas_time;
+      rec.excise_overall = excised.overall_time;
+      rec.excise_done = env_->sim->Now();
+
+      // Keep only dirty pages in the Data regions; clean pages are staged.
+      std::vector<MemoryRegion> kept;
+      for (MemoryRegion& region : excised.rimas.regions) {
+        if (region.mem_class != MemClass::kReal) {
+          kept.push_back(std::move(region));
+          continue;
+        }
+        const PageIndex first = PageOf(region.base);
+        PageIndex i = 0;
+        while (i < region.page_count()) {
+          if (dirty.count(first + i) == 0) {
+            ++i;
+            continue;
+          }
+          const PageIndex run_start = i;
+          std::vector<PageData> data;
+          while (i < region.page_count() && dirty.count(first + i) != 0) {
+            data.push_back(std::move(region.pages[i]));
+            ++i;
+          }
+          kept.push_back(
+              MemoryRegion::Data(region.base + run_start * kPageSize, std::move(data)));
+        }
+      }
+      excised.rimas.regions = std::move(kept);
+      excised.rimas.no_ious = true;
+
+      SendExcisedContext(proc->id(), dest_manager, std::move(excised));
+    });
+  });
+}
+
+void MigrationManager::HandleMessage(Message msg) {
+  switch (msg.op) {
+    case MsgOp::kMigrateCore: {
+      // Command processing around the Core context (connection setup,
+      // manager bookkeeping): the bulk of the paper's ~1 s Core transfer.
+      auto shared = std::make_shared<Message>(std::move(msg));
+      env_->cpu->Submit(CpuWork::kMigration, env_->costs->migration_control, [this, shared]() {
+        const auto& body = shared->BodyAs<CoreBody>();
+        PendingInsert& pending = pending_[body.proc.value];
+        pending.core_arrived = env_->sim->Now();
+        pending.reply_port = shared->reply_port;
+        pending.core = std::move(*shared);
+        pending.have_core = true;
+        MaybeInsert(body.proc);
+      });
+      return;
+    }
+    case MsgOp::kMigrateRimas: {
+      const auto& body = msg.BodyAs<RimasBody>();
+      PendingInsert& pending = pending_[body.proc.value];
+      pending.rimas_arrived = env_->sim->Now();
+      pending.rimas = std::move(msg);
+      pending.have_rimas = true;
+      MaybeInsert(body.proc);
+      return;
+    }
+    case MsgOp::kMigrateComplete: {
+      const auto& body = msg.BodyAs<MigrateCompleteBody>();
+      auto record_it = outbound_.find(body.proc.value);
+      ACCENT_CHECK(record_it != outbound_.end()) << " stray completion for " << body.proc;
+      MigrationRecord record = record_it->second;
+      record.core_arrived = body.core_arrived;
+      record.rimas_arrived = body.rimas_arrived;
+      record.insert_time = body.insert_time;
+      record.resumed = body.resumed;
+      outbound_.erase(record_it);
+
+      auto done_it = done_.find(body.proc.value);
+      ACCENT_CHECK(done_it != done_.end());
+      MigrateDone done = std::move(done_it->second);
+      done_.erase(done_it);
+      done(record);
+      return;
+    }
+    case MsgOp::kMigrateRequest: {
+      const auto& body = msg.BodyAs<MigrateRequestBody>();
+      auto it = local_.find(body.proc.value);
+      ACCENT_CHECK(it != local_.end())
+          << " migrate request for unknown local process " << body.proc;
+      Migrate(it->second, body.dest_manager, body.strategy, [](const MigrationRecord&) {});
+      return;
+    }
+    case MsgOp::kUser: {
+      if (std::any_cast<PreCopyRoundBody>(&msg.body) != nullptr) {
+        HandlePreCopyRound(std::move(msg));
+        return;
+      }
+      if (const auto* ack = std::any_cast<PreCopyAckBody>(&msg.body)) {
+        auto it = precopy_ack_waiters_.find(ack->proc.value);
+        ACCENT_CHECK(it != precopy_ack_waiters_.end()) << " stray pre-copy ack";
+        auto waiter = std::move(it->second);
+        precopy_ack_waiters_.erase(it);
+        waiter();
+        return;
+      }
+      ACCENT_CHECK(false) << " manager received unrecognised user message";
+    }
+    default:
+      ACCENT_CHECK(false) << " manager received unexpected " << MsgOpName(msg.op);
+  }
+}
+
+void MigrationManager::HandlePreCopyRound(Message msg) {
+  const auto& body = msg.BodyAs<PreCopyRoundBody>();
+  std::map<PageIndex, PageData>& staging = staged_[body.proc.value];
+  for (MemoryRegion& region : msg.regions) {
+    if (region.mem_class != MemClass::kReal) {
+      continue;
+    }
+    const PageIndex first = PageOf(region.base);
+    for (PageIndex i = 0; i < region.page_count(); ++i) {
+      staging[first + i] = std::move(region.pages[i]);
+    }
+  }
+
+  PreCopyAckBody ack;
+  ack.proc = body.proc;
+  ack.round = body.round;
+  Message reply;
+  reply.dest = body.reply_port;
+  reply.op = MsgOp::kUser;
+  reply.traffic = TrafficKind::kControl;
+  reply.inline_bytes = 16;
+  reply.body = ack;
+  Result<void> sent = env_->fabric->Send(env_->id, std::move(reply));
+  ACCENT_CHECK(sent.ok()) << sent.error().message;
+}
+
+void MigrationManager::MergeStagedPages(Message* rimas, ProcId proc) {
+  auto it = staged_.find(proc.value);
+  if (it == staged_.end()) {
+    return;
+  }
+  std::map<PageIndex, PageData> staging = std::move(it->second);
+  staged_.erase(it);
+
+  // Final-round RIMAS pages are fresher than staged ones.
+  std::set<PageIndex> fresh;
+  for (const MemoryRegion& region : rimas->regions) {
+    if (region.mem_class != MemClass::kReal) {
+      continue;
+    }
+    for (PageIndex i = 0; i < region.page_count(); ++i) {
+      fresh.insert(PageOf(region.base) + i);
+    }
+  }
+
+  auto cursor = staging.begin();
+  while (cursor != staging.end()) {
+    if (fresh.count(cursor->first) != 0) {
+      ++cursor;
+      continue;
+    }
+    // Collect a contiguous staged run.
+    std::vector<PageData> data;
+    const PageIndex first = cursor->first;
+    PageIndex expect = first;
+    while (cursor != staging.end() && cursor->first == expect &&
+           fresh.count(cursor->first) == 0) {
+      data.push_back(std::move(cursor->second));
+      ++cursor;
+      ++expect;
+    }
+    rimas->regions.push_back(MemoryRegion::Data(PageBase(first), std::move(data)));
+  }
+}
+
+void MigrationManager::MaybeInsert(ProcId proc) {
+  auto it = pending_.find(proc.value);
+  ACCENT_CHECK(it != pending_.end());
+  if (!it->second.have_core || !it->second.have_rimas) {
+    return;
+  }
+  PendingInsert pending = std::move(it->second);
+  pending_.erase(it);
+  MergeStagedPages(&pending.rimas, proc);
+
+  InsertProcess(env_, std::move(pending.core), std::move(pending.rimas),
+                [this, pending_core_arrived = pending.core_arrived,
+                 pending_rimas_arrived = pending.rimas_arrived,
+                 reply_port = pending.reply_port](std::unique_ptr<Process> process,
+                                                  InsertResult result) {
+                  Process* raw = process.get();
+                  adopted_.push_back(std::move(process));
+                  RegisterLocal(raw);
+                  raw->Start();
+
+                  MigrateCompleteBody body;
+                  body.proc = raw->id();
+                  body.core_arrived = pending_core_arrived;
+                  body.rimas_arrived = pending_rimas_arrived;
+                  body.insert_time = result.insert_time;
+                  body.resumed = env_->sim->Now();
+
+                  Message complete;
+                  complete.dest = reply_port;
+                  complete.op = MsgOp::kMigrateComplete;
+                  complete.traffic = TrafficKind::kControl;
+                  complete.inline_bytes = 64;
+                  complete.body = body;
+                  Result<void> sent = env_->fabric->Send(env_->id, std::move(complete));
+                  ACCENT_CHECK(sent.ok()) << sent.error().message;
+
+                  if (on_insert_ != nullptr) {
+                    on_insert_(raw);
+                  }
+                });
+}
+
+}  // namespace accent

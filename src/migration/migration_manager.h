@@ -1,0 +1,155 @@
+// The MigrationManager process (section 3.2).
+//
+// One runs on every participating host. Given a process and a destination,
+// it quiesces the process, excises its context with ExciseProcess, applies
+// the configured transfer strategy to the RIMAS message —
+//   pure-copy:     NoIOUs set; every RealMem page ships now;
+//   pure-IOU:      NoIOUs clear; the intermediary NetMsgServer caches the
+//                  data en route and becomes its backer;
+//   resident-set:  resident pages ship physically, the non-resident
+//                  remainder is adopted by the local NetMsgServer as IOUs —
+// sends both context messages to the peer manager, which rebuilds the
+// process with InsertProcess and resumes it. The peer reports the
+// destination-side timings back in a kMigrateComplete message.
+#ifndef SRC_MIGRATION_MIGRATION_MANAGER_H_
+#define SRC_MIGRATION_MIGRATION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/ipc/fabric.h"
+#include "src/migration/migration_record.h"
+#include "src/migration/strategy.h"
+#include "src/netmsg/netmsgserver.h"
+#include "src/proc/excise.h"
+#include "src/proc/host_env.h"
+#include "src/proc/process.h"
+
+namespace accent {
+
+// Remote-command body: "migrate process P to the manager at port D".
+struct MigrateRequestBody {
+  ProcId proc;
+  PortId dest_manager;
+  TransferStrategy strategy = TransferStrategy::kPureCopy;
+};
+
+// Pre-copy protocol (the iterative V-system baseline of section 5): page
+// snapshots ship while the process still runs; the receiver stages them and
+// acknowledges each round so the sender never overruns the network — the
+// failure mode Theimer reports.
+struct PreCopyRoundBody {
+  ProcId proc;
+  int round = 0;
+  PortId reply_port;
+};
+struct PreCopyAckBody {
+  ProcId proc;
+  int round = 0;
+};
+
+struct PreCopyConfig {
+  int max_rounds = 3;               // snapshot + at most this many dirty rounds
+  PageIndex stop_threshold = 4;     // freeze early once the dirty set is this small
+};
+
+// Destination-side timing report.
+struct MigrateCompleteBody {
+  ProcId proc;
+  SimTime core_arrived{0};
+  SimTime rimas_arrived{0};
+  SimDuration insert_time{0};
+  SimTime resumed{0};
+};
+
+class MigrationManager : public Receiver {
+ public:
+  using MigrateDone = std::function<void(const MigrationRecord&)>;
+
+  explicit MigrationManager(HostEnv* env);
+
+  // Allocates the command port.
+  void Start();
+  PortId port() const { return port_; }
+  HostId host() const { return env_->id; }
+
+  // Makes `proc` (running or ready on this host) eligible for remote
+  // migration commands (kMigrateRequest names processes by id).
+  void RegisterLocal(Process* proc);
+
+  // Registered processes currently runnable on this host (policy input).
+  std::vector<Process*> RunnableLocalProcesses() const;
+
+  // Migrates `proc` to the MigrationManager listening on `dest_manager`.
+  // `done` fires on this host when the peer confirms resumption.
+  void Migrate(Process* proc, PortId dest_manager, TransferStrategy strategy, MigrateDone done);
+
+  // Migrates `proc` with the iterative pre-copy baseline: the address space
+  // is snapshot and shipped while the process keeps executing; dirtied
+  // pages re-ship each acknowledged round; only then is the process frozen
+  // and excised, its RIMAS carrying just the final dirty pages. Downtime
+  // shrinks; total bytes grow (section 5's trade-off).
+  void MigratePreCopy(Process* proc, PortId dest_manager, const PreCopyConfig& config,
+                      MigrateDone done);
+
+  // Fires whenever a process is inserted (arrives) at this host.
+  void set_on_insert(std::function<void(Process*)> fn) { on_insert_ = std::move(fn); }
+
+  // Processes that migrated here (owned until they migrate away again).
+  const std::vector<std::unique_ptr<Process>>& adopted() const { return adopted_; }
+
+  // Releases ownership of an adopted process (e.g. to migrate it onward).
+  std::unique_ptr<Process> ReleaseAdopted(ProcId proc);
+
+  // Receiver: core/rimas/complete/request messages.
+  void HandleMessage(Message msg) override;
+  const char* receiver_name() const override { return "migration-manager"; }
+
+ private:
+  struct PendingInsert {
+    Message core;
+    bool have_core = false;
+    SimTime core_arrived{0};
+    Message rimas;
+    bool have_rimas = false;
+    SimTime rimas_arrived{0};
+    PortId reply_port;
+  };
+
+  // Applies the strategy to the excised RIMAS message. `resident_pages` is
+  // the resident set sampled at suspension time.
+  void ApplyStrategy(Message* rimas, TransferStrategy strategy,
+                     const std::vector<PageIndex>& resident_pages, MigrationRecord* record);
+
+  void MaybeInsert(ProcId proc);
+
+  // Hands the two context messages to the IPC system (RIMAS first).
+  void SendExcisedContext(ProcId proc, PortId dest_manager, ExciseResult excised);
+
+  // Pre-copy internals.
+  void RunPreCopyRound(Process* proc, PortId dest_manager, PreCopyConfig config, int round);
+  void FreezeAndFinishPreCopy(Process* proc, PortId dest_manager);
+  void HandlePreCopyRound(Message msg);
+  void MergeStagedPages(Message* rimas, ProcId proc);
+
+  HostEnv* env_;
+  PortId port_;
+  std::function<void(Process*)> on_insert_;
+  std::map<std::uint64_t, Process*> local_;          // registered local processes
+  std::map<std::uint64_t, PendingInsert> pending_;   // keyed by ProcId
+  std::map<std::uint64_t, MigrationRecord> outbound_;  // awaiting completion
+  std::map<std::uint64_t, MigrateDone> done_;
+  std::vector<std::unique_ptr<Process>> adopted_;
+
+  // Pre-copy state. Staging lives at the destination; continuations wait
+  // for round acknowledgements at the source.
+  std::map<std::uint64_t, std::map<PageIndex, PageData>> staged_;
+  std::map<std::uint64_t, std::function<void()>> precopy_ack_waiters_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_MIGRATION_MIGRATION_MANAGER_H_

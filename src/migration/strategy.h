@@ -1,0 +1,27 @@
+// Transfer strategies evaluated by the paper (section 4).
+#ifndef SRC_MIGRATION_STRATEGY_H_
+#define SRC_MIGRATION_STRATEGY_H_
+
+#include <cstdint>
+
+namespace accent {
+
+enum class TransferStrategy : int {
+  // Ship every RealMem page physically at migration time (NoIOUs set).
+  kPureCopy = 0,
+  // Ship nothing but IOUs; the source NetMsgServer caches the data and
+  // pages it over on demand (copy-on-reference).
+  kPureIou = 1,
+  // Ship the resident set (the working-set approximation) physically and
+  // IOUs for the rest.
+  kResidentSet = 2,
+};
+
+const char* StrategyName(TransferStrategy strategy);
+
+// Prefetch values studied in Figures 4-1 .. 4-4.
+inline constexpr std::uint32_t kPaperPrefetchValues[] = {0, 1, 3, 7, 15};
+
+}  // namespace accent
+
+#endif  // SRC_MIGRATION_STRATEGY_H_

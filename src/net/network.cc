@@ -1,0 +1,26 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace accent {
+
+void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind,
+                       std::function<void()> deliver) {
+  ACCENT_EXPECTS(from != to) << " loopback transmissions never touch the wire";
+  ACCENT_EXPECTS(deliver != nullptr);
+
+  ++transmissions_;
+  bytes_carried_ += bytes;
+  if (recorder_ != nullptr) {
+    recorder_->Record(kind, bytes);
+  }
+
+  const auto serialize = SimDuration(static_cast<std::int64_t>(
+      static_cast<double>(bytes) / costs_.wire_bytes_per_sec * 1e6));
+  const SimTime start = std::max(sim_.Now(), wire_busy_until_);
+  wire_busy_until_ = start + serialize;
+  sim_.ScheduleAt(wire_busy_until_ + costs_.wire_latency, std::move(deliver));
+}
+
+}  // namespace accent

@@ -1,0 +1,52 @@
+// Shared-medium network fabric (the testbed's 10 Mbit Ethernet).
+//
+// The wire serialises transmissions FCFS at `wire_bytes_per_sec` and adds a
+// fixed propagation+driver latency. CPU costs of handling messages belong to
+// the NetMsgServers (src/netmsg) — the wire itself is fast; the paper's
+// bottleneck is software, and the model keeps those costs separate on
+// purpose so ablations can vary them independently.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/types.h"
+#include "src/host/costs.h"
+#include "src/net/traffic.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+
+class Network {
+ public:
+  Network(Simulator* sim, const CostTable* costs, TrafficRecorder* recorder)
+      : sim_(*sim), costs_(*costs), recorder_(recorder) {
+    ACCENT_EXPECTS(sim != nullptr && costs != nullptr);
+  }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Ships `bytes` from `from` to `to`; `deliver` runs at the receiver once
+  // the bytes have fully arrived. Bytes are recorded under `kind` at the
+  // time transmission starts (matching how the paper's monitor counted).
+  void Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind,
+                std::function<void()> deliver);
+
+  std::uint64_t transmissions() const { return transmissions_; }
+  ByteCount bytes_carried() const { return bytes_carried_; }
+  TrafficRecorder* recorder() const { return recorder_; }
+
+ private:
+  Simulator& sim_;
+  const CostTable& costs_;
+  TrafficRecorder* recorder_;  // may be null (micro tests)
+  SimTime wire_busy_until_{0};
+  std::uint64_t transmissions_ = 0;
+  ByteCount bytes_carried_ = 0;
+};
+
+}  // namespace accent
+
+#endif  // SRC_NET_NETWORK_H_

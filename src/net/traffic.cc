@@ -1,0 +1,54 @@
+#include "src/net/traffic.h"
+
+namespace accent {
+
+const char* TrafficKindName(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kControl: return "control";
+    case TrafficKind::kCoreContext: return "core";
+    case TrafficKind::kBulkData: return "bulk";
+    case TrafficKind::kFaultData: return "fault";
+    case TrafficKind::kKindCount: break;
+  }
+  return "?";
+}
+
+void TrafficRecorder::Record(TrafficKind kind, ByteCount bytes) {
+  const auto k = static_cast<std::size_t>(kind);
+  totals_[k] += bytes;
+  messages_[k] += 1;
+
+  const std::uint64_t index =
+      static_cast<std::uint64_t>(sim_.Now().count()) /
+      static_cast<std::uint64_t>(bucket_width_.count());
+  while (buckets_.size() <= index) {
+    Bucket bucket;
+    bucket.start = bucket_width_ * static_cast<std::int64_t>(buckets_.size());
+    buckets_.push_back(bucket);
+  }
+  buckets_[index].bytes[k] += bytes;
+}
+
+ByteCount TrafficRecorder::TotalBytes() const {
+  ByteCount total = 0;
+  for (ByteCount b : totals_) {
+    total += b;
+  }
+  return total;
+}
+
+std::uint64_t TrafficRecorder::TotalMessages() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t m : messages_) {
+    total += m;
+  }
+  return total;
+}
+
+void TrafficRecorder::Reset() {
+  totals_.fill(0);
+  messages_.fill(0);
+  buckets_.clear();
+}
+
+}  // namespace accent

@@ -1,0 +1,186 @@
+#include "src/netmsg/netmsgserver.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace accent {
+
+void NetMsgDirectory::Register(HostId host, NetMsgServer* server) {
+  ACCENT_EXPECTS(server != nullptr);
+  ACCENT_EXPECTS(servers_.count(host.value) == 0) << " duplicate NetMsgServer on " << host;
+  servers_[host.value] = server;
+}
+
+NetMsgServer* NetMsgDirectory::Find(HostId host) const {
+  auto it = servers_.find(host.value);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+NetMsgServer::NetMsgServer(HostId host, Simulator* sim, const CostTable* costs,
+                           IpcFabric* fabric, Network* network, SegmentTable* segments,
+                           NetMsgDirectory* directory)
+    : host_(host),
+      sim_(*sim),
+      costs_(*costs),
+      fabric_(*fabric),
+      network_(*network),
+      directory_(*directory),
+      backer_(host, sim, costs, fabric, segments, CpuWork::kNetMsgServer, "netmsg") {
+  ACCENT_EXPECTS(network != nullptr && directory != nullptr);
+}
+
+void NetMsgServer::Start() {
+  backer_.Start();
+  directory_.Register(host_, this);
+  fabric_.SetTransport(host_, this);
+}
+
+IouRef NetMsgServer::AdoptPages(std::vector<std::pair<PageIndex, PageData>> pages,
+                                const std::string& name) {
+  ACCENT_EXPECTS(!pages.empty());
+  ++cached_objects_;
+  // Migration cache objects are indexed by virtual address, so the object
+  // spans the whole 4 GB space; only the adopted pages consume storage.
+  return backer_.BackSparsePages(kAddressSpaceLimit, std::move(pages), name);
+}
+
+bool NetMsgServer::EligibleForSubstitution(const Message& msg) {
+  if (msg.no_ious) {
+    return false;
+  }
+  switch (msg.op) {
+    case MsgOp::kUser:
+    case MsgOp::kMigrateRimas:
+      break;
+    default:
+      return false;  // protocol replies and control traffic ship as-is
+  }
+  for (const MemoryRegion& region : msg.regions) {
+    if (region.mem_class == MemClass::kReal) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NetMsgServer::SubstituteIous(Message* msg) {
+  if (!iou_caching_ || !EligibleForSubstitution(*msg)) {
+    return false;
+  }
+
+  std::vector<std::pair<PageIndex, PageData>> cached;
+  Addr lo = kAddressSpaceLimit;
+  Addr hi = 0;
+  std::vector<MemoryRegion> kept;
+  for (MemoryRegion& region : msg->regions) {
+    if (region.mem_class != MemClass::kReal) {
+      kept.push_back(std::move(region));
+      continue;
+    }
+    lo = std::min(lo, region.base);
+    hi = std::max(hi, region.base + region.size);
+    ++stats_.regions_cached;
+    stats_.bytes_cached += region.size;
+    for (PageIndex i = 0; i < region.page_count(); ++i) {
+      cached.emplace_back(PageOf(region.base) + i, std::move(region.pages[i]));
+    }
+  }
+  ACCENT_CHECK(!cached.empty());
+
+  IouRef iou = AdoptPages(std::move(cached), "iou-cache");
+  // One consolidated IOU spans the cached ranges; receivers needing the
+  // precise layout intersect it with the AMap from the Core message. The
+  // cache object is VA-indexed and region offsets are base-relative, so the
+  // IOU is anchored at the span's base.
+  iou.offset = lo;
+  kept.push_back(MemoryRegion::Iou(lo, hi - lo, iou));
+  msg->regions = std::move(kept);
+  return true;
+}
+
+void NetMsgServer::ForwardToRemote(HostId dest_host, Message msg) {
+  ACCENT_EXPECTS(dest_host != host_);
+  NetMsgServer* peer = directory_.Find(dest_host);
+  ACCENT_CHECK(peer != nullptr) << " no NetMsgServer on " << dest_host;
+
+  SubstituteIous(&msg);
+  ++stats_.messages_forwarded;
+
+  const ByteCount wire = msg.WireSize(costs_);
+  const ByteCount frag_payload = costs_.netmsg_fragment_bytes;
+  const std::uint64_t fragments = std::max<std::uint64_t>(1, (wire + frag_payload - 1) / frag_payload);
+
+  Cpu* cpu = fabric_.CpuOf(host_);
+  const CpuPriority priority =
+      costs_.fault_priority_lane && msg.traffic == TrafficKind::kFaultData
+          ? CpuPriority::kHigh
+          : CpuPriority::kNormal;
+  // Per-message protocol work happens once, up front.
+  cpu->Submit(CpuWork::kNetMsgServer, costs_.netmsg_per_message, nullptr, priority);
+
+  struct Shipment {
+    Message msg;
+    HostId dest;
+  };
+  auto shipment = std::make_shared<Shipment>(Shipment{std::move(msg), dest_host});
+  // Transfer ids are disambiguated by sender so reassembly state at the
+  // receiver never collides across peers.
+  const std::uint64_t transfer = (host_.value << 48) | next_transfer_id_++;
+
+  ByteCount remaining = wire;
+  for (std::uint64_t i = 0; i < fragments; ++i) {
+    const ByteCount bytes = std::min<ByteCount>(frag_payload, remaining);
+    remaining -= bytes;
+    const bool final_fragment = (i + 1 == fragments);
+    ++stats_.fragments_sent;
+
+    const SimDuration handle =
+        costs_.netmsg_per_fragment + costs_.netmsg_per_byte * static_cast<std::int64_t>(bytes);
+    cpu->Submit(CpuWork::kNetMsgServer, handle,
+                [this, peer, shipment, transfer, bytes, final_fragment]() {
+                  const TrafficKind kind = shipment->msg.traffic;
+                  network_.Transmit(host_, shipment->dest, bytes, kind,
+                                    [peer, shipment, transfer, bytes, final_fragment]() {
+                                      Message payload;
+                                      if (final_fragment) {
+                                        payload = std::move(shipment->msg);
+                                      }
+                                      peer->OnFragmentArrived(transfer, bytes, final_fragment,
+                                                              std::move(payload));
+                                    });
+                },
+                priority);
+  }
+}
+
+void NetMsgServer::OnFragmentArrived(std::uint64_t transfer, ByteCount bytes,
+                                     bool final_fragment, Message msg) {
+  ++stats_.fragments_received;
+  Reassembly& assembly = reassembly_[transfer];
+  assembly.bytes += bytes;
+  ++assembly.fragments;
+  if (!final_fragment) {
+    return;
+  }
+
+  // The whole message has arrived: charge this node's handling in one piece
+  // and deliver.
+  const SimDuration handle =
+      costs_.netmsg_per_message +
+      costs_.netmsg_per_fragment * static_cast<std::int64_t>(assembly.fragments) +
+      costs_.netmsg_per_byte * static_cast<std::int64_t>(assembly.bytes);
+  reassembly_.erase(transfer);
+  ++stats_.messages_delivered;
+  const CpuPriority priority =
+      costs_.fault_priority_lane && msg.traffic == TrafficKind::kFaultData
+          ? CpuPriority::kHigh
+          : CpuPriority::kNormal;
+  fabric_.CpuOf(host_)->Submit(CpuWork::kNetMsgServer, handle,
+                               [this, msg = std::move(msg)]() mutable {
+                                 fabric_.DeliverAt(host_, std::move(msg));
+                               },
+                               priority);
+}
+
+}  // namespace accent

@@ -1,0 +1,125 @@
+// The NetMsgServer: Accent's user-level network IPC extension (section 2.4).
+//
+// One runs on every host. It carries messages whose destination port lives
+// on another machine: large messages are fragmented, streamed over the wire
+// and reassembled; every byte handled costs CPU on *both* nodes — this
+// software path, not the 10 Mbit wire, is the paper's bottleneck, and the
+// Figure 4-4 "message handling cost" metric is exactly the busy time charged
+// here.
+//
+// On its own initiative the NetMsgServer may cache the RealMem portions of
+// an outbound message and pass IOUs instead, becoming the memory manager
+// for that data (copy-on-reference). Senders inhibit this with the NoIOUs
+// header bit. Cached data is served by an embedded SegmentBacker answering
+// Imaginary Read Requests until the Imaginary Segment Death notice arrives.
+//
+// Backed migration objects are indexed by *virtual address*: a request for
+// offset X returns the pages at VA X of the cached address space. The
+// substituted message carries a single consolidated IOU; receivers that
+// need the precise RealMem layout (InsertProcess) intersect it with the
+// AMap that travels in the Core message — which is why Accent ships the
+// AMap eagerly.
+#ifndef SRC_NETMSG_NETMSGSERVER_H_
+#define SRC_NETMSG_NETMSGSERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/host/cpu.h"
+#include "src/ipc/fabric.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/vm/backer.h"
+#include "src/vm/segment.h"
+
+namespace accent {
+
+class NetMsgServer;
+
+// Host -> NetMsgServer lookup shared by all servers in one simulation.
+class NetMsgDirectory {
+ public:
+  void Register(HostId host, NetMsgServer* server);
+  NetMsgServer* Find(HostId host) const;
+
+ private:
+  std::map<std::uint64_t, NetMsgServer*> servers_;
+};
+
+struct NetMsgStats {
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t fragments_received = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t regions_cached = 0;    // Real regions substituted with IOUs
+  ByteCount bytes_cached = 0;          // page bytes kept home by substitution
+};
+
+class NetMsgServer : public RemoteTransport {
+ public:
+  NetMsgServer(HostId host, Simulator* sim, const CostTable* costs, IpcFabric* fabric,
+               Network* network, SegmentTable* segments, NetMsgDirectory* directory);
+
+  // Allocates the backing port and joins the directory.
+  void Start();
+
+  HostId host() const { return host_; }
+  PortId backing_port() const { return backer_.port(); }
+  SegmentBacker& backer() { return backer_; }
+
+  // Enables/disables IOU substitution for eligible outbound messages
+  // (ablation knob; the paper's system has it on).
+  void set_iou_caching(bool enabled) { iou_caching_ = enabled; }
+  bool iou_caching() const { return iou_caching_; }
+
+  // Adopts `pages` (keyed by VA page index) as a VA-indexed backed object
+  // and returns its IouRef. Used by the resident-set strategy, which ships
+  // the resident pages physically and leaves IOUs for the rest.
+  IouRef AdoptPages(std::vector<std::pair<PageIndex, PageData>> pages, const std::string& name);
+
+  // RemoteTransport: carries `msg` to the NetMsgServer at `dest_host`.
+  void ForwardToRemote(HostId dest_host, Message msg) override;
+
+  const NetMsgStats& stats() const { return stats_; }
+
+ private:
+  friend class NetMsgDirectory;
+
+  // Replaces the message's RealMem regions with one consolidated IOU,
+  // caching their pages locally. Returns true if substitution happened.
+  bool SubstituteIous(Message* msg);
+
+  static bool EligibleForSubstitution(const Message& msg);
+
+  // Receiving side: one inbound fragment of `transfer`; `msg` rides with
+  // the final one. Reassembly is store-and-forward: the receiving server's
+  // per-byte handling runs once the message is complete, which serialises
+  // the two nodes' CPU work the way the measured system behaved.
+  void OnFragmentArrived(std::uint64_t transfer, ByteCount bytes, bool final_fragment,
+                         Message msg);
+
+  HostId host_;
+  Simulator& sim_;
+  const CostTable& costs_;
+  IpcFabric& fabric_;
+  Network& network_;
+  NetMsgDirectory& directory_;
+  SegmentBacker backer_;
+  bool iou_caching_ = true;
+  std::uint64_t cached_objects_ = 0;
+  std::uint64_t next_transfer_id_ = 1;
+  struct Reassembly {
+    ByteCount bytes = 0;
+    std::uint64_t fragments = 0;
+  };
+  std::map<std::uint64_t, Reassembly> reassembly_;  // keyed by transfer id
+  NetMsgStats stats_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_NETMSG_NETMSGSERVER_H_

@@ -1,0 +1,130 @@
+#include "src/policy/load_balancer.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace accent {
+
+LoadBalancerPolicy::LoadBalancerPolicy(Simulator* sim, const PolicyConfig& config)
+    : sim_(*sim), config_(config) {
+  ACCENT_EXPECTS(sim != nullptr);
+  ACCENT_EXPECTS(config.sample_period > SimDuration::zero());
+  ACCENT_EXPECTS(config.imbalance_threshold >= 1);
+}
+
+void LoadBalancerPolicy::AddHost(HostEnv* env, MigrationManager* manager) {
+  ACCENT_EXPECTS(env != nullptr && manager != nullptr);
+  ACCENT_EXPECTS(!running_) << " hosts must join before Start()";
+  nodes_.push_back(Node{env, manager});
+}
+
+void LoadBalancerPolicy::Start() {
+  ACCENT_EXPECTS(nodes_.size() >= 2) << " balancing needs at least two hosts";
+  running_ = true;
+  ScheduleNextSample();
+}
+
+void LoadBalancerPolicy::ScheduleNextSample() {
+  sim_.ScheduleAfter(config_.sample_period, [this]() {
+    if (!running_) {
+      return;
+    }
+    Sample();
+    if (AnyRunnable()) {
+      ScheduleNextSample();
+    } else {
+      running_ = false;  // all work drained: stop so the simulation can end
+    }
+  });
+}
+
+bool LoadBalancerPolicy::AnyRunnable() const {
+  for (const Node& node : nodes_) {
+    if (!node.manager->RunnableLocalProcesses().empty()) {
+      return true;
+    }
+  }
+  return migration_in_flight_;
+}
+
+std::vector<HostLoad> LoadBalancerPolicy::SampleLoads() const {
+  std::vector<HostLoad> loads;
+  loads.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    HostLoad load;
+    load.host = node.env->id;
+    load.runnable = static_cast<int>(node.manager->RunnableLocalProcesses().size());
+    const SimTime available = node.env->cpu->available_at();
+    load.cpu_backlog = available > sim_.Now() ? available - sim_.Now() : SimDuration::zero();
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+ByteCount LoadBalancerPolicy::LocalAnchorBytes(const Process& process) {
+  const AddressSpace& space = *process.space();
+  // RealMem is served locally (memory or disk); ImagMem is owed elsewhere
+  // and moves for free. Resident frames weigh double: they are the hot set
+  // that pure-IOU would re-fault remotely.
+  const ByteCount resident =
+      process.env()->memory->ResidentCount(space.id()) * kPageSize;
+  return space.RealBytes() + resident;
+}
+
+Process* LoadBalancerPolicy::PickCandidate(const MigrationManager& manager) {
+  Process* best = nullptr;
+  ByteCount best_anchor = 0;
+  for (Process* proc : manager.RunnableLocalProcesses()) {
+    const ByteCount anchor = LocalAnchorBytes(*proc);
+    if (best == nullptr || anchor < best_anchor) {
+      best = proc;
+      best_anchor = anchor;
+    }
+  }
+  return best;
+}
+
+void LoadBalancerPolicy::Sample() {
+  ++samples_;
+  if (migration_in_flight_ && config_.one_migration_per_sample) {
+    return;
+  }
+  std::vector<HostLoad> loads = SampleLoads();
+  auto busiest = std::max_element(loads.begin(), loads.end(),
+                                  [](const HostLoad& a, const HostLoad& b) {
+                                    return a.runnable < b.runnable;
+                                  });
+  auto idlest = std::min_element(loads.begin(), loads.end(),
+                                 [](const HostLoad& a, const HostLoad& b) {
+                                   return a.runnable < b.runnable;
+                                 });
+  if (busiest->runnable - idlest->runnable < config_.imbalance_threshold) {
+    return;
+  }
+
+  Node* source = nullptr;
+  Node* target = nullptr;
+  for (Node& node : nodes_) {
+    if (node.env->id == busiest->host) {
+      source = &node;
+    }
+    if (node.env->id == idlest->host) {
+      target = &node;
+    }
+  }
+  ACCENT_CHECK(source != nullptr && target != nullptr);
+
+  Process* candidate = PickCandidate(*source->manager);
+  if (candidate == nullptr) {
+    return;
+  }
+  ACCENT_LOG(kInfo) << "policy: moving " << candidate->name() << " from " << source->env->id
+                    << " to " << target->env->id;
+  ++migrations_triggered_;
+  migration_in_flight_ = true;
+  source->manager->Migrate(candidate, target->manager->port(), config_.strategy,
+                           [this](const MigrationRecord&) { migration_in_flight_ = false; });
+}
+
+}  // namespace accent

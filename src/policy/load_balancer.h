@@ -1,0 +1,91 @@
+// Automatic migration policy — the future work of section 6.
+//
+// "The creation and evaluation of automatic migration strategies ... have
+// not been addressed here. Good strategies are necessary to capitalize on
+// the inherent advantages of lazy transfers. Part of this activity will
+// involve the development of good load metrics which specifically take
+// into account the fact that a process virtual address space may be
+// physically dispersed among several computational hosts."
+//
+// LoadBalancerPolicy samples per-host load on a fixed period and, when the
+// imbalance between the busiest and idlest host exceeds a threshold, moves
+// a process from the former to the latter. Candidate selection uses the
+// dispersal-aware metric the paper asks for: among the busiest host's
+// runnable processes it prefers the one with the least *locally anchored*
+// memory (resident frames plus locally-materialised RealMem) — the process
+// that is cheapest to relocate under copy-on-reference, because most of
+// its address space is either elsewhere already or will follow lazily.
+#ifndef SRC_POLICY_LOAD_BALANCER_H_
+#define SRC_POLICY_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/migration/migration_manager.h"
+#include "src/proc/host_env.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+
+struct HostLoad {
+  HostId host;
+  int runnable = 0;              // processes able to consume CPU here
+  SimDuration cpu_backlog{0};    // committed CPU work not yet executed
+};
+
+struct PolicyConfig {
+  SimDuration sample_period = Sec(5.0);
+  // Trigger when (busiest.runnable - idlest.runnable) >= this.
+  int imbalance_threshold = 2;
+  TransferStrategy strategy = TransferStrategy::kPureIou;
+  // At most one migration per sample (avoids thrashing herds).
+  bool one_migration_per_sample = true;
+};
+
+class LoadBalancerPolicy {
+ public:
+  LoadBalancerPolicy(Simulator* sim, const PolicyConfig& config);
+
+  // Registers a host (its env + manager). All hosts join before Start().
+  void AddHost(HostEnv* env, MigrationManager* manager);
+
+  // Begins periodic sampling; stops itself once every tracked process has
+  // finished (or when Stop() is called).
+  void Start();
+  void Stop() { running_ = false; }
+
+  // --- introspection -----------------------------------------------------
+  std::vector<HostLoad> SampleLoads() const;
+  std::uint64_t migrations_triggered() const { return migrations_triggered_; }
+  std::uint64_t samples_taken() const { return samples_; }
+
+  // Dispersal-aware relocation cost of a process on its current host:
+  // bytes of memory anchored locally (smaller = cheaper to move).
+  static ByteCount LocalAnchorBytes(const Process& process);
+
+  // Picks the cheapest-to-move runnable process of `manager`'s host, or
+  // null when none is eligible.
+  static Process* PickCandidate(const MigrationManager& manager);
+
+ private:
+  struct Node {
+    HostEnv* env = nullptr;
+    MigrationManager* manager = nullptr;
+  };
+
+  void ScheduleNextSample();
+  void Sample();
+  bool AnyRunnable() const;
+
+  Simulator& sim_;
+  PolicyConfig config_;
+  std::vector<Node> nodes_;
+  bool running_ = false;
+  bool migration_in_flight_ = false;
+  std::uint64_t migrations_triggered_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace accent
+
+#endif  // SRC_POLICY_LOAD_BALANCER_H_

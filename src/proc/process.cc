@@ -1,0 +1,164 @@
+#include "src/proc/process.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace accent {
+
+const char* ProcStateName(ProcState state) {
+  switch (state) {
+    case ProcState::kReady: return "ready";
+    case ProcState::kRunning: return "running";
+    case ProcState::kSuspended: return "suspended";
+    case ProcState::kExcised: return "excised";
+    case ProcState::kDone: return "done";
+    case ProcState::kFaulted: return "faulted";
+  }
+  return "?";
+}
+
+Process::Process(ProcId id, std::string name, HostEnv* env,
+                 std::unique_ptr<AddressSpace> space, std::uint64_t microstate_token)
+    : id_(id),
+      name_(std::move(name)),
+      env_(env),
+      space_(std::move(space)),
+      microstate_token_(microstate_token) {
+  ACCENT_EXPECTS(env_ != nullptr && env_->complete());
+  ACCENT_EXPECTS(space_ != nullptr);
+}
+
+Process::~Process() = default;
+
+void Process::SetTrace(TracePtr trace, std::size_t pc) {
+  ACCENT_EXPECTS(trace != nullptr && !trace->empty());
+  ACCENT_EXPECTS(pc <= trace->size());
+  trace_ = std::move(trace);
+  trace_pc_ = pc;
+}
+
+void Process::AttachReceiveRight(PortId port) {
+  env_->fabric->SetReceiver(port, this);
+  receive_rights_.push_back(port);
+}
+
+void Process::Start() {
+  ACCENT_EXPECTS(trace_ != nullptr) << " process " << name_ << " has no trace";
+  ACCENT_EXPECTS(state_ == ProcState::kReady || state_ == ProcState::kSuspended);
+  state_ = ProcState::kRunning;
+  start_time_ = env_->sim->Now();
+  env_->sim->ScheduleAfter(SimDuration::zero(), [this]() { RunNext(); });
+}
+
+void Process::RequestSuspend(std::function<void()> suspended) {
+  ACCENT_EXPECTS(suspended != nullptr);
+  ACCENT_EXPECTS(state_ == ProcState::kRunning || state_ == ProcState::kReady ||
+                 state_ == ProcState::kSuspended)
+      << " cannot suspend " << name_ << " in state " << ProcStateName(state_);
+  if (state_ != ProcState::kRunning || !access_in_flight_) {
+    if (state_ == ProcState::kRunning) {
+      state_ = ProcState::kSuspended;
+    }
+    suspended();
+    return;
+  }
+  suspend_waiter_ = std::move(suspended);
+  state_ = ProcState::kSuspended;  // RunNext stops once the access drains
+}
+
+void Process::SuspendAt(std::size_t pc, std::function<void()> reached) {
+  ACCENT_EXPECTS(reached != nullptr);
+  ACCENT_EXPECTS(trace_ != nullptr && pc < trace_->size());
+  ACCENT_EXPECTS(pc >= trace_pc_) << " watchpoint already passed";
+  watch_pc_ = pc;
+  watch_reached_ = std::move(reached);
+}
+
+void Process::RunNext() {
+  if (state_ != ProcState::kRunning) {
+    return;
+  }
+  if (trace_pc_ == watch_pc_) {
+    // Reached the marked point in its life: quiesce and hand control over.
+    watch_pc_ = SIZE_MAX;
+    state_ = ProcState::kSuspended;
+    auto reached = std::move(watch_reached_);
+    watch_reached_ = nullptr;
+    reached();
+    return;
+  }
+  ACCENT_CHECK(trace_pc_ < trace_->size()) << " trace ran off the end in " << name_;
+  const TraceOp& op = (*trace_)[trace_pc_];
+  switch (op.kind) {
+    case TraceOp::Kind::kCompute:
+      env_->cpu->Submit(CpuWork::kProcess, op.compute, [this]() {
+        ++trace_pc_;
+        RunNext();
+      });
+      return;
+    case TraceOp::Kind::kTouch: {
+      access_in_flight_ = true;
+      env_->pager->Access(space_.get(), op.addr, op.write,
+                          [this, &op](const AccessOutcome& outcome) {
+                            CompleteTouch(op, outcome);
+                          });
+      return;
+    }
+    case TraceOp::Kind::kTerminate: {
+      state_ = ProcState::kDone;
+      finish_time_ = env_->sim->Now();
+      env_->pager->NotifySpaceDeath(space_.get());
+      env_->memory->RemoveSpace(space_->id());
+      ACCENT_LOG(kInfo) << name_ << " terminated";
+      if (on_terminate_ != nullptr) {
+        on_terminate_(this);
+      }
+      return;
+    }
+  }
+}
+
+void Process::CompleteTouch(const TraceOp& op, const AccessOutcome& outcome) {
+  access_in_flight_ = false;
+  if (outcome.failed) {
+    // Unsatisfiable reference: stop here for the debugger (section 2.3).
+    state_ = ProcState::kFaulted;
+    ACCENT_LOG(kInfo) << name_ << " faulted at addr " << op.addr;
+    if (suspend_waiter_ != nullptr) {
+      auto waiter = std::move(suspend_waiter_);
+      suspend_waiter_ = nullptr;
+      waiter();
+    }
+    if (on_fault_ != nullptr) {
+      on_fault_(this, outcome);
+    }
+    return;
+  }
+  if (op.write) {
+    space_->WriteByte(op.addr, op.value);
+    env_->memory->MarkDirty(space_->id(), PageOf(op.addr));
+  }
+  ++trace_pc_;
+  if (suspend_waiter_ != nullptr) {
+    // A suspension was requested while this access was in flight.
+    auto waiter = std::move(suspend_waiter_);
+    suspend_waiter_ = nullptr;
+    waiter();
+    return;
+  }
+  RunNext();
+}
+
+std::unique_ptr<AddressSpace> Process::TakeSpace() {
+  ACCENT_EXPECTS(state_ == ProcState::kSuspended || state_ == ProcState::kReady)
+      << " excising non-quiescent process " << name_;
+  return std::move(space_);
+}
+
+void Process::HandleMessage(Message msg) {
+  (void)msg;
+  ++user_messages_;
+}
+
+}  // namespace accent

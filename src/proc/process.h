@@ -1,0 +1,125 @@
+// The simulated Accent process.
+//
+// A process is an address space plus the "first four context pieces" of the
+// paper — microengine state, kernel stack, PCB and port rights (together
+// roughly 1 Kbyte) — plus, in this simulator, a reference trace and a
+// program counter into it. Execution is continuation-passing: compute slices
+// run on the host CPU, touches go through the Pager and may block on faults,
+// and the engine resumes when the fault resolves. Suspension (for excision)
+// drains any in-flight access first, exactly the quiescence ExciseProcess
+// needs.
+#ifndef SRC_PROC_PROCESS_H_
+#define SRC_PROC_PROCESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/ipc/fabric.h"
+#include "src/proc/host_env.h"
+#include "src/proc/trace.h"
+#include "src/vm/address_space.h"
+
+namespace accent {
+
+enum class ProcState {
+  kReady,      // created, not yet started
+  kRunning,    // executing its trace
+  kSuspended,  // quiescent; eligible for excision
+  kExcised,    // context removed; the object is a husk
+  kDone,       // trace completed
+  kFaulted,    // unsatisfiable reference (BadMem / dead backer); debugger owns it
+};
+
+const char* ProcStateName(ProcState state);
+
+class Process : public Receiver {
+ public:
+  // `microstate_token` is an integrity stamp carried through migration.
+  Process(ProcId id, std::string name, HostEnv* env, std::unique_ptr<AddressSpace> space,
+          std::uint64_t microstate_token);
+  ~Process() override;
+
+  ProcId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  HostEnv* env() const { return env_; }
+  AddressSpace* space() const { return space_.get(); }
+  ProcState state() const { return state_; }
+  std::uint64_t microstate_token() const { return microstate_token_; }
+
+  // --- program ---------------------------------------------------------------
+  void SetTrace(TracePtr trace, std::size_t pc = 0);
+  TracePtr trace() const { return trace_; }
+  std::size_t trace_pc() const { return trace_pc_; }
+
+  // --- port rights ------------------------------------------------------------
+  // Grants this process the receive right for `port` (it becomes the
+  // receiver). Rights travel with the context at excision.
+  void AttachReceiveRight(PortId port);
+  const std::vector<PortId>& receive_rights() const { return receive_rights_; }
+
+  // --- execution ----------------------------------------------------------------
+  void Start();
+
+  // Quiesces the process; `suspended` fires once no access is in flight.
+  void RequestSuspend(std::function<void()> suspended);
+
+  // Arranges for the process to suspend itself when execution reaches trace
+  // position `pc` (before executing that op); `reached` then fires. Used by
+  // lifecycle experiments to migrate a program at an exact point in its
+  // life (the PM-Start/Mid/End methodology of section 4.1).
+  void SuspendAt(std::size_t pc, std::function<void()> reached);
+
+  // Invoked when the trace terminates. Set before Start().
+  void set_on_terminate(std::function<void(Process*)> fn) { on_terminate_ = std::move(fn); }
+
+  // Invoked when a reference cannot be satisfied (addressing error or a
+  // dead backing port): the process stops in kFaulted for the "debugger".
+  void set_on_fault(std::function<void(Process*, const AccessOutcome&)> fn) {
+    on_fault_ = std::move(fn);
+  }
+  bool faulted() const { return state_ == ProcState::kFaulted; }
+
+  bool done() const { return state_ == ProcState::kDone; }
+  SimTime start_time() const { return start_time_; }
+  SimTime finish_time() const { return finish_time_; }
+
+  // --- excision support ----------------------------------------------------------
+  // Strips the context out of this husk (ExciseProcess owns the protocol).
+  std::unique_ptr<AddressSpace> TakeSpace();
+  void MarkExcised() { state_ = ProcState::kExcised; }
+
+  // --- Receiver ---------------------------------------------------------------------
+  void HandleMessage(Message msg) override;
+  const char* receiver_name() const override { return name_.c_str(); }
+  std::uint64_t user_messages_received() const { return user_messages_; }
+
+ private:
+  void RunNext();
+  void CompleteTouch(const TraceOp& op, const AccessOutcome& outcome);
+
+  ProcId id_;
+  std::string name_;
+  HostEnv* env_;
+  std::unique_ptr<AddressSpace> space_;
+  std::uint64_t microstate_token_;
+  TracePtr trace_;
+  std::size_t trace_pc_ = 0;
+  std::size_t watch_pc_ = SIZE_MAX;
+  std::function<void()> watch_reached_;
+  ProcState state_ = ProcState::kReady;
+  bool access_in_flight_ = false;
+  std::function<void()> suspend_waiter_;
+  std::function<void(Process*)> on_terminate_;
+  std::function<void(Process*, const AccessOutcome&)> on_fault_;
+  std::vector<PortId> receive_rights_;
+  std::uint64_t user_messages_ = 0;
+  SimTime start_time_{0};
+  SimTime finish_time_{0};
+};
+
+}  // namespace accent
+
+#endif  // SRC_PROC_PROCESS_H_

@@ -1,0 +1,27 @@
+#include "src/proc/trace.h"
+
+#include <set>
+
+namespace accent {
+
+SimDuration TraceComputeTime(const Trace& trace) {
+  SimDuration total{0};
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kCompute) {
+      total += op.compute;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TraceTouchedPages(const Trace& trace) {
+  std::set<PageIndex> pages;
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kTouch) {
+      pages.insert(PageOf(op.addr));
+    }
+  }
+  return pages.size();
+}
+
+}  // namespace accent

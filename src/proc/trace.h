@@ -1,0 +1,105 @@
+// Reference traces: the simulated programs.
+//
+// A trace is the sequence of things a representative process does after
+// (and, in examples, before) migration: compute for a while, touch a page,
+// read or write a byte, terminate. The workload generators (src/workloads)
+// synthesise traces whose access patterns match the paper's program
+// classes — sequential file scans (Pasmac), low-locality probes (Lisp),
+// compute-bound bursts (Chess), near-nothing (Minprog).
+#ifndef SRC_PROC_TRACE_H_
+#define SRC_PROC_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { kCompute, kTouch, kTerminate };
+
+  Kind kind = Kind::kCompute;
+  SimDuration compute{0};       // kCompute
+  Addr addr = 0;                // kTouch
+  bool write = false;           // kTouch
+  std::uint8_t value = 0;       // kTouch && write: byte stored at addr
+
+  static TraceOp Compute(SimDuration d) {
+    TraceOp op;
+    op.kind = Kind::kCompute;
+    op.compute = d;
+    return op;
+  }
+  static TraceOp Read(Addr addr) {
+    TraceOp op;
+    op.kind = Kind::kTouch;
+    op.addr = addr;
+    return op;
+  }
+  static TraceOp Write(Addr addr, std::uint8_t value) {
+    TraceOp op;
+    op.kind = Kind::kTouch;
+    op.addr = addr;
+    op.write = true;
+    op.value = value;
+    return op;
+  }
+  static TraceOp Terminate() {
+    TraceOp op;
+    op.kind = Kind::kTerminate;
+    return op;
+  }
+};
+
+using Trace = std::vector<TraceOp>;
+using TracePtr = std::shared_ptr<const Trace>;
+
+class TraceBuilder {
+ public:
+  TraceBuilder& Compute(SimDuration d) {
+    if (d > SimDuration::zero()) {
+      ops_.push_back(TraceOp::Compute(d));
+    }
+    return *this;
+  }
+  TraceBuilder& Read(Addr addr) {
+    ops_.push_back(TraceOp::Read(addr));
+    return *this;
+  }
+  TraceBuilder& Write(Addr addr, std::uint8_t value) {
+    ops_.push_back(TraceOp::Write(addr, value));
+    return *this;
+  }
+  TraceBuilder& Terminate() {
+    ops_.push_back(TraceOp::Terminate());
+    return *this;
+  }
+  TraceBuilder& Append(const Trace& other) {
+    ops_.insert(ops_.end(), other.begin(), other.end());
+    return *this;
+  }
+
+  TracePtr Build() {
+    ACCENT_EXPECTS(!ops_.empty() && ops_.back().kind == TraceOp::Kind::kTerminate)
+        << " traces must end with Terminate";
+    return std::make_shared<const Trace>(std::move(ops_));
+  }
+
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  Trace ops_;
+};
+
+// Total compute time contained in a trace (ignores fault costs).
+SimDuration TraceComputeTime(const Trace& trace);
+
+// Distinct pages touched by a trace.
+std::uint64_t TraceTouchedPages(const Trace& trace);
+
+}  // namespace accent
+
+#endif  // SRC_PROC_TRACE_H_

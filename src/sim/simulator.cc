@@ -1,0 +1,47 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace accent {
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  ACCENT_EXPECTS(when >= now_) << " scheduling into the past: when=" << when.count()
+                               << "us now=" << now_.count() << "us";
+  ACCENT_EXPECTS(fn != nullptr);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::RunOne() {
+  // The event must be popped before running: the callback may schedule.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  ++events_executed_;
+  event.fn();
+}
+
+std::uint64_t Simulator::Run() {
+  stopped_ = false;
+  const std::uint64_t start = events_executed_;
+  while (!queue_.empty() && !stopped_) {
+    RunOne();
+  }
+  return events_executed_ - start;
+}
+
+bool Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return queue_.empty();
+}
+
+}  // namespace accent

@@ -1,0 +1,81 @@
+// Discrete-event simulation kernel.
+//
+// All "concurrency" in the reproduced system — processes executing, pagers
+// servicing faults, NetMsgServers shipping fragments, wires serialising
+// bytes — is expressed as events on a single priority queue ordered by
+// simulated time. Events scheduled for the same instant run in FIFO order,
+// which keeps trials deterministic.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `when` (>= Now()).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` of simulated time.
+  void ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the event queue drains or Stop() is called. Returns the
+  // number of events executed.
+  std::uint64_t Run();
+
+  // Runs until `deadline`; events at exactly `deadline` are executed.
+  // Returns true if the queue drained before the deadline.
+  bool RunUntil(SimTime deadline);
+
+  // Makes Run() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  // Process/port/segment id allocator (ids are unique per simulation).
+  std::uint64_t AllocateId() { return ++last_id_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void RunOne();
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace accent
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,179 @@
+#include "src/vm/address_space.h"
+
+#include <algorithm>
+
+namespace accent {
+namespace {
+
+void CheckPageAligned(Addr begin, Addr end) {
+  ACCENT_EXPECTS(begin < end);
+  ACCENT_EXPECTS(begin % kPageSize == 0 && end % kPageSize == 0)
+      << " range [" << begin << "," << end << ") not page aligned";
+  ACCENT_EXPECTS(end <= kAddressSpaceLimit);
+}
+
+}  // namespace
+
+void AddressSpace::Validate(Addr begin, Addr end) {
+  CheckPageAligned(begin, end);
+  ACCENT_EXPECTS(amap_.RangeAvoids(begin, end, MemClass::kRealZero) &&
+                 amap_.RangeAvoids(begin, end, MemClass::kReal) &&
+                 amap_.RangeAvoids(begin, end, MemClass::kImag))
+      << " validating over an existing mapping";
+  mappings_.Assign(begin, end, MappingValue{nullptr, begin, 0, false});
+  amap_.Set(begin, end, MemClass::kRealZero);
+}
+
+void AddressSpace::MapReal(Addr begin, Addr end, Segment* segment, ByteCount seg_offset,
+                           bool copy_on_write) {
+  CheckPageAligned(begin, end);
+  ACCENT_EXPECTS(segment != nullptr && segment->kind() == SegmentKind::kReal);
+  ACCENT_EXPECTS(seg_offset % kPageSize == 0);
+  ACCENT_EXPECTS(seg_offset + (end - begin) <= segment->size());
+  DropPrivatePages(begin, end);  // a new mapping supersedes old contents
+  mappings_.Assign(begin, end, MappingValue{segment, begin, seg_offset, copy_on_write});
+  amap_.Set(begin, end, MemClass::kReal);
+}
+
+void AddressSpace::MapImaginary(Addr begin, Addr end, Segment* segment, ByteCount seg_offset) {
+  CheckPageAligned(begin, end);
+  ACCENT_EXPECTS(segment != nullptr && segment->kind() == SegmentKind::kImaginary);
+  ACCENT_EXPECTS(seg_offset % kPageSize == 0);
+  ACCENT_EXPECTS(seg_offset + (end - begin) <= segment->size());
+  DropPrivatePages(begin, end);  // a new mapping supersedes old contents
+  mappings_.Assign(begin, end, MappingValue{segment, begin, seg_offset, false});
+  amap_.Set(begin, end, MemClass::kImag);
+}
+
+void AddressSpace::Unmap(Addr begin, Addr end) {
+  CheckPageAligned(begin, end);
+  mappings_.Erase(begin, end);
+  amap_.Set(begin, end, MemClass::kBad);
+  DropPrivatePages(begin, end);
+}
+
+void AddressSpace::DropPrivatePages(Addr begin, Addr end) {
+  private_pages_.erase(private_pages_.lower_bound(PageOf(begin)),
+                       private_pages_.lower_bound(PageOf(end)));
+  for (PageIndex page = PageOf(begin); page < PageOf(end); ++page) {
+    dirty_since_mark_.erase(page);
+  }
+}
+
+AddressSpace::ImagTarget AddressSpace::ImagTargetOf(Addr addr) const {
+  ACCENT_EXPECTS(ClassOf(addr) == MemClass::kImag);
+  const MappingValue* mapping = mappings_.Find(addr);
+  ACCENT_CHECK(mapping != nullptr && mapping->segment != nullptr);
+  ACCENT_CHECK(mapping->segment->kind() == SegmentKind::kImaginary);
+  const IouRef& iou = mapping->segment->backing();
+  const ByteCount seg_offset = SegOffsetOf(*mapping, RoundDownToPage(addr));
+  return ImagTarget{iou, iou.offset + seg_offset};
+}
+
+PageIndex AddressSpace::ImagRunLength(PageIndex first, PageIndex max_pages) const {
+  if (max_pages == 0 || ClassOf(PageBase(first)) != MemClass::kImag) {
+    return 0;
+  }
+  const ImagTarget base = ImagTargetOf(PageBase(first));
+  PageIndex run = 1;
+  while (run < max_pages) {
+    const Addr addr = PageBase(first + run);
+    if (addr >= kAddressSpaceLimit || ClassOf(addr) != MemClass::kImag) {
+      break;
+    }
+    const ImagTarget next = ImagTargetOf(addr);
+    const bool contiguous = next.iou.backing_port == base.iou.backing_port &&
+                            next.iou.segment == base.iou.segment &&
+                            next.backer_offset == base.backer_offset + run * kPageSize;
+    if (!contiguous) {
+      break;
+    }
+    ++run;
+  }
+  return run;
+}
+
+PageData AddressSpace::ReadPage(PageIndex page) const {
+  auto it = private_pages_.find(page);
+  if (it != private_pages_.end()) {
+    return it->second;
+  }
+  const Addr addr = PageBase(page);
+  const MemClass mem_class = ClassOf(addr);
+  ACCENT_EXPECTS(mem_class != MemClass::kImag)
+      << " reading unfetched imaginary page " << page;
+  ACCENT_EXPECTS(mem_class != MemClass::kBad) << " reading unmapped page " << page;
+  if (mem_class == MemClass::kRealZero) {
+    return PageData{};
+  }
+  const MappingValue* mapping = mappings_.Find(addr);
+  ACCENT_CHECK(mapping != nullptr);
+  if (mapping->segment == nullptr) {
+    return PageData{};  // zero-fill range already reclassified Real by a touch
+  }
+  return mapping->segment->ReadPage(PageOf(SegOffsetOf(*mapping, addr)));
+}
+
+std::uint8_t AddressSpace::ReadByte(Addr addr) const {
+  return PageByteAt(ReadPage(PageOf(addr)), addr % kPageSize);
+}
+
+void AddressSpace::WriteByte(Addr addr, std::uint8_t value) {
+  const PageIndex page = PageOf(addr);
+  auto it = private_pages_.find(page);
+  ACCENT_EXPECTS(it != private_pages_.end())
+      << " write to non-private page " << page << " (pager must materialise it first)";
+  PageWriteByte(it->second, addr % kPageSize, value);
+  dirty_since_mark_.insert(page);
+}
+
+void AddressSpace::InstallPage(PageIndex page, PageData data) {
+  const Addr addr = PageBase(page);
+  ACCENT_EXPECTS(ClassOf(addr) != MemClass::kBad) << " installing into unmapped page " << page;
+  ACCENT_EXPECTS(data.empty() || data.size() == kPageSize);
+  private_pages_[page] = std::move(data);
+  amap_.Set(addr, addr + kPageSize, MemClass::kReal);
+  dirty_since_mark_.insert(page);  // new private contents since the mark
+}
+
+bool AddressSpace::NeedsCopyOnWrite(PageIndex page) const {
+  if (HasPrivatePage(page)) {
+    return false;
+  }
+  const MappingValue* mapping = mappings_.Find(PageBase(page));
+  return mapping != nullptr && mapping->segment != nullptr &&
+         mapping->segment->kind() == SegmentKind::kReal;
+}
+
+std::vector<IouRef> AddressSpace::ImaginaryBackers() const {
+  std::vector<IouRef> backers;
+  mappings_.ForEach([&](const IntervalMap<MappingValue>::Interval& iv) {
+    if (iv.value.segment == nullptr ||
+        iv.value.segment->kind() != SegmentKind::kImaginary) {
+      return;
+    }
+    const IouRef& iou = iv.value.segment->backing();
+    const bool seen = std::any_of(backers.begin(), backers.end(), [&](const IouRef& b) {
+      return b.backing_port == iou.backing_port && b.segment == iou.segment;
+    });
+    if (!seen) {
+      backers.push_back(iou);
+    }
+  });
+  return backers;
+}
+
+std::vector<PageIndex> AddressSpace::RealPages() const {
+  std::vector<PageIndex> pages;
+  amap_.ForEach([&](const AMap::Interval& iv) {
+    if (iv.value != MemClass::kReal) {
+      return;
+    }
+    for (PageIndex page = PageOf(iv.begin); page < PageOf(iv.end); ++page) {
+      pages.push_back(page);
+    }
+  });
+  return pages;
+}
+
+}  // namespace accent

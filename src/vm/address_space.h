@@ -1,0 +1,153 @@
+// Sparse process address spaces.
+//
+// An Accent process addresses up to 4 GB; Lisp processes validate all of it
+// at birth. Layout is therefore interval-based: a mapping node covers any
+// range at O(1) cost, and only pages that have actually been materialised
+// (written zero-fill pages, copy-on-write copies, fetched imaginary pages,
+// migrated-in data) consume real storage in the private page store.
+//
+// Two structures are maintained side by side:
+//   - mappings_: where each range's data *originates* (a segment + offset,
+//     zero-fill, or an imaginary backing) — fixed at map time;
+//   - amap_:     the *current* accessibility of each page (section 2.3),
+//     which faults update at page granularity (an ImagMem page becomes
+//     RealMem once fetched; a RealZeroMem page becomes RealMem once
+//     touched).
+//
+// The address space is the data plane only: it never charges simulated
+// time. The Pager (pager.h) drives faults and owns all timing.
+#ifndef SRC_VM_ADDRESS_SPACE_H_
+#define SRC_VM_ADDRESS_SPACE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/base/interval_map.h"
+#include "src/base/page_data.h"
+#include "src/base/types.h"
+#include "src/ipc/message.h"
+#include "src/vm/amap.h"
+#include "src/vm/segment.h"
+
+namespace accent {
+
+class AddressSpace {
+ public:
+  AddressSpace(SpaceId id, HostId host) : id_(id), host_(host) {}
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  SpaceId id() const { return id_; }
+  HostId host() const { return host_; }
+  void set_host(HostId host) { host_ = host; }
+
+  // --- layout -----------------------------------------------------------------
+  // Validates [begin, end) as zero-filled memory (RealZeroMem). The range
+  // must be page-aligned and previously BadMem.
+  void Validate(Addr begin, Addr end);
+
+  // Maps [begin, end) to a real segment (program image, file) at
+  // `seg_offset`. `copy_on_write` shares the segment pages until written.
+  void MapReal(Addr begin, Addr end, Segment* segment, ByteCount seg_offset,
+               bool copy_on_write);
+
+  // Maps [begin, end) to an imaginary segment (its IouRef names the backer).
+  void MapImaginary(Addr begin, Addr end, Segment* segment, ByteCount seg_offset);
+
+  void Unmap(Addr begin, Addr end);
+
+  // --- accessibility ------------------------------------------------------------
+  const AMap& amap() const { return amap_; }
+  MemClass ClassOf(Addr addr) const { return amap_.ClassOf(addr); }
+
+  struct ImagTarget {
+    IouRef iou;               // backing port + backer segment id
+    ByteCount backer_offset;  // page-aligned offset within the backer object
+  };
+  // Backing target for an ImagMem page. Precondition: ClassOf is kImag.
+  ImagTarget ImagTargetOf(Addr addr) const;
+
+  // Length (in pages, up to max_pages) of the run of still-imaginary pages
+  // starting at `first` that map contiguously into the same backer.
+  PageIndex ImagRunLength(PageIndex first, PageIndex max_pages) const;
+
+  // --- data plane ------------------------------------------------------------------
+  // Reads the current contents of a page. Precondition: the page is not
+  // ImagMem (fetch it through the pager first).
+  PageData ReadPage(PageIndex page) const;
+  std::uint8_t ReadByte(Addr addr) const;
+
+  // Writes a byte into the private store. Precondition: the page is private
+  // (the pager materialises pages before a write completes).
+  void WriteByte(Addr addr, std::uint8_t value);
+
+  // Installs page contents materialised by the pager (zero-fill, COW copy,
+  // imaginary fetch, migration insert) and reclassifies the page RealMem.
+  void InstallPage(PageIndex page, PageData data);
+
+  bool HasPrivatePage(PageIndex page) const { return private_pages_.count(page) != 0; }
+
+  // True when writes to `page` must copy from an origin segment first.
+  bool NeedsCopyOnWrite(PageIndex page) const;
+
+  // --- statistics (Table 4-1 / 4-3 inputs) -------------------------------------------
+  ByteCount RealBytes() const { return amap_.BytesOf(MemClass::kReal); }
+  ByteCount RealZeroBytes() const { return amap_.BytesOf(MemClass::kRealZero); }
+  ByteCount ImagBytes() const { return amap_.BytesOf(MemClass::kImag); }
+  ByteCount TotalValidatedBytes() const { return amap_.TotalMappedBytes(); }
+  std::size_t map_entries() const { return amap_.entry_count(); }
+
+  void NoteTouched(PageIndex page) { touched_.insert(page); }
+  const std::set<PageIndex>& touched_pages() const { return touched_; }
+
+  // --- write tracking (pre-copy migration support) -----------------------------
+  // Pages written since the last MarkAllClean(), in ascending order. The
+  // iterative pre-copy baseline (Theimer's V system, section 5 of the
+  // paper) re-ships exactly these between rounds.
+  std::vector<PageIndex> DirtyPages() const {
+    return std::vector<PageIndex>(dirty_since_mark_.begin(), dirty_since_mark_.end());
+  }
+  void MarkAllClean() { dirty_since_mark_.clear(); }
+  std::size_t dirty_count() const { return dirty_since_mark_.size(); }
+
+  // Distinct imaginary backers still referenced (for death notification).
+  std::vector<IouRef> ImaginaryBackers() const;
+
+  // All RealMem pages in ascending order (excision walks these).
+  std::vector<PageIndex> RealPages() const;
+
+ private:
+  struct MappingValue {
+    Segment* segment = nullptr;  // null => zero-fill validation
+    Addr va_anchor = 0;          // segment offset of va = seg_anchor + (va - va_anchor)
+    ByteCount seg_anchor = 0;
+    bool copy_on_write = false;
+
+    bool operator==(const MappingValue& o) const {
+      return segment == o.segment && va_anchor == o.va_anchor &&
+             seg_anchor == o.seg_anchor && copy_on_write == o.copy_on_write;
+    }
+  };
+
+  ByteCount SegOffsetOf(const MappingValue& mapping, Addr addr) const {
+    return mapping.seg_anchor + (addr - mapping.va_anchor);
+  }
+
+  // Discards private page contents in [begin, end): a fresh mapping or an
+  // unmap supersedes whatever the process had materialised there.
+  void DropPrivatePages(Addr begin, Addr end);
+
+  SpaceId id_;
+  HostId host_;
+  IntervalMap<MappingValue> mappings_;
+  AMap amap_;
+  std::map<PageIndex, PageData> private_pages_;
+  std::set<PageIndex> touched_;
+  std::set<PageIndex> dirty_since_mark_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_VM_ADDRESS_SPACE_H_

@@ -1,0 +1,147 @@
+#include "src/vm/backer.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/vm/imag_protocol.h"
+
+namespace accent {
+
+SegmentBacker::SegmentBacker(HostId host, Simulator* sim, const CostTable* costs,
+                             IpcFabric* fabric, SegmentTable* segments, CpuWork work_category,
+                             std::string name)
+    : host_(host),
+      sim_(*sim),
+      costs_(*costs),
+      fabric_(*fabric),
+      segments_(*segments),
+      work_category_(work_category),
+      name_(std::move(name)) {
+  ACCENT_EXPECTS(sim != nullptr && costs != nullptr && fabric != nullptr && segments != nullptr);
+}
+
+void SegmentBacker::Start() {
+  ACCENT_EXPECTS(!port_.valid()) << " backer started twice";
+  port_ = fabric_.AllocatePort(host_, this, name_ + "-backing");
+}
+
+IouRef SegmentBacker::Back(Segment* segment) {
+  ACCENT_EXPECTS(port_.valid()) << " backer not started";
+  ACCENT_EXPECTS(segment != nullptr && segment->kind() == SegmentKind::kReal);
+  BackedObject& object = objects_[segment->id().value];
+  object.segment = segment;
+  ++object.refs;
+  return IouRef{port_, segment->id(), 0};
+}
+
+void SegmentBacker::AddRef(SegmentId segment) {
+  auto it = objects_.find(segment.value);
+  ACCENT_EXPECTS(it != objects_.end()) << " AddRef of unknown object " << segment;
+  ++it->second.refs;
+}
+
+std::uint64_t SegmentBacker::RefCount(SegmentId segment) const {
+  auto it = objects_.find(segment.value);
+  return it == objects_.end() ? 0 : it->second.refs;
+}
+
+IouRef SegmentBacker::BackPages(ByteCount object_size, ByteCount first_page_offset,
+                                std::vector<PageData> pages, const std::string& name) {
+  ACCENT_EXPECTS(first_page_offset % kPageSize == 0);
+  ACCENT_EXPECTS(first_page_offset + pages.size() * kPageSize <= object_size);
+  Segment* segment = segments_.CreateReal(object_size, name);
+  const PageIndex first = PageOf(first_page_offset);
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    segment->StorePage(first + i, std::move(pages[i]));
+  }
+  const IouRef iou = Back(segment);
+  objects_.at(segment->id().value).owns_segment = true;
+  return iou;
+}
+
+IouRef SegmentBacker::BackSparsePages(ByteCount object_size,
+                                      std::vector<std::pair<PageIndex, PageData>> pages,
+                                      const std::string& name) {
+  Segment* segment = segments_.CreateReal(object_size, name);
+  for (auto& [page, data] : pages) {
+    ACCENT_EXPECTS(page < segment->page_count());
+    segment->StorePage(page, std::move(data));
+  }
+  const IouRef iou = Back(segment);
+  objects_.at(segment->id().value).owns_segment = true;
+  return iou;
+}
+
+void SegmentBacker::HandleMessage(Message msg) {
+  switch (msg.op) {
+    case MsgOp::kImagReadRequest:
+      ServeRead(msg);
+      return;
+    case MsgOp::kImagSegmentDeath: {
+      const auto& death = msg.BodyAs<ImagSegmentDeath>();
+      ++deaths_received_;
+      auto it = objects_.find(death.segment.value);
+      if (it != objects_.end() && --it->second.refs == 0) {
+        if (it->second.owns_segment) {
+          segments_.Destroy(it->second.segment->id());
+        }
+        objects_.erase(it);
+      }
+      return;
+    }
+    default:
+      ACCENT_CHECK(false) << " backer received unexpected " << MsgOpName(msg.op);
+  }
+}
+
+void SegmentBacker::ServeRead(const Message& msg) {
+  const auto& request = msg.BodyAs<ImagReadRequest>();
+  auto it = objects_.find(request.segment.value);
+  ACCENT_CHECK(it != objects_.end())
+      << " read request for unknown object " << request.segment << " at " << name_;
+  Segment* segment = it->second.segment;
+
+  ACCENT_CHECK(request.offset % kPageSize == 0);
+  const PageIndex first = PageOf(request.offset);
+  const PageIndex available =
+      first >= segment->page_count() ? 0 : segment->page_count() - first;
+  const PageIndex count = std::min<PageIndex>(request.page_count, available);
+
+  std::vector<PageData> pages;
+  pages.reserve(count);
+  for (PageIndex i = 0; i < count; ++i) {
+    pages.push_back(segment->ReadPage(first + i));
+  }
+  ++requests_served_;
+  pages_served_ += count;
+
+  ImagReadReply reply;
+  reply.request_id = request.request_id;
+  reply.segment = request.segment;
+  reply.offset = request.offset;
+
+  Message response;
+  response.dest = request.reply_port;
+  response.op = MsgOp::kImagReadReply;
+  response.traffic = TrafficKind::kFaultData;
+  response.inline_bytes = costs_.fault_reply_header_bytes;
+  response.body = reply;
+  // The pager clamps requests to the mapped object, so a request can never
+  // land wholly outside it.
+  ACCENT_CHECK(!pages.empty()) << " read request beyond object end";
+  response.regions.push_back(MemoryRegion::Data(request.offset, std::move(pages)));
+
+  const CpuPriority priority =
+      costs_.fault_priority_lane ? CpuPriority::kHigh : CpuPriority::kNormal;
+  fabric_.CpuOf(host_)->Submit(work_category_, costs_.backer_service,
+                               [this, response = std::move(response)]() mutable {
+                                 Result<void> sent = fabric_.Send(host_, std::move(response));
+                                 if (!sent.ok()) {
+                                   ACCENT_LOG(kDebug)
+                                       << "imaginary read reply dropped: " << sent.error().message;
+                                 }
+                               },
+                               priority);
+}
+
+}  // namespace accent

@@ -1,0 +1,98 @@
+// SegmentBacker: a user-level memory manager for imaginary segments.
+//
+// Any process may create an imaginary segment based on one of its ports and
+// promise to deliver the data on demand (section 2.2) — the copy-on-
+// reference facility is generic, not migration-specific. SegmentBacker is
+// that pattern as a reusable component: it owns real segments (page stores)
+// and answers Imaginary Read Requests against them, retiring objects when
+// their Imaginary Segment Death notices arrive. The NetMsgServer's IOU
+// cache and the examples' lazy file server both build on it.
+#ifndef SRC_VM_BACKER_H_
+#define SRC_VM_BACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/base/types.h"
+#include "src/host/cpu.h"
+#include "src/ipc/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/vm/segment.h"
+
+namespace accent {
+
+class SegmentBacker : public Receiver {
+ public:
+  // `work_category` is where this backer's service time is attributed
+  // (kNetMsgServer for the NetMsgServer's cache, kProcess for user code).
+  SegmentBacker(HostId host, Simulator* sim, const CostTable* costs, IpcFabric* fabric,
+                SegmentTable* segments, CpuWork work_category, std::string name);
+
+  // Allocates the backing port.
+  void Start();
+  PortId port() const { return port_; }
+  HostId host() const { return host_; }
+
+  // Registers `segment` (kReal, owned by the SegmentTable) as a backed
+  // object and returns the IouRef that names it. Each Back() of the same
+  // segment adds a reference: the object is retired only when Imaginary
+  // Segment Death notices have balanced every reference ("the backing
+  // process continues to field page request messages ... until all
+  // references to it die out", section 2.2).
+  IouRef Back(Segment* segment);
+
+  // Adds a reference to an already-backed object (e.g. a second client
+  // mapping the same exported file).
+  void AddRef(SegmentId segment);
+
+  std::uint64_t RefCount(SegmentId segment) const;
+
+  // Creates a backed object from raw pages at the given base page offset.
+  IouRef BackPages(ByteCount object_size, ByteCount first_page_offset,
+                   std::vector<PageData> pages, const std::string& name);
+
+  // Creates a backed object of `object_size` from sparse pages keyed by
+  // page index within the object. Pages absent from `pages` read as zero.
+  IouRef BackSparsePages(ByteCount object_size,
+                         std::vector<std::pair<PageIndex, PageData>> pages,
+                         const std::string& name);
+
+  bool Owns(SegmentId segment) const { return objects_.count(segment.value) != 0; }
+  std::size_t object_count() const { return objects_.size(); }
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t pages_served() const { return pages_served_; }
+  std::uint64_t deaths_received() const { return deaths_received_; }
+
+  // Receiver.
+  void HandleMessage(Message msg) override;
+  const char* receiver_name() const override { return name_.c_str(); }
+
+ private:
+  void ServeRead(const Message& msg);
+
+  HostId host_;
+  Simulator& sim_;
+  const CostTable& costs_;
+  IpcFabric& fabric_;
+  SegmentTable& segments_;
+  CpuWork work_category_;
+  std::string name_;
+  PortId port_;
+  struct BackedObject {
+    Segment* segment = nullptr;
+    std::uint64_t refs = 0;
+    // Objects the backer itself created (BackPages / BackSparsePages) are
+    // destroyed when the last reference dies; externally-owned segments
+    // (exported files, workload images) are merely dropped from service.
+    bool owns_segment = false;
+  };
+  std::map<std::uint64_t, BackedObject> objects_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t pages_served_ = 0;
+  std::uint64_t deaths_received_ = 0;
+};
+
+}  // namespace accent
+
+#endif  // SRC_VM_BACKER_H_

@@ -1,0 +1,43 @@
+// The imaginary-segment IPC protocol (section 2.2).
+//
+// Touching a page of an imaginary segment makes the Pager/Scheduler send an
+// Imaginary Read Request to the segment's backing port; whoever holds the
+// Receive right interprets it and answers with an Imaginary Read Reply
+// carrying the page(s). When the last reference to an imaginary object dies,
+// Accent tells the backer with an Imaginary Segment Death message.
+#ifndef SRC_VM_IMAG_PROTOCOL_H_
+#define SRC_VM_IMAG_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace accent {
+
+struct ImagReadRequest {
+  std::uint64_t request_id = 0;
+  SegmentId segment;       // the backer's name for the object
+  ByteCount offset = 0;    // page-aligned offset within the object
+  std::uint32_t page_count = 1;  // 1 + prefetch
+  PortId reply_port;
+};
+
+struct ImagReadReply {
+  std::uint64_t request_id = 0;
+  SegmentId segment;
+  ByteCount offset = 0;
+  // Pages ride as the message's single kReal MemoryRegion. The backer may
+  // return fewer pages than asked (object end, pages it no longer owns).
+};
+
+struct ImagSegmentDeath {
+  SegmentId segment;
+};
+
+inline constexpr ByteCount kImagRequestBodyBytes = 40;
+inline constexpr ByteCount kImagReplyBodyBytes = 32;
+inline constexpr ByteCount kImagDeathBodyBytes = 16;
+
+}  // namespace accent
+
+#endif  // SRC_VM_IMAG_PROTOCOL_H_

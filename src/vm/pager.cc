@@ -1,0 +1,293 @@
+#include "src/vm/pager.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/vm/imag_protocol.h"
+
+namespace accent {
+
+Pager::Pager(HostId host, Simulator* sim, const CostTable* costs, IpcFabric* fabric, Disk* disk,
+             PhysicalMemory* memory)
+    : host_(host), sim_(*sim), costs_(*costs), fabric_(*fabric), disk_(*disk), memory_(*memory) {
+  ACCENT_EXPECTS(sim != nullptr && costs != nullptr && fabric != nullptr && disk != nullptr &&
+                 memory != nullptr);
+}
+
+void Pager::Start() {
+  ACCENT_EXPECTS(!port_.valid()) << " pager started twice";
+  port_ = fabric_.AllocatePort(host_, this, "pager");
+}
+
+void Pager::MakeResident(AddressSpace* space, PageIndex page, bool dirty) {
+  auto eviction = memory_.Insert(space->id(), page, dirty);
+  if (eviction.has_value() && eviction->dirty) {
+    ++stats_.pageouts;
+    // Page-out to the local disk; contents already live in the private
+    // store, so only the timing is charged. Nothing waits on it.
+    disk_.Write(1, nullptr);
+  }
+}
+
+SimDuration Pager::ResolveWriteCopy(AddressSpace* space, PageIndex page,
+                                    AccessOutcome* outcome) {
+  if (!space->NeedsCopyOnWrite(page)) {
+    if (!space->HasPrivatePage(page)) {
+      // Zero-fill or already-real page with no origin segment: own it now.
+      space->InstallPage(page, space->ReadPage(page));
+    }
+    return SimDuration::zero();
+  }
+  // First write to a shared segment page: the deferred copy (section 2.1)
+  // is carried out for just this 512-byte page.
+  ++stats_.cow_faults;
+  outcome->fault = outcome->fault == FaultKind::kNone ? FaultKind::kCopyOnWrite : outcome->fault;
+  space->InstallPage(page, space->ReadPage(page));
+  memory_.MarkDirty(space->id(), page);
+  return costs_.cow_fault;
+}
+
+void Pager::Access(AddressSpace* space, Addr addr, bool write, AccessDone done) {
+  ACCENT_EXPECTS(space != nullptr && done != nullptr);
+  const PageIndex page = PageOf(addr);
+  const MemClass mem_class = space->ClassOf(addr);
+  Cpu* cpu = fabric_.CpuOf(host_);
+  if (mem_class == MemClass::kBad) {
+    // A true addressing error: infinitely distant memory. The debugger is
+    // invoked so the user can analyze and properly terminate the
+    // delinquent process (section 2.3) — the access completes as failed.
+    ++stats_.address_errors;
+    ACCENT_LOG(kInfo) << "BadMem reference at addr " << addr << " — debugger invoked";
+    AccessOutcome outcome;
+    outcome.fault = FaultKind::kAddressError;
+    outcome.page = page;
+    outcome.failed = true;
+    cpu->Submit(CpuWork::kKernel, costs_.pager_fillzero_fault,
+                [outcome, done = std::move(done)]() { done(outcome); });
+    return;
+  }
+  space->NoteTouched(page);
+
+  // Fast path: resident.
+  if (memory_.Contains(space->id(), page)) {
+    memory_.Touch(space->id(), page);
+    AccessOutcome outcome;
+    outcome.page = page;
+    const auto key = std::make_pair(space->id().value, page);
+    if (untouched_prefetched_.erase(key) != 0) {
+      outcome.prefetch_hit = true;
+      ++stats_.prefetch_hits;
+    }
+    ++stats_.resident_hits;
+    SimDuration cost = costs_.resident_access;
+    if (write) {
+      cost += ResolveWriteCopy(space, page, &outcome);
+      memory_.MarkDirty(space->id(), page);
+    }
+    const CpuWork category =
+        outcome.fault == FaultKind::kCopyOnWrite ? CpuWork::kPager : CpuWork::kProcess;
+    cpu->Submit(category, cost, [outcome, done = std::move(done)]() { done(outcome); });
+    return;
+  }
+
+  switch (mem_class) {
+    case MemClass::kRealZero: {
+      // FillZero fault: reserve a frame, zero it, map it. No disk.
+      ++stats_.fillzero_faults;
+      AccessOutcome outcome;
+      outcome.fault = FaultKind::kFillZero;
+      outcome.page = page;
+      space->InstallPage(page, PageData{});
+      MakeResident(space, page, /*dirty=*/true);
+      if (write) {
+        memory_.MarkDirty(space->id(), page);
+      }
+      cpu->Submit(CpuWork::kPager, costs_.pager_fillzero_fault,
+                  [outcome, done = std::move(done)]() { done(outcome); });
+      return;
+    }
+    case MemClass::kReal: {
+      // Local disk fault: contents are in the private store or the origin
+      // segment (both "local disk" for timing purposes). Write faults
+      // resolve their private copy only after the page is resident.
+      ++stats_.disk_faults;
+      AccessOutcome outcome;
+      outcome.fault = FaultKind::kDisk;
+      outcome.page = page;
+      cpu->Submit(CpuWork::kPager, costs_.pager_disk_fault_cpu,
+                  [this, cpu, space, page, write, outcome, done = std::move(done)]() mutable {
+        disk_.Read(1, [this, cpu, space, page, write, outcome,
+                       done = std::move(done)]() mutable {
+          MakeResident(space, page, /*dirty=*/write);
+          SimDuration copy_cost = SimDuration::zero();
+          if (write) {
+            copy_cost = ResolveWriteCopy(space, page, &outcome);
+            outcome.fault = FaultKind::kDisk;
+            memory_.MarkDirty(space->id(), page);
+          }
+          cpu->Submit(CpuWork::kPager, copy_cost,
+                      [outcome, done = std::move(done)]() { done(outcome); });
+        });
+      });
+      return;
+    }
+    case MemClass::kImag:
+      StartImaginaryFault(space, page, write, std::move(done));
+      return;
+    case MemClass::kBad:
+      break;
+  }
+  ACCENT_CHECK(false) << " unreachable fault class";
+}
+
+void Pager::StartImaginaryFault(AddressSpace* space, PageIndex page, bool write,
+                                AccessDone done) {
+  const auto key = std::make_pair(space->id().value, page);
+  auto in_flight = in_flight_pages_.find(key);
+  if (in_flight != in_flight_pages_.end()) {
+    // Another access already asked for this page: join its reply.
+    pending_[in_flight->second].waiters.push_back(Waiter{page, write, std::move(done)});
+    return;
+  }
+
+  ++stats_.imag_faults;
+  const AddressSpace::ImagTarget target = space->ImagTargetOf(PageBase(page));
+  const PageIndex run = space->ImagRunLength(page, 1 + prefetch_pages_);
+  ACCENT_CHECK(run >= 1);
+
+  const std::uint64_t request_id = next_request_id_++;
+  PendingFetch fetch;
+  fetch.space = space;
+  for (PageIndex i = 0; i < run; ++i) {
+    fetch.va_pages.push_back(page + i);
+    in_flight_pages_[std::make_pair(space->id().value, page + i)] = request_id;
+  }
+  fetch.waiters.push_back(Waiter{page, write, std::move(done)});
+  pending_[request_id] = std::move(fetch);
+
+  ImagReadRequest request;
+  request.request_id = request_id;
+  request.segment = target.iou.segment;
+  request.offset = target.backer_offset;
+  request.page_count = static_cast<std::uint32_t>(run);
+  request.reply_port = port_;
+
+  Message msg;
+  msg.dest = target.iou.backing_port;
+  msg.reply_port = port_;
+  msg.op = MsgOp::kImagReadRequest;
+  msg.traffic = TrafficKind::kFaultData;
+  msg.inline_bytes = costs_.fault_request_bytes;
+  msg.body = request;
+
+  Cpu* cpu = fabric_.CpuOf(host_);
+  cpu->Submit(CpuWork::kPager, costs_.pager_imag_fault_cpu,
+              [this, request_id, msg = std::move(msg)]() mutable {
+                Result<void> sent = fabric_.Send(host_, std::move(msg));
+                if (!sent.ok()) {
+                  ACCENT_LOG(kError) << "imaginary read request failed: " << sent.error().message;
+                  FailPendingFetch(request_id);
+                }
+              });
+}
+
+void Pager::FailPendingFetch(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingFetch fetch = std::move(it->second);
+  pending_.erase(it);
+  ++stats_.failed_fetches;
+  for (PageIndex page : fetch.va_pages) {
+    in_flight_pages_.erase(std::make_pair(fetch.space->id().value, page));
+  }
+  for (Waiter& waiter : fetch.waiters) {
+    AccessOutcome outcome;
+    outcome.fault = FaultKind::kImaginary;
+    outcome.page = waiter.page;
+    outcome.failed = true;
+    waiter.done(outcome);
+  }
+}
+
+void Pager::HandleMessage(Message msg) {
+  ACCENT_CHECK(msg.op == MsgOp::kImagReadReply)
+      << " pager received unexpected " << MsgOpName(msg.op);
+  const auto& reply = msg.BodyAs<ImagReadReply>();
+  auto it = pending_.find(reply.request_id);
+  if (it == pending_.end()) {
+    ACCENT_LOG(kDebug) << "orphan imaginary read reply " << reply.request_id;
+    return;
+  }
+  PendingFetch fetch = std::move(it->second);
+  pending_.erase(it);
+
+  ACCENT_CHECK(msg.regions.size() == 1 && msg.regions[0].mem_class == MemClass::kReal)
+      << " malformed imaginary read reply";
+  const std::vector<PageData>& pages = msg.regions[0].pages;
+  ACCENT_CHECK(pages.size() <= fetch.va_pages.size());
+
+  AddressSpace* space = fetch.space;
+  for (std::size_t i = 0; i < fetch.va_pages.size(); ++i) {
+    in_flight_pages_.erase(std::make_pair(space->id().value, fetch.va_pages[i]));
+  }
+
+  SimDuration install_cost = SimDuration::zero();
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const PageIndex va_page = fetch.va_pages[i];
+    space->InstallPage(va_page, pages[i]);
+    // Fetched imaginary pages have no disk image yet: dirty so that
+    // eviction pages them out locally.
+    MakeResident(space, va_page, /*dirty=*/true);
+    ++stats_.imag_pages_fetched;
+    if (i > 0) {
+      ++stats_.prefetched_pages;
+      untouched_prefetched_.insert(std::make_pair(space->id().value, va_page));
+      install_cost += costs_.pager_map_extra_page;
+    }
+  }
+
+  // Resume everyone whose page arrived; re-fault any waiter whose page the
+  // backer failed to return (it will retry through Access).
+  std::vector<Waiter> waiters = std::move(fetch.waiters);
+  Cpu* cpu = fabric_.CpuOf(host_);
+  cpu->Submit(CpuWork::kPager, install_cost, [this, space, waiters = std::move(waiters)]() mutable {
+    for (Waiter& waiter : waiters) {
+      if (!space->HasPrivatePage(waiter.page)) {
+        ACCENT_LOG(kDebug) << "backer returned short; re-faulting page " << waiter.page;
+        Access(space, PageBase(waiter.page), waiter.write, std::move(waiter.done));
+        continue;
+      }
+      untouched_prefetched_.erase(std::make_pair(space->id().value, waiter.page));
+      AccessOutcome outcome;
+      outcome.fault = FaultKind::kImaginary;
+      outcome.page = waiter.page;
+      if (waiter.write) {
+        memory_.MarkDirty(space->id(), waiter.page);
+      }
+      waiter.done(outcome);
+    }
+  });
+}
+
+void Pager::NotifySpaceDeath(AddressSpace* space) {
+  ACCENT_EXPECTS(space != nullptr);
+  for (const IouRef& backer : space->ImaginaryBackers()) {
+    ImagSegmentDeath death;
+    death.segment = backer.segment;
+
+    Message msg;
+    msg.dest = backer.backing_port;
+    msg.op = MsgOp::kImagSegmentDeath;
+    msg.traffic = TrafficKind::kControl;
+    msg.inline_bytes = kImagDeathBodyBytes;
+    msg.body = death;
+    Result<void> sent = fabric_.Send(host_, std::move(msg));
+    if (!sent.ok()) {
+      ACCENT_LOG(kDebug) << "segment death notice dropped: " << sent.error().message;
+    }
+  }
+}
+
+}  // namespace accent

@@ -1,0 +1,144 @@
+// The Pager/Scheduler process of one host.
+//
+// All page faults resolve here (section 2.2/2.3):
+//   FillZero  — validated-but-untouched page: reserve a frame, zero it, map
+//               it; the disk is never consulted.
+//   Disk      — RealMem page not resident: fetch from the local disk.
+//   CopyOnWrite — first write to a shared segment page: copy 512 bytes.
+//   Imaginary — ImagMem page: send an Imaginary Read Request through the
+//               IPC system to the backing port and wait for the reply;
+//               optionally ask for `prefetch` additional contiguous pages.
+//
+// The pager is a Receiver: Imaginary Read Replies arrive on its port.
+// Fetched pages are installed as RealMem with the local disk as their new
+// backing store ("page-outs for imaginary data are performed to the local
+// disk at the site that touched the page").
+#ifndef SRC_VM_PAGER_H_
+#define SRC_VM_PAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/host/cpu.h"
+#include "src/host/disk.h"
+#include "src/host/physical_memory.h"
+#include "src/ipc/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/vm/address_space.h"
+
+namespace accent {
+
+enum class FaultKind {
+  kNone,  // resident hit
+  kFillZero,
+  kDisk,
+  kCopyOnWrite,
+  kImaginary,
+  kAddressError,  // BadMem reference: the debugger would be invoked
+};
+
+struct AccessOutcome {
+  FaultKind fault = FaultKind::kNone;
+  PageIndex page = 0;
+  bool prefetch_hit = false;  // resident because an earlier fault prefetched it
+  // The access could not be satisfied: a BadMem reference, or the backing
+  // port of an imaginary page has died. The process cannot proceed past
+  // this reference (section 2.3's "analyze and properly terminate").
+  bool failed = false;
+};
+
+struct PagerStats {
+  std::uint64_t resident_hits = 0;
+  std::uint64_t fillzero_faults = 0;
+  std::uint64_t disk_faults = 0;
+  std::uint64_t cow_faults = 0;
+  std::uint64_t imag_faults = 0;
+  std::uint64_t imag_pages_fetched = 0;   // total pages returned by backers
+  std::uint64_t prefetched_pages = 0;     // beyond the faulted page
+  std::uint64_t prefetch_hits = 0;        // later touches served by prefetch
+  std::uint64_t pageouts = 0;             // dirty evictions written to disk
+  std::uint64_t address_errors = 0;       // BadMem references
+  std::uint64_t failed_fetches = 0;       // imaginary faults with dead backers
+};
+
+class Pager : public Receiver {
+ public:
+  using AccessDone = std::function<void(const AccessOutcome&)>;
+
+  Pager(HostId host, Simulator* sim, const CostTable* costs, IpcFabric* fabric, Disk* disk,
+        PhysicalMemory* memory);
+
+  // Allocates the pager's service port. Must run before any imaginary fault.
+  void Start();
+
+  PortId port() const { return port_; }
+  HostId host() const { return host_; }
+
+  // Pages (beyond the faulted one) requested per imaginary fault.
+  void set_prefetch_pages(std::uint32_t pages) { prefetch_pages_ = pages; }
+  std::uint32_t prefetch_pages() const { return prefetch_pages_; }
+
+  // Resolves a touch of `addr` by `space`; `done` runs once the page is
+  // resident (and privately owned, for writes). Charges all fault costs.
+  void Access(AddressSpace* space, Addr addr, bool write, AccessDone done);
+
+  // Sends Imaginary Segment Death notices for every backer `space` still
+  // references (process termination / address-space teardown).
+  void NotifySpaceDeath(AddressSpace* space);
+
+  // Receiver: Imaginary Read Replies.
+  void HandleMessage(Message msg) override;
+  const char* receiver_name() const override { return "pager"; }
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+
+ private:
+  struct Waiter {
+    PageIndex page;
+    bool write;
+    AccessDone done;
+  };
+  struct PendingFetch {
+    AddressSpace* space = nullptr;
+    std::vector<PageIndex> va_pages;  // va_pages[i] receives returned page i
+    std::vector<Waiter> waiters;
+  };
+
+  // Makes the page resident, accounting dirty evictions (page-outs).
+  void MakeResident(AddressSpace* space, PageIndex page, bool dirty);
+
+  // Ensures a private copy exists for writes; may charge a COW fault.
+  // Returns the extra CPU charged.
+  SimDuration ResolveWriteCopy(AddressSpace* space, PageIndex page, AccessOutcome* outcome);
+
+  void StartImaginaryFault(AddressSpace* space, PageIndex page, bool write, AccessDone done);
+
+  // Completes every waiter of `request_id` with a failed outcome (the
+  // backing port has died: the owed memory is unrecoverable).
+  void FailPendingFetch(std::uint64_t request_id);
+
+  HostId host_;
+  Simulator& sim_;
+  const CostTable& costs_;
+  IpcFabric& fabric_;
+  Disk& disk_;
+  PhysicalMemory& memory_;
+  PortId port_;
+  std::uint32_t prefetch_pages_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, PendingFetch> pending_;
+  // (space,page) currently being fetched -> request id (for waiter joining).
+  std::map<std::pair<std::uint64_t, PageIndex>, std::uint64_t> in_flight_pages_;
+  // Pages installed by prefetch and not yet touched (for hit accounting).
+  std::set<std::pair<std::uint64_t, PageIndex>> untouched_prefetched_;
+  PagerStats stats_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_VM_PAGER_H_

@@ -1,0 +1,56 @@
+#include "src/vm/segment.h"
+
+#include "src/sim/simulator.h"
+
+namespace accent {
+
+void Segment::StorePage(PageIndex rel_page, PageData data) {
+  ACCENT_EXPECTS(kind_ == SegmentKind::kReal);
+  ACCENT_EXPECTS(rel_page < page_count());
+  ACCENT_EXPECTS(data.empty() || data.size() == kPageSize);
+  if (data.empty()) {
+    pages_.erase(rel_page);  // zero pages stay sparse
+    return;
+  }
+  pages_[rel_page] = std::move(data);
+}
+
+const PageData* Segment::FindPage(PageIndex rel_page) const {
+  ACCENT_EXPECTS(kind_ == SegmentKind::kReal);
+  auto it = pages_.find(rel_page);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+PageData Segment::ReadPage(PageIndex rel_page) const {
+  const PageData* found = FindPage(rel_page);
+  return found == nullptr ? PageData{} : *found;
+}
+
+SegmentTable::SegmentTable(Simulator* sim) : sim_(*sim) { ACCENT_EXPECTS(sim != nullptr); }
+
+Segment* SegmentTable::CreateReal(ByteCount size, std::string debug_name) {
+  const SegmentId id(sim_.AllocateId());
+  auto segment = std::make_unique<Segment>(id, SegmentKind::kReal, size, std::move(debug_name));
+  Segment* raw = segment.get();
+  segments_[id.value] = std::move(segment);
+  return raw;
+}
+
+Segment* SegmentTable::CreateImaginary(ByteCount size, IouRef iou, std::string debug_name) {
+  const SegmentId id(sim_.AllocateId());
+  auto segment =
+      std::make_unique<Segment>(id, SegmentKind::kImaginary, size, std::move(debug_name));
+  segment->SetBacking(iou);
+  Segment* raw = segment.get();
+  segments_[id.value] = std::move(segment);
+  return raw;
+}
+
+Segment* SegmentTable::Find(SegmentId id) const {
+  auto it = segments_.find(id.value);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+void SegmentTable::Destroy(SegmentId id) { segments_.erase(id.value); }
+
+}  // namespace accent

@@ -1,0 +1,92 @@
+// Segments: the objects virtual memory ranges map to.
+//
+// A Real segment owns sparse page contents (a program image, a mapped file,
+// an anonymous store); conceptually this is the segment's disk image plus
+// its in-core cache — the *timing* distinction between disk and memory is
+// made by PhysicalMemory residency, while contents have a single
+// authoritative home here. An Imaginary segment (section 2.2) owns no data
+// at all: it names a backing IPC port that delivers pages on demand.
+#ifndef SRC_VM_SEGMENT_H_
+#define SRC_VM_SEGMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/page_data.h"
+#include "src/base/types.h"
+#include "src/ipc/message.h"
+
+namespace accent {
+
+enum class SegmentKind {
+  kReal,       // contents stored here (disk image / anonymous memory)
+  kImaginary,  // contents promised by a backing port
+};
+
+class Segment {
+ public:
+  Segment(SegmentId id, SegmentKind kind, ByteCount size, std::string debug_name)
+      : id_(id), kind_(kind), size_(size), name_(std::move(debug_name)) {
+    ACCENT_EXPECTS(size > 0 && size % kPageSize == 0);
+  }
+
+  SegmentId id() const { return id_; }
+  SegmentKind kind() const { return kind_; }
+  ByteCount size() const { return size_; }
+  PageIndex page_count() const { return size_ / kPageSize; }
+  const std::string& name() const { return name_; }
+
+  // --- Real segments ---------------------------------------------------------
+  // Pages are indexed relative to the segment start. Absent pages read as
+  // zero (sparse store).
+  void StorePage(PageIndex rel_page, PageData data);
+  const PageData* FindPage(PageIndex rel_page) const;
+  PageData ReadPage(PageIndex rel_page) const;
+  bool HasPage(PageIndex rel_page) const { return pages_.count(rel_page) != 0; }
+  std::size_t stored_pages() const { return pages_.size(); }
+  // Bytes of stored (non-zero-page) data.
+  ByteCount StoredBytes() const { return pages_.size() * kPageSize; }
+
+  // --- Imaginary segments -------------------------------------------------------
+  void SetBacking(IouRef iou) {
+    ACCENT_EXPECTS(kind_ == SegmentKind::kImaginary);
+    ACCENT_EXPECTS(iou.valid());
+    iou_ = iou;
+  }
+  const IouRef& backing() const {
+    ACCENT_EXPECTS(kind_ == SegmentKind::kImaginary);
+    return iou_;
+  }
+
+ private:
+  SegmentId id_;
+  SegmentKind kind_;
+  ByteCount size_;
+  std::string name_;
+  std::map<PageIndex, PageData> pages_;  // real segments only
+  IouRef iou_;                           // imaginary segments only
+};
+
+// Owns segments for one simulation; hands out stable pointers.
+class SegmentTable {
+ public:
+  explicit SegmentTable(class Simulator* sim);
+
+  Segment* CreateReal(ByteCount size, std::string debug_name);
+  Segment* CreateImaginary(ByteCount size, IouRef iou, std::string debug_name);
+  Segment* Find(SegmentId id) const;
+  void Destroy(SegmentId id);
+
+  std::size_t count() const { return segments_.size(); }
+
+ private:
+  class Simulator& sim_;
+  std::map<std::uint64_t, std::unique_ptr<Segment>> segments_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_VM_SEGMENT_H_

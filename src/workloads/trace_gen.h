@@ -1,0 +1,47 @@
+// Reference-trace synthesis for the representative workloads.
+//
+// Generators are deterministic given (spec, seed) and are the sole source
+// of each program class's access behaviour: Pasmac's prefetch-friendly
+// sequential scans, Lisp's low-locality clustered probes, Chess's
+// compute-dominated profile and Minprog's sprint to termination.
+#ifndef SRC_WORKLOADS_TRACE_GEN_H_
+#define SRC_WORKLOADS_TRACE_GEN_H_
+
+#include <set>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/types.h"
+#include "src/proc/trace.h"
+#include "src/workloads/workload.h"
+
+namespace accent {
+
+struct TracePlan {
+  std::set<PageIndex> touched_real;    // exactly spec.touched_real_pages entries
+  std::vector<PageIndex> touch_order;  // real pages in the order touched
+  std::vector<PageIndex> zero_writes;  // RealZero pages written remotely
+  TracePtr trace;
+};
+
+// Byte within a page that traces touch (deterministic per page).
+Addr TouchAddrFor(PageIndex page);
+
+// Value written when a trace op writes to a real page.
+std::uint8_t WriteValueFor(std::uint64_t pattern_seed, PageIndex page);
+
+// True if the generator makes the i-th touched real page a write
+// (every fourth touch writes).
+bool TouchIsWrite(std::size_t touch_index);
+
+// Synthesises the post-migration trace for `spec`.
+//   real_pages — ascending VA pages of RealMem;
+//   zero_pages_sample — ascending VA pages available in RealZero regions
+//                       (at least spec.zero_touches of them).
+TracePlan GenerateTrace(const WorkloadSpec& spec, const std::vector<PageIndex>& real_pages,
+                        const std::vector<PageIndex>& zero_pages_sample,
+                        std::uint64_t pattern_seed, Rng* rng);
+
+}  // namespace accent
+
+#endif  // SRC_WORKLOADS_TRACE_GEN_H_

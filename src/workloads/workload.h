@@ -1,0 +1,97 @@
+// The seven representative processes of section 4.1.
+//
+// Each spec reproduces its program's published address-space composition
+// (Table 4-1), resident set (Table 4-2) and remote access behaviour
+// (Table 4-3 and the access-pattern prose):
+//   Minprog  — "null trap": prints, waits, exits; touches almost nothing.
+//   Lisp-T   — SPICE Lisp evaluating T: 4 GB validated at birth, 99.9%
+//              RealZeroMem, tiny touched set, no locality.
+//   Lisp-Del — Lisp running Dwyer's Delaunay triangulation: real compute and
+//              I/O, still touches only 16.5% of RealMem, low locality.
+//   PM-Start/Mid/End — the Pasmac macro processor migrated early / after
+//              reading its definition files / near completion: sequential
+//              scans over mapped files; the resident set is polluted by
+//              already-processed file pages (physical memory as disk cache).
+//   Chess    — compute-bound; long-lived; modest memory.
+//
+// A spec is *built* into a suspended-at-migration-point process: layout and
+// resident set are constructed directly (the paper measures from the
+// migration request onward), and the post-migration reference trace is
+// synthesised by the pattern generators in trace_gen.h.
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/proc/host_env.h"
+#include "src/proc/process.h"
+
+namespace accent {
+
+enum class AccessPattern {
+  kMinimal,          // touch the working set quickly, terminate
+  kRandomClustered,  // Lisp: scattered 1-3 page clusters, no time locality
+  kSequentialScan,   // Pasmac: ascending scan, ~80% density within the range
+  kComputeBound,     // Chess: touches early, long compute tail
+};
+
+struct WorkloadSpec {
+  std::string name;
+
+  // Table 4-1 (bytes; all page multiples).
+  ByteCount real_bytes = 0;
+  ByteCount zero_bytes = 0;
+
+  // Table 4-2 (bytes).
+  ByteCount resident_bytes = 0;
+
+  // Process-map complexity: the number of Real / RealZero intervals the
+  // layout alternates between (drives AMap construction cost, Table 4-4).
+  std::uint32_t real_regions = 1;
+  std::uint32_t zero_regions = 1;
+
+  // Remote-execution behaviour.
+  AccessPattern pattern = AccessPattern::kMinimal;
+  std::uint64_t touched_real_pages = 0;  // Table 4-3 (pure-IOU column)
+  std::uint64_t resident_touched_overlap = 0;  // |touched ∩ resident|
+  std::uint64_t zero_touches = 0;        // RealZeroMem pages touched remotely
+  SimDuration compute{0};                // total post-migration compute
+  double scan_density = 0.8;             // kSequentialScan: fraction touched
+                                         // within the active range
+
+  // --- derived -----------------------------------------------------------
+  ByteCount total_bytes() const { return real_bytes + zero_bytes; }
+  PageIndex real_pages() const { return real_bytes / kPageSize; }
+  PageIndex zero_pages() const { return zero_bytes / kPageSize; }
+  PageIndex resident_pages() const { return resident_bytes / kPageSize; }
+};
+
+// The paper's seven representatives, calibrated to Tables 4-1/4-2/4-3.
+const std::vector<WorkloadSpec>& RepresentativeWorkloads();
+const WorkloadSpec& WorkloadByName(const std::string& name);
+
+// A spec materialised on a host: a quiescent process at its migration
+// point, with the resident set staged in physical memory.
+struct WorkloadInstance {
+  WorkloadSpec spec;
+  std::unique_ptr<Process> process;
+  std::vector<PageIndex> real_page_list;   // ascending VA pages of RealMem
+  std::vector<PageIndex> resident_pages;   // staged resident set
+  std::set<PageIndex> planned_touches;     // real pages the trace will touch
+  std::uint64_t pattern_seed = 0;          // page-content seed base
+};
+
+// Builds `spec` on `env`. `seed` controls every random choice; the same
+// (spec, seed) yields a bit-identical instance.
+WorkloadInstance BuildWorkload(const WorkloadSpec& spec, HostEnv* env, std::uint64_t seed);
+
+// Deterministic content seed for a workload's real page (integrity checks).
+std::uint64_t WorkloadPageSeed(std::uint64_t pattern_seed, PageIndex page);
+
+}  // namespace accent
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,121 @@
+// Accessibility Map unit tests (section 2.3 semantics).
+#include <gtest/gtest.h>
+
+#include "src/vm/amap.h"
+
+namespace accent {
+namespace {
+
+TEST(AMap, UnmappedIsBadMem) {
+  AMap amap;
+  EXPECT_EQ(amap.ClassOf(0), MemClass::kBad);
+  EXPECT_EQ(amap.ClassOf(kAddressSpaceLimit - 1), MemClass::kBad);
+  EXPECT_TRUE(amap.empty());
+}
+
+TEST(AMap, FourDistancesRoundTrip) {
+  AMap amap;
+  amap.Set(0, 512, MemClass::kRealZero);
+  amap.Set(512, 1024, MemClass::kReal);
+  amap.Set(1024, 1536, MemClass::kImag);
+  EXPECT_EQ(amap.ClassOf(0), MemClass::kRealZero);
+  EXPECT_EQ(amap.ClassOf(512), MemClass::kReal);
+  EXPECT_EQ(amap.ClassOf(1024), MemClass::kImag);
+  EXPECT_EQ(amap.ClassOf(1536), MemClass::kBad);
+  EXPECT_EQ(amap.entry_count(), 3u);
+}
+
+TEST(AMap, SettingBadErases) {
+  AMap amap;
+  amap.Set(0, 1024, MemClass::kReal);
+  amap.Set(256, 512, MemClass::kBad);
+  EXPECT_EQ(amap.ClassOf(0), MemClass::kReal);
+  EXPECT_EQ(amap.ClassOf(300), MemClass::kBad);
+  EXPECT_EQ(amap.ClassOf(512), MemClass::kReal);
+}
+
+TEST(AMap, BytesOfSumsPerClass) {
+  AMap amap;
+  amap.Set(0, 512, MemClass::kReal);
+  amap.Set(512, 2048, MemClass::kRealZero);
+  amap.Set(4096, 4608, MemClass::kReal);
+  EXPECT_EQ(amap.BytesOf(MemClass::kReal), 1024u);
+  EXPECT_EQ(amap.BytesOf(MemClass::kRealZero), 1536u);
+  EXPECT_EQ(amap.BytesOf(MemClass::kImag), 0u);
+  EXPECT_EQ(amap.TotalMappedBytes(), 2560u);
+}
+
+TEST(AMap, RangeAvoidsImagMem) {
+  // The deadlock guard: servers ask "can I touch this range safely?".
+  AMap amap;
+  amap.Set(0, 1024, MemClass::kReal);
+  amap.Set(1024, 1536, MemClass::kImag);
+  EXPECT_TRUE(amap.RangeAvoids(0, 1024, MemClass::kImag));
+  EXPECT_FALSE(amap.RangeAvoids(0, 1536, MemClass::kImag));
+  EXPECT_FALSE(amap.RangeAvoids(1100, 1200, MemClass::kImag));
+}
+
+TEST(AMap, RangeAvoidsBadChecksCoverage) {
+  AMap amap;
+  amap.Set(0, 512, MemClass::kReal);
+  amap.Set(1024, 1536, MemClass::kReal);
+  EXPECT_TRUE(amap.RangeAvoids(0, 512, MemClass::kBad));
+  EXPECT_FALSE(amap.RangeAvoids(0, 1536, MemClass::kBad));  // hole = BadMem
+}
+
+TEST(AMap, PageGranularReclassification) {
+  // An imaginary page becomes Real once fetched; neighbours stay owed.
+  AMap amap;
+  amap.Set(0, 10 * kPageSize, MemClass::kImag);
+  amap.Set(3 * kPageSize, 4 * kPageSize, MemClass::kReal);
+  EXPECT_EQ(amap.ClassOf(2 * kPageSize), MemClass::kImag);
+  EXPECT_EQ(amap.ClassOf(3 * kPageSize), MemClass::kReal);
+  EXPECT_EQ(amap.ClassOf(4 * kPageSize), MemClass::kImag);
+  EXPECT_EQ(amap.entry_count(), 3u);
+}
+
+TEST(AMap, SerializedSizeFollowsEntries) {
+  AMap amap;
+  for (int i = 0; i < 10; ++i) {
+    const Addr base = static_cast<Addr>(i) * 2 * kPageSize;
+    amap.Set(base, base + kPageSize, MemClass::kReal);
+  }
+  EXPECT_EQ(amap.entry_count(), 10u);
+  EXPECT_EQ(amap.SerializedSize(16), 160u);
+}
+
+TEST(AMap, EqualityComparesStructure) {
+  AMap a;
+  AMap b;
+  a.Set(0, 512, MemClass::kReal);
+  b.Set(0, 512, MemClass::kReal);
+  EXPECT_TRUE(a == b);
+  b.Set(512, 1024, MemClass::kRealZero);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(AMap, CopyIsIndependent) {
+  AMap a;
+  a.Set(0, 512, MemClass::kReal);
+  AMap b = a;  // the Core message carries a snapshot
+  a.Set(0, 512, MemClass::kImag);
+  EXPECT_EQ(b.ClassOf(0), MemClass::kReal);
+  EXPECT_EQ(a.ClassOf(0), MemClass::kImag);
+}
+
+TEST(AMap, MemClassNames) {
+  EXPECT_STREQ(MemClassName(MemClass::kBad), "BadMem");
+  EXPECT_STREQ(MemClassName(MemClass::kRealZero), "RealZeroMem");
+  EXPECT_STREQ(MemClassName(MemClass::kReal), "RealMem");
+  EXPECT_STREQ(MemClassName(MemClass::kImag), "ImagMem");
+}
+
+TEST(AMap, FourGigabyteValidationIsOneEntry) {
+  AMap amap;
+  amap.Set(0, kAddressSpaceLimit, MemClass::kRealZero);
+  EXPECT_EQ(amap.entry_count(), 1u);
+  EXPECT_EQ(amap.BytesOf(MemClass::kRealZero), kAddressSpaceLimit);
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,195 @@
+// ExciseProcess / InsertProcess tests: the two messages are self-contained
+// and reconstruct the process bit-for-bit, including port rights, trace
+// position and every memory class.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+#include "src/proc/excise.h"
+
+namespace accent {
+namespace {
+
+class ExciseInsertTest : public ::testing::Test {
+ protected:
+  // Builds a small process on host 0 with all three memory classes.
+  std::unique_ptr<Process> BuildProcess() {
+    auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+    image_ = bed.segments().CreateReal(8 * kPageSize, "img");
+    for (PageIndex p = 0; p < 8; ++p) {
+      image_->StorePage(p, MakePatternPage(p + 1));
+    }
+    space->MapReal(0, 8 * kPageSize, image_, 0, false);
+    space->Validate(8 * kPageSize, 16 * kPageSize);
+    // Private page with a distinctive byte.
+    space->InstallPage(2, MakePatternPage(42));
+    bed.host(0)->memory->Insert(space->id(), 0, false);
+    bed.host(0)->memory->Insert(space->id(), 2, true);
+
+    auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "guinea", bed.host(0),
+                                          std::move(space), /*microstate_token=*/0xfeed);
+    proc->SetTrace(TraceBuilder().Compute(Ms(1)).Terminate().Build(), 0);
+    return proc;
+  }
+
+  ExciseResult Excise(Process* proc) {
+    ExciseResult result;
+    bool done = false;
+    ExciseProcess(proc, [&](ExciseResult r) {
+      result = std::move(r);
+      done = true;
+    });
+    bed.sim().Run();
+    EXPECT_TRUE(done);
+    return result;
+  }
+
+  std::unique_ptr<Process> Insert(HostEnv* env, ExciseResult excised) {
+    std::unique_ptr<Process> inserted;
+    bool done = false;
+    InsertProcess(env, std::move(excised.core), std::move(excised.rimas),
+                  [&](std::unique_ptr<Process> p, InsertResult) {
+                    inserted = std::move(p);
+                    done = true;
+                  });
+    bed.sim().Run();
+    EXPECT_TRUE(done);
+    return inserted;
+  }
+
+  Testbed bed;
+  Segment* image_ = nullptr;
+};
+
+TEST_F(ExciseInsertTest, CoreMessageCarriesContext) {
+  auto proc = BuildProcess();
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "owned");
+  proc->AttachReceiveRight(port);
+  ExciseResult excised = Excise(proc.get());
+
+  EXPECT_EQ(excised.core.op, MsgOp::kMigrateCore);
+  EXPECT_TRUE(excised.core.has_amap);
+  EXPECT_EQ(excised.core.inline_bytes, bed.costs().core_context_bytes);
+  ASSERT_EQ(excised.core.rights.size(), 1u);
+  EXPECT_EQ(excised.core.rights[0].port, port);
+  const auto& body = excised.core.BodyAs<CoreBody>();
+  EXPECT_EQ(body.microstate_token, 0xfeedu);
+  EXPECT_EQ(body.name, "guinea");
+  EXPECT_EQ(proc->state(), ProcState::kExcised);
+}
+
+TEST_F(ExciseInsertTest, RimasCarriesRealDataAndShape) {
+  auto proc = BuildProcess();
+  ExciseResult excised = Excise(proc.get());
+  ASSERT_EQ(excised.rimas.regions.size(), 1u);  // one Real interval
+  const MemoryRegion& region = excised.rimas.regions[0];
+  EXPECT_EQ(region.mem_class, MemClass::kReal);
+  EXPECT_EQ(region.size, 8 * kPageSize);
+  EXPECT_EQ(region.pages[1], MakePatternPage(2));
+  EXPECT_EQ(region.pages[2], MakePatternPage(42));  // private copy shipped, not origin
+  // RealZero never travels: the AMap describes it.
+  EXPECT_EQ(excised.core.amap.BytesOf(MemClass::kRealZero), 8 * kPageSize);
+}
+
+TEST_F(ExciseInsertTest, ExcisionClearsResidency) {
+  auto proc = BuildProcess();
+  const SpaceId space = proc->space()->id();
+  EXPECT_EQ(bed.host(0)->memory->ResidentCount(space), 2u);
+  Excise(proc.get());
+  EXPECT_EQ(bed.host(0)->memory->ResidentCount(space), 0u);
+}
+
+TEST_F(ExciseInsertTest, RoundTripPreservesEveryByte) {
+  auto proc = BuildProcess();
+  ExciseResult excised = Excise(proc.get());
+  auto inserted = Insert(bed.host(1), std::move(excised));
+  ASSERT_NE(inserted, nullptr);
+
+  AddressSpace* space = inserted->space();
+  EXPECT_EQ(space->host(), bed.host(1)->id);
+  for (PageIndex p = 0; p < 8; ++p) {
+    const PageData expected = p == 2 ? MakePatternPage(42) : MakePatternPage(p + 1);
+    EXPECT_EQ(space->ReadPage(p), expected) << "page " << p;
+  }
+  EXPECT_EQ(space->ClassOf(8 * kPageSize), MemClass::kRealZero);
+  EXPECT_EQ(space->ClassOf(16 * kPageSize), MemClass::kBad);
+  EXPECT_EQ(space->RealBytes(), 8 * kPageSize);
+  EXPECT_EQ(space->RealZeroBytes(), 8 * kPageSize);
+  EXPECT_EQ(inserted->microstate_token(), 0xfeedu);
+  EXPECT_EQ(inserted->state(), ProcState::kReady);
+  // Shipped pages arrive resident.
+  EXPECT_EQ(bed.host(1)->memory->ResidentCount(space->id()), 8u);
+}
+
+TEST_F(ExciseInsertTest, PortRightsMoveWithContext) {
+  auto proc = BuildProcess();
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "owned");
+  proc->AttachReceiveRight(port);
+  ExciseResult excised = Excise(proc.get());
+  auto inserted = Insert(bed.host(1), std::move(excised));
+
+  EXPECT_EQ(bed.fabric().HomeOf(port), bed.host(1)->id);
+  // A sender on host 0 still reaches the port (location transparency).
+  Message msg;
+  msg.dest = port;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  EXPECT_EQ(inserted->user_messages_received(), 1u);
+}
+
+TEST_F(ExciseInsertTest, TracePositionSurvives) {
+  auto proc = BuildProcess();
+  auto trace = TraceBuilder()
+                   .Compute(Ms(1))
+                   .Read(0)
+                   .Compute(Ms(1))
+                   .Terminate()
+                   .Build();
+  proc->SetTrace(trace, 2);  // already past the first two ops
+  ExciseResult excised = Excise(proc.get());
+  auto inserted = Insert(bed.host(1), std::move(excised));
+  EXPECT_EQ(inserted->trace_pc(), 2u);
+  inserted->Start();
+  bed.sim().Run();
+  EXPECT_TRUE(inserted->done());
+}
+
+TEST_F(ExciseInsertTest, ImaginaryMappingsSurviveReExcision) {
+  // A process whose memory is still partly owed can be excised again and
+  // the IOUs keep pointing at the original backer (re-migration).
+  auto proc = BuildProcess();
+  AddressSpace* space = proc->space();
+  const IouRef iou{bed.netmsg(1)->backing_port(), SegmentId(4242), 0};
+  Segment* standin = bed.segments().CreateImaginary(kAddressSpaceLimit, iou, "standin");
+  space->MapImaginary(32 * kPageSize, 40 * kPageSize, standin, 32 * kPageSize);
+
+  ExciseResult excised = Excise(proc.get());
+  bool found_iou = false;
+  for (const MemoryRegion& region : excised.rimas.regions) {
+    if (region.mem_class == MemClass::kImag) {
+      found_iou = true;
+      EXPECT_EQ(region.iou.backing_port, bed.netmsg(1)->backing_port());
+      EXPECT_EQ(region.iou.segment, SegmentId(4242));
+      EXPECT_EQ(region.iou.offset, 32 * kPageSize);
+    }
+  }
+  EXPECT_TRUE(found_iou);
+
+  auto inserted = Insert(bed.host(1), std::move(excised));
+  EXPECT_EQ(inserted->space()->ClassOf(33 * kPageSize), MemClass::kImag);
+  const auto target = inserted->space()->ImagTargetOf(33 * kPageSize);
+  EXPECT_EQ(target.backer_offset, 33 * kPageSize);
+}
+
+TEST_F(ExciseInsertTest, ExciseTimingsFollowCostModel) {
+  auto proc = BuildProcess();
+  ExciseResult excised = Excise(proc.get());
+  EXPECT_GT(excised.amap_time.count(), 0);
+  EXPECT_GT(excised.rimas_time.count(), 0);
+  EXPECT_GE(excised.overall_time, excised.amap_time + excised.rimas_time);
+  // Small process: under a second, like Minprog in Table 4-4.
+  EXPECT_LT(ToSeconds(excised.overall_time), 1.0);
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,242 @@
+// File service tests: IPC-based opens, whole-file mapping, lazy remote
+// access (copy-on-reference for files, section 6), write-back.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+#include "src/fs/file_service.h"
+
+namespace accent {
+namespace {
+
+class FileServiceTest : public ::testing::Test {
+ protected:
+  FileServiceTest()
+      : server_(bed.host(1)),  // files live on host 2
+        local_client_(bed.host(1), PortId()),
+        remote_client_(bed.host(0), PortId()) {}
+
+  void SetUp() override {
+    server_.Start();
+    local_client_ = FileClient(bed.host(1), server_.port());
+    local_client_.Start();
+    remote_client_ = FileClient(bed.host(0), server_.port());
+    remote_client_.Start();
+  }
+
+  FileClient::OpenResult Open(FileClient* client, HostEnv* env, const std::string& name,
+                              AddressSpace* space, Addr base) {
+    FileClient::OpenResult result;
+    bool done = false;
+    client->OpenAndMap(name, space, base, [&](FileClient::OpenResult r) {
+      result = r;
+      done = true;
+    });
+    bed.sim().Run();
+    EXPECT_TRUE(done);
+    (void)env;
+    return result;
+  }
+
+  // Touches a page through the host's pager and returns success.
+  void Fault(int host, AddressSpace* space, Addr addr, bool write = false) {
+    bool done = false;
+    bed.pager(host)->Access(space, addr, write, [&](const AccessOutcome&) { done = true; });
+    bed.sim().Run();
+    ASSERT_TRUE(done);
+  }
+
+  Testbed bed;
+  FileServer server_;
+  FileClient local_client_;
+  FileClient remote_client_;
+};
+
+TEST_F(FileServiceTest, CreateAndFind) {
+  Segment* file = server_.CreateFile("data.db", 64 * kPageSize, 500);
+  EXPECT_EQ(server_.Find("data.db"), file);
+  EXPECT_EQ(server_.Find("missing"), nullptr);
+  EXPECT_EQ(file->page_count(), 64u);
+  EXPECT_EQ(file->ReadPage(3), MakePatternPage(503));
+}
+
+TEST_F(FileServiceTest, OpenMissingFileFails) {
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  const auto result = Open(&remote_client_, bed.host(0), "missing", space.get(), 0);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(FileServiceTest, LocalOpenMapsDirectly) {
+  server_.CreateFile("data.db", 16 * kPageSize, 500);
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(1)->id);
+  const auto result = Open(&local_client_, bed.host(1), "data.db", space.get(), 0);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.lazy);
+  EXPECT_EQ(space->ClassOf(0), MemClass::kReal);
+  EXPECT_EQ(space->ReadPage(5), MakePatternPage(505));
+  // A local touch is a disk fault, not an imaginary one.
+  Fault(1, space.get(), 5 * kPageSize);
+  EXPECT_EQ(bed.pager(1)->stats().disk_faults, 1u);
+  EXPECT_EQ(bed.pager(1)->stats().imag_faults, 0u);
+}
+
+TEST_F(FileServiceTest, RemoteOpenIsCopyOnReference) {
+  server_.CreateFile("data.db", 64 * kPageSize, 500);
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  const auto result = Open(&remote_client_, bed.host(0), "data.db", space.get(), 0);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.lazy);
+  EXPECT_EQ(space->ClassOf(0), MemClass::kImag);
+
+  const ByteCount before = bed.traffic().TotalBytes();
+  Fault(0, space.get(), 9 * kPageSize);
+  EXPECT_EQ(space->ReadPage(9), MakePatternPage(509));
+  EXPECT_EQ(bed.pager(0)->stats().imag_faults, 1u);
+  // Only ~a page crossed the wire for the fault.
+  EXPECT_LT(bed.traffic().TotalBytes() - before, 2 * kPageSize);
+  // Untouched remainder is still owed.
+  EXPECT_EQ(space->ClassOf(10 * kPageSize), MemClass::kImag);
+}
+
+TEST_F(FileServiceTest, RemoteReadsAreCorrectEverywhere) {
+  server_.CreateFile("data.db", 32 * kPageSize, 900);
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "data.db", space.get(), 8 * kPageSize).ok);
+  for (PageIndex p : {0u, 7u, 15u, 31u}) {
+    Fault(0, space.get(), (8 + p) * kPageSize);
+    EXPECT_EQ(space->ReadPage(8 + p), MakePatternPage(900 + p)) << "file page " << p;
+  }
+}
+
+TEST_F(FileServiceTest, TwoClientsShareOneBackedObject) {
+  server_.CreateFile("data.db", 8 * kPageSize, 100);
+  auto space_a = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+  auto space_b = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "data.db", space_a.get(), 0).ok);
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "data.db", space_b.get(), 0).ok);
+  Fault(0, space_a.get(), 0);
+  Fault(0, space_b.get(), kPageSize);
+  EXPECT_EQ(space_a->ReadPage(0), MakePatternPage(100));
+  EXPECT_EQ(space_b->ReadPage(1), MakePatternPage(101));
+  EXPECT_EQ(server_.opens_served(), 2u);
+}
+
+TEST_F(FileServiceTest, SharedFileSurvivesOneClientsDeath) {
+  // Two processes map the same exported file; one terminates. Its death
+  // notice must not retire the file's backing for the survivor.
+  server_.CreateFile("shared.db", 8 * kPageSize, 600);
+
+  auto make_proc = [&](const char* name) {
+    auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+    auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), name,
+                                          bed.host(0), std::move(space), 1);
+    return proc;
+  };
+  auto first = make_proc("first");
+  auto second = make_proc("second");
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "shared.db", first->space(), 0).ok);
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "shared.db", second->space(), 0).ok);
+
+  first->SetTrace(TraceBuilder().Read(0).Terminate().Build(), 0);
+  first->Start();
+  bed.sim().Run();
+  ASSERT_TRUE(first->done());  // its death notice went out
+
+  // The survivor can still fault pages from the server.
+  Fault(0, second->space(), 5 * kPageSize);
+  EXPECT_EQ(second->space()->ReadPage(5), MakePatternPage(605));
+
+  // When the survivor also dies, the backing is retired.
+  second->SetTrace(TraceBuilder().Terminate().Build(), 0);
+  second->Start();
+  bed.sim().Run();
+  ASSERT_TRUE(second->done());
+  // The backing registration is gone but the *file itself* remains intact
+  // on the server (the backer never owned it).
+  Segment* file = server_.Find("shared.db");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->ReadPage(5), MakePatternPage(605));
+  EXPECT_NE(bed.segments().Find(file->id()), nullptr);
+}
+
+TEST_F(FileServiceTest, WriteBackUpdatesTheFile) {
+  server_.CreateFile("out.txt", 8 * kPageSize, 0);  // sparse output file
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "out.txt", space.get(), 0).ok);
+
+  // Write two pages locally (faulting them in first).
+  Fault(0, space.get(), 2 * kPageSize, /*write=*/true);
+  space->WriteByte(2 * kPageSize + 10, 0xAB);
+  Fault(0, space.get(), 3 * kPageSize, /*write=*/true);
+  space->WriteByte(3 * kPageSize + 20, 0xCD);
+
+  bool flushed = false;
+  bool flush_ok = false;
+  remote_client_.WriteBack("out.txt", space.get(), 0, {2, 3}, [&](bool ok) {
+    flushed = true;
+    flush_ok = ok;
+  });
+  bed.sim().Run();
+  ASSERT_TRUE(flushed);
+  EXPECT_TRUE(flush_ok);
+  EXPECT_EQ(server_.pages_written_back(), 2u);
+
+  Segment* file = server_.Find("out.txt");
+  EXPECT_EQ(PageByteAt(file->ReadPage(2), 10), 0xAB);
+  EXPECT_EQ(PageByteAt(file->ReadPage(3), 20), 0xCD);
+  // Written contents reached the server's disk too.
+  EXPECT_GE(bed.host(1)->disk->writes_completed(), 2u);
+}
+
+TEST_F(FileServiceTest, WriteBackOfUnknownFileFailsGracefully) {
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  space->Validate(0, kPageSize);
+  space->InstallPage(0, MakePatternPage(1));
+  bool flushed = false;
+  bool flush_ok = true;
+  remote_client_.WriteBack("missing", space.get(), 0, {0}, [&](bool ok) {
+    flushed = true;
+    flush_ok = ok;
+  });
+  bed.sim().Run();
+  EXPECT_TRUE(flushed);
+  EXPECT_FALSE(flush_ok);
+}
+
+TEST_F(FileServiceTest, MappedFileSurvivesMigration) {
+  // A process with a lazily-mapped remote file migrates; the file mapping
+  // (an imaginary range) travels as an IOU pointing at the file server.
+  server_.CreateFile("data.db", 16 * kPageSize, 321);
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  ASSERT_TRUE(Open(&remote_client_, bed.host(0), "data.db", space.get(), 0).ok);
+  space->Validate(16 * kPageSize, 24 * kPageSize);
+
+  auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "filer",
+                                        bed.host(0), std::move(space), 1);
+  proc->SetTrace(
+      TraceBuilder().Read(4 * kPageSize).Read(12 * kPageSize).Terminate().Build(), 0);
+
+  bed.manager(0)->RegisterLocal(proc.get());
+  bool done = false;
+  bed.manager(0)->Migrate(proc.get(), bed.manager(1)->port(), TransferStrategy::kPureIou,
+                          [&](const MigrationRecord&) { done = true; });
+  bed.sim().Run();
+  ASSERT_TRUE(done);
+  Process* remote = bed.manager(1)->adopted().at(0).get();
+  EXPECT_TRUE(remote->done());
+  // The file pages were fetched from the file server (now local to host 2).
+  EXPECT_EQ(remote->space()->ReadPage(4), MakePatternPage(325));
+  EXPECT_EQ(remote->space()->ReadPage(12), MakePatternPage(333));
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,184 @@
+// IPC fabric tests: ports, rights, routing, delivery costs, message sizes.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+struct CountingReceiver : Receiver {
+  std::vector<Message> received;
+  void HandleMessage(Message msg) override { received.push_back(std::move(msg)); }
+};
+
+class IpcTest : public ::testing::Test {
+ protected:
+  Testbed bed;
+  CountingReceiver sink;
+};
+
+TEST_F(IpcTest, LocalSendDelivers) {
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "p");
+  Message msg;
+  msg.dest = port;
+  msg.inline_bytes = 64;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_TRUE(sink.received[0].id.valid());
+}
+
+TEST_F(IpcTest, RemoteSendRoutesThroughNetMsgServers) {
+  const PortId port = bed.fabric().AllocatePort(bed.host(1)->id, &sink, "p");
+  Message msg;
+  msg.dest = port;
+  msg.inline_bytes = 64;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(bed.fabric().remote_forwards(), 1u);
+  EXPECT_GT(bed.netmsg(0)->stats().fragments_sent, 0u);
+  EXPECT_GT(bed.netmsg(1)->stats().fragments_received, 0u);
+  EXPECT_GT(bed.traffic().TotalBytes(), 0u);
+  // Both NetMsgServers burned CPU.
+  EXPECT_GT(bed.cpu(0)->BusyTime(CpuWork::kNetMsgServer).count(), 0);
+  EXPECT_GT(bed.cpu(1)->BusyTime(CpuWork::kNetMsgServer).count(), 0);
+}
+
+TEST_F(IpcTest, SendToUnknownPortFails) {
+  Message msg;
+  msg.dest = PortId(999999);
+  EXPECT_FALSE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+}
+
+TEST_F(IpcTest, SendToDeadPortFails) {
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "p");
+  bed.fabric().DestroyPort(port);
+  EXPECT_FALSE(bed.fabric().IsAlive(port));
+  Message msg;
+  msg.dest = port;
+  EXPECT_FALSE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+}
+
+TEST_F(IpcTest, MessagesQueueWithoutReceiverAndFlushOnClaim) {
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "queued");
+  Message msg;
+  msg.dest = port;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  EXPECT_TRUE(sink.received.empty());
+  bed.fabric().SetReceiver(port, &sink);
+  bed.sim().Run();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(IpcTest, MovedPortReceivesAtNewHome) {
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "mobile");
+  bed.fabric().MovePort(port, bed.host(1)->id, &sink);
+  EXPECT_EQ(bed.fabric().HomeOf(port), bed.host(1)->id);
+  Message msg;
+  msg.dest = port;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(IpcTest, InFlightMessagesChaseMovedPort) {
+  // Location transparency: a message sent while the receive right is moving
+  // still arrives (DEMOS-style hint chasing in DeliverAt).
+  const PortId port = bed.fabric().AllocatePort(bed.host(1)->id, nullptr, "chased");
+  Message msg;
+  msg.dest = port;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  // Move the right back to host 0 while the message crosses the wire.
+  bed.sim().RunUntil(Ms(5));
+  bed.fabric().MovePort(port, bed.host(0)->id, &sink);
+  bed.sim().Run();
+  EXPECT_EQ(sink.received.size(), 1u);
+  EXPECT_GE(bed.fabric().remote_forwards(), 2u);  // original + chase
+}
+
+TEST_F(IpcTest, SmallMessageCopiesLargeMessageMaps) {
+  // Section 2.1: below the threshold the kernel double-copies; above it the
+  // receiver's map is rewritten. Cost should grow with size only below.
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "p");
+  auto send_and_measure = [&](ByteCount inline_bytes, std::vector<PageData> pages) {
+    Cpu* cpu = bed.cpu(0);
+    const SimDuration before = cpu->BusyTime(CpuWork::kKernel);
+    Message msg;
+    msg.dest = port;
+    msg.inline_bytes = inline_bytes;
+    if (!pages.empty()) {
+      msg.regions.push_back(MemoryRegion::Data(0, std::move(pages)));
+    }
+    EXPECT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+    bed.sim().Run();
+    return cpu->BusyTime(CpuWork::kKernel) - before;
+  };
+
+  const SimDuration small = send_and_measure(256, {});
+  const SimDuration medium = send_and_measure(1024, {});
+  EXPECT_GT(medium, small);  // copying costs scale with bytes
+
+  // Two mapped messages of very different sizes cost the same.
+  std::vector<PageData> four(4, MakePatternPage(1));
+  std::vector<PageData> sixty_four(64, MakePatternPage(2));
+  const SimDuration mapped_small = send_and_measure(0, std::move(four));
+  const SimDuration mapped_large = send_and_measure(0, std::move(sixty_four));
+  EXPECT_EQ(mapped_small, mapped_large);
+  EXPECT_LT(mapped_large, Ms(300));
+}
+
+TEST_F(IpcTest, WireSizeAccounting) {
+  const CostTable& costs = bed.costs();
+  Message msg;
+  msg.inline_bytes = 100;
+  EXPECT_EQ(msg.WireSize(costs), kMessageHeaderBytes + 100);
+
+  msg.regions.push_back(MemoryRegion::Data(0, {MakePatternPage(1), MakePatternPage(2)}));
+  EXPECT_EQ(msg.WireSize(costs),
+            kMessageHeaderBytes + 100 + 2 * kPageSize + costs.amap_entry_bytes);
+  EXPECT_EQ(msg.DataBytes(), 2 * kPageSize);
+
+  msg.regions.push_back(
+      MemoryRegion::Iou(4096, 8 * kPageSize, IouRef{PortId(1), SegmentId(1), 0}));
+  EXPECT_EQ(msg.WireSize(costs), kMessageHeaderBytes + 100 + 2 * kPageSize +
+                                     costs.amap_entry_bytes + costs.iou_descriptor_bytes);
+  EXPECT_EQ(msg.DataBytes(), 2 * kPageSize);  // IOUs carry no data
+
+  msg.regions.push_back(MemoryRegion::Zero(16384, 100 * kPageSize));
+  // Zero regions ship shape only, never content.
+  EXPECT_EQ(msg.WireSize(costs), kMessageHeaderBytes + 100 + 2 * kPageSize +
+                                     2 * costs.amap_entry_bytes + costs.iou_descriptor_bytes);
+
+  msg.rights.push_back(PortRightTransfer{PortId(5), true});
+  EXPECT_EQ(msg.WireSize(costs), kMessageHeaderBytes + 100 + 2 * kPageSize +
+                                     2 * costs.amap_entry_bytes + costs.iou_descriptor_bytes +
+                                     kPortRightBytes);
+}
+
+TEST_F(IpcTest, AmapRiderCountsTowardWireSize) {
+  const CostTable& costs = bed.costs();
+  Message msg;
+  msg.amap.Set(0, kPageSize, MemClass::kReal);
+  msg.amap.Set(2 * kPageSize, 3 * kPageSize, MemClass::kRealZero);
+  msg.has_amap = true;
+  EXPECT_EQ(msg.WireSize(costs), kMessageHeaderBytes + 2 * costs.amap_entry_bytes);
+}
+
+TEST_F(IpcTest, BodyRoundTrip) {
+  struct Payload {
+    int x;
+  };
+  Message msg;
+  msg.body = Payload{42};
+  EXPECT_EQ(msg.BodyAs<Payload>().x, 42);
+}
+
+TEST_F(IpcTest, PortNames) {
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "fancy-name");
+  EXPECT_EQ(bed.fabric().NameOf(port), "fancy-name");
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,230 @@
+// Pager tests: every fault class, latencies against the paper's anchors,
+// prefetch behaviour, waiter joining, page-out accounting, death notices.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+#include "src/vm/backer.h"
+
+namespace accent {
+namespace {
+
+class PagerTest : public ::testing::Test {
+ protected:
+  PagerTest() {
+    space_ = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()), bed.host(0)->id);
+    image_ = bed.segments().CreateReal(64 * kPageSize, "image");
+    for (PageIndex p = 0; p < 64; ++p) {
+      image_->StorePage(p, MakePatternPage(p + 1));
+    }
+    // Remote backer on host 1.
+    backer_ = std::make_unique<SegmentBacker>(bed.host(1)->id, &bed.sim(), &bed.costs(),
+                                              &bed.fabric(), &bed.segments(), CpuWork::kProcess,
+                                              "test-backer");
+    backer_->Start();
+    remote_obj_ = bed.segments().CreateReal(64 * kPageSize, "remote");
+    for (PageIndex p = 0; p < 64; ++p) {
+      remote_obj_->StorePage(p, MakePatternPage(p + 1000));
+    }
+    iou_ = backer_->Back(remote_obj_);
+    standin_ = bed.segments().CreateImaginary(64 * kPageSize, iou_, "standin");
+
+    // Layout: [0,16) real, [16,32) zero, [32,48) imaginary.
+    space_->MapReal(0, 16 * kPageSize, image_, 0, false);
+    space_->Validate(16 * kPageSize, 32 * kPageSize);
+    space_->MapImaginary(32 * kPageSize, 48 * kPageSize, standin_, 0);
+  }
+
+  AccessOutcome Touch(Addr addr, bool write = false) {
+    AccessOutcome outcome;
+    bool done = false;
+    bed.pager(0)->Access(space_.get(), addr, write, [&](const AccessOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    bed.sim().Run();
+    EXPECT_TRUE(done);
+    return outcome;
+  }
+
+  SimDuration TimedTouch(Addr addr, bool write = false) {
+    const SimTime start = bed.sim().Now();
+    Touch(addr, write);
+    return bed.sim().Now() - start;
+  }
+
+  Testbed bed;
+  std::unique_ptr<AddressSpace> space_;
+  Segment* image_ = nullptr;
+  Segment* remote_obj_ = nullptr;
+  Segment* standin_ = nullptr;
+  std::unique_ptr<SegmentBacker> backer_;
+  IouRef iou_;
+};
+
+TEST_F(PagerTest, FillZeroFaultNeverTouchesDisk) {
+  const AccessOutcome outcome = Touch(16 * kPageSize);
+  EXPECT_EQ(outcome.fault, FaultKind::kFillZero);
+  EXPECT_EQ(bed.host(0)->disk->reads_completed(), 0u);
+  EXPECT_TRUE(bed.host(0)->memory->Contains(space_->id(), 16));
+  EXPECT_EQ(bed.pager(0)->stats().fillzero_faults, 1u);
+  EXPECT_EQ(space_->ClassOf(16 * kPageSize), MemClass::kReal);  // touched => real
+}
+
+TEST_F(PagerTest, DiskFaultMatchesPaperAnchor) {
+  const SimDuration latency = TimedTouch(0);
+  // Paper: 40.8 ms local fault.
+  EXPECT_NEAR(ToSeconds(latency), 0.0408, 0.005);
+  EXPECT_EQ(bed.host(0)->disk->reads_completed(), 1u);
+  EXPECT_EQ(bed.pager(0)->stats().disk_faults, 1u);
+}
+
+TEST_F(PagerTest, ResidentHitIsCheapAndTracked) {
+  Touch(0);
+  const SimDuration hit = TimedTouch(0);
+  EXPECT_LT(hit, Ms(1));
+  EXPECT_EQ(bed.pager(0)->stats().resident_hits, 1u);
+}
+
+TEST_F(PagerTest, RemoteImaginaryFaultMatchesPaperAnchor) {
+  const SimDuration latency = TimedTouch(32 * kPageSize);
+  // Paper: 115 ms; our calibration budgets ~108 ms.
+  EXPECT_NEAR(ToSeconds(latency), 0.115, 0.02);
+  EXPECT_EQ(bed.pager(0)->stats().imag_faults, 1u);
+  // Paper: ~2.8x the 40.8 ms local fault.
+  const double ratio = ToSeconds(latency) / 0.0408;
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST_F(PagerTest, ImaginaryFaultDeliversCorrectData) {
+  Touch(32 * kPageSize);
+  EXPECT_EQ(space_->ReadPage(32), MakePatternPage(1000));
+  EXPECT_EQ(space_->ClassOf(32 * kPageSize), MemClass::kReal);
+  // Neighbours remain owed without prefetch.
+  EXPECT_EQ(space_->ClassOf(33 * kPageSize), MemClass::kImag);
+}
+
+TEST_F(PagerTest, ImaginaryFaultWithOffsetMapping) {
+  // Map VA pages [48,52) at backer pages [8,12).
+  space_->MapImaginary(48 * kPageSize, 52 * kPageSize, standin_, 8 * kPageSize);
+  Touch(49 * kPageSize);
+  EXPECT_EQ(space_->ReadPage(49), MakePatternPage(1000 + 9));
+}
+
+TEST_F(PagerTest, PrefetchFetchesContiguousRun) {
+  bed.pager(0)->set_prefetch_pages(3);
+  Touch(32 * kPageSize);
+  const PagerStats& stats = bed.pager(0)->stats();
+  EXPECT_EQ(stats.imag_faults, 1u);
+  EXPECT_EQ(stats.imag_pages_fetched, 4u);
+  EXPECT_EQ(stats.prefetched_pages, 3u);
+  EXPECT_EQ(space_->ClassOf(33 * kPageSize), MemClass::kReal);
+  EXPECT_EQ(space_->ClassOf(35 * kPageSize), MemClass::kReal);
+  EXPECT_EQ(space_->ClassOf(36 * kPageSize), MemClass::kImag);
+  EXPECT_EQ(space_->ReadPage(35), MakePatternPage(1000 + 3));
+}
+
+TEST_F(PagerTest, PrefetchHitsAreCounted) {
+  bed.pager(0)->set_prefetch_pages(1);
+  Touch(32 * kPageSize);
+  Touch(33 * kPageSize);  // served by the prefetched page
+  const PagerStats& stats = bed.pager(0)->stats();
+  EXPECT_EQ(stats.imag_faults, 1u);
+  EXPECT_EQ(stats.prefetch_hits, 1u);
+  EXPECT_EQ(stats.resident_hits, 1u);
+}
+
+TEST_F(PagerTest, PrefetchClampedAtMappingBoundary) {
+  bed.pager(0)->set_prefetch_pages(100);
+  Touch(46 * kPageSize);  // pages 46,47 end the imaginary region
+  EXPECT_EQ(bed.pager(0)->stats().imag_pages_fetched, 2u);
+}
+
+TEST_F(PagerTest, ConcurrentFaultsOnSamePageJoin) {
+  int completions = 0;
+  bed.pager(0)->Access(space_.get(), 32 * kPageSize, false,
+                       [&](const AccessOutcome&) { ++completions; });
+  bed.pager(0)->Access(space_.get(), 32 * kPageSize, false,
+                       [&](const AccessOutcome&) { ++completions; });
+  bed.sim().Run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(bed.pager(0)->stats().imag_faults, 1u);  // one request served both
+  EXPECT_EQ(backer_->requests_served(), 1u);
+}
+
+TEST_F(PagerTest, FaultOnPrefetchCoveredPageJoins) {
+  bed.pager(0)->set_prefetch_pages(2);
+  int completions = 0;
+  bed.pager(0)->Access(space_.get(), 32 * kPageSize, false,
+                       [&](const AccessOutcome&) { ++completions; });
+  bed.pager(0)->Access(space_.get(), 34 * kPageSize, false,
+                       [&](const AccessOutcome&) { ++completions; });
+  bed.sim().Run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(bed.pager(0)->stats().imag_faults, 1u);
+}
+
+TEST_F(PagerTest, WriteToSharedSegmentPageCopiesOnWrite) {
+  Touch(0);  // make resident
+  EXPECT_FALSE(space_->HasPrivatePage(0));
+  Touch(0, /*write=*/true);  // resident write: copy-on-write resolution
+  EXPECT_TRUE(space_->HasPrivatePage(0));
+  EXPECT_GE(bed.pager(0)->stats().cow_faults, 1u);
+  // The origin segment is unchanged by the private copy.
+  EXPECT_EQ(image_->ReadPage(0), MakePatternPage(1));
+}
+
+TEST_F(PagerTest, WriteFaultOnNonResidentSegmentPage) {
+  // A write to a page that is neither resident nor private: disk fault,
+  // then the deferred copy, all before the access completes.
+  const AccessOutcome outcome = Touch(PageBase(1), /*write=*/true);
+  EXPECT_EQ(outcome.fault, FaultKind::kDisk);
+  EXPECT_TRUE(space_->HasPrivatePage(1));
+  EXPECT_TRUE(bed.host(0)->memory->IsDirty(space_->id(), 1));
+  EXPECT_GE(bed.pager(0)->stats().cow_faults, 1u);
+  EXPECT_EQ(image_->ReadPage(1), MakePatternPage(2));  // origin intact
+}
+
+TEST_F(PagerTest, EvictionPagesOutDirtyPages) {
+  // Shrink memory so faults evict.
+  TestbedConfig config;
+  config.frames_per_host = 4;
+  Testbed small(config);
+  auto space = std::make_unique<AddressSpace>(SpaceId(small.sim().AllocateId()),
+                                              small.host(0)->id);
+  space->Validate(0, 64 * kPageSize);
+  auto touch = [&](PageIndex page) {
+    bool done = false;
+    small.pager(0)->Access(space.get(), PageBase(page), true, [&](const AccessOutcome&) {
+      done = true;
+    });
+    small.sim().Run();
+    ASSERT_TRUE(done);
+  };
+  for (PageIndex p = 0; p < 8; ++p) {
+    touch(p);
+  }
+  // 8 dirty zero-fill pages through 4 frames: 4 page-outs.
+  EXPECT_EQ(small.pager(0)->stats().pageouts, 4u);
+  EXPECT_EQ(small.host(0)->disk->writes_completed(), 4u);
+  // Data survives eviction (contents live in the private store).
+  EXPECT_TRUE(space->HasPrivatePage(0));
+}
+
+TEST_F(PagerTest, DeathNoticeReachesBacker) {
+  Touch(32 * kPageSize);
+  EXPECT_EQ(backer_->deaths_received(), 0u);
+  bed.pager(0)->NotifySpaceDeath(space_.get());
+  bed.sim().Run();
+  EXPECT_EQ(backer_->deaths_received(), 1u);
+  EXPECT_EQ(backer_->object_count(), 0u);  // cache retired
+}
+
+TEST_F(PagerTest, StatsResetWorks) {
+  Touch(0);
+  bed.pager(0)->ResetStats();
+  EXPECT_EQ(bed.pager(0)->stats().disk_faults, 0u);
+}
+
+}  // namespace
+}  // namespace accent

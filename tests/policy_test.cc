@@ -1,0 +1,150 @@
+// Automatic load-balancing policy tests (§6 future work): sampling,
+// dispersal-aware candidate selection, convergence, no-thrash behaviour.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+#include "src/policy/load_balancer.h"
+
+namespace accent {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() : bed(MakeConfig()) {}
+
+  static TestbedConfig MakeConfig() {
+    TestbedConfig config;
+    config.host_count = 3;
+    return config;
+  }
+
+  std::unique_ptr<Process> MakeJob(const std::string& name, SimDuration compute,
+                                   PageIndex image_pages) {
+    auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+    Segment* image = bed.segments().CreateReal(image_pages * kPageSize, "img");
+    for (PageIndex p = 0; p < image_pages; ++p) {
+      image->StorePage(p, MakePatternPage(p + 1));
+    }
+    space->MapReal(0, image_pages * kPageSize, image, 0, false);
+    auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), name, bed.host(0),
+                                          std::move(space), 1);
+    TraceBuilder trace;
+    const auto slices = std::max<std::int64_t>(1, compute / Sec(1.0));
+    for (std::int64_t i = 0; i < slices; ++i) {
+      trace.Compute(compute / slices);
+      trace.Read(PageBase(static_cast<PageIndex>(i) % image_pages));
+    }
+    trace.Terminate();
+    proc->SetTrace(trace.Build(), 0);
+    return proc;
+  }
+
+  LoadBalancerPolicy MakePolicy(PolicyConfig config = PolicyConfig{}) {
+    LoadBalancerPolicy policy(&bed.sim(), config);
+    for (int i = 0; i < bed.host_count(); ++i) {
+      policy.AddHost(bed.host(i), bed.manager(i));
+    }
+    return policy;
+  }
+
+  Testbed bed;
+};
+
+TEST_F(PolicyTest, SampleLoadsCountsRunnableProcesses) {
+  auto a = MakeJob("a", Sec(30.0), 8);
+  auto b = MakeJob("b", Sec(30.0), 8);
+  bed.manager(0)->RegisterLocal(a.get());
+  bed.manager(0)->RegisterLocal(b.get());
+  a->Start();
+  b->Start();
+  bed.sim().RunUntil(Ms(100));  // let the engines queue their CPU slices
+
+  LoadBalancerPolicy policy = MakePolicy();
+  const auto loads = policy.SampleLoads();
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_EQ(loads[0].runnable, 2);
+  EXPECT_EQ(loads[1].runnable, 0);
+  EXPECT_EQ(loads[2].runnable, 0);
+  EXPECT_GT(loads[0].cpu_backlog.count(), 0);
+}
+
+TEST_F(PolicyTest, DispersalAwareCandidatePrefersLightAnchor) {
+  auto heavy = MakeJob("heavy", Sec(30.0), 256);  // 128 KB anchored
+  auto light = MakeJob("light", Sec(30.0), 8);    // 4 KB anchored
+  bed.manager(0)->RegisterLocal(heavy.get());
+  bed.manager(0)->RegisterLocal(light.get());
+  EXPECT_GT(LoadBalancerPolicy::LocalAnchorBytes(*heavy),
+            LoadBalancerPolicy::LocalAnchorBytes(*light));
+  EXPECT_EQ(LoadBalancerPolicy::PickCandidate(*bed.manager(0)), light.get());
+}
+
+TEST_F(PolicyTest, BalancesAnOverloadedHost) {
+  std::vector<std::unique_ptr<Process>> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(MakeJob("job-" + std::to_string(i), Sec(60.0), 16));
+    bed.manager(0)->RegisterLocal(jobs.back().get());
+    jobs.back()->Start();
+  }
+
+  PolicyConfig config;
+  config.sample_period = Sec(3.0);
+  LoadBalancerPolicy policy = MakePolicy(config);
+  policy.Start();
+  bed.sim().Run();
+
+  EXPECT_GE(policy.migrations_triggered(), 3u);  // spread 6 jobs off host 1
+  EXPECT_GT(policy.samples_taken(), 3u);
+  // Work landed on the other hosts and finished there.
+  EXPECT_GE(bed.manager(1)->adopted().size() + bed.manager(2)->adopted().size(), 3u);
+  // Every job finished somewhere (husks of re-balanced processes remain
+  // kExcised in their intermediate host's adopted list).
+  int finished = 0;
+  for (const auto& job : jobs) {
+    if (job->done()) {
+      ++finished;
+    }
+  }
+  for (int host = 0; host < 3; ++host) {  // a job can be balanced back home
+    for (const auto& adopted : bed.manager(host)->adopted()) {
+      if (adopted->state() != ProcState::kExcised) {
+        EXPECT_TRUE(adopted->done()) << adopted->name();
+        ++finished;
+      }
+    }
+  }
+  EXPECT_EQ(finished, 6);
+  // Convergence: no residual imbalance above threshold.
+  const auto loads = policy.SampleLoads();
+  for (const HostLoad& load : loads) {
+    EXPECT_EQ(load.runnable, 0);
+  }
+}
+
+TEST_F(PolicyTest, NoMigrationBelowThreshold) {
+  auto a = MakeJob("a", Sec(20.0), 8);
+  bed.manager(0)->RegisterLocal(a.get());
+  a->Start();
+
+  PolicyConfig config;
+  config.sample_period = Sec(2.0);
+  config.imbalance_threshold = 2;  // one process never trips it
+  LoadBalancerPolicy policy = MakePolicy(config);
+  policy.Start();
+  bed.sim().Run();
+  EXPECT_EQ(policy.migrations_triggered(), 0u);
+  EXPECT_TRUE(a->done());
+}
+
+TEST_F(PolicyTest, PolicyStopsWhenWorkDrains) {
+  auto a = MakeJob("a", Sec(5.0), 8);
+  bed.manager(0)->RegisterLocal(a.get());
+  a->Start();
+  LoadBalancerPolicy policy = MakePolicy();
+  policy.Start();
+  bed.sim().Run();  // must terminate: the policy stops rescheduling itself
+  EXPECT_TRUE(a->done());
+}
+
+}  // namespace
+}  // namespace accent

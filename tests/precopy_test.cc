@@ -1,0 +1,173 @@
+// Pre-copy migration baseline tests (the V-system comparison of section 5):
+// iterative shipment while running, acknowledged rounds, tiny downtime,
+// byte overhead, and full data integrity including mid-round writes.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+class PreCopyTest : public ::testing::Test {
+ protected:
+  // A process that keeps writing while the migration runs.
+  std::unique_ptr<Process> BuildWriter(Testbed* bed, int writes, SimDuration gap) {
+    auto space = std::make_unique<AddressSpace>(SpaceId(bed->sim().AllocateId()),
+                                                bed->host(0)->id);
+    Segment* image = bed->segments().CreateReal(64 * kPageSize, "img");
+    for (PageIndex p = 0; p < 64; ++p) {
+      image->StorePage(p, MakePatternPage(p + 1));
+    }
+    space->MapReal(0, 64 * kPageSize, image, 0, false);
+    space->Validate(64 * kPageSize, 128 * kPageSize);
+
+    auto proc = std::make_unique<Process>(ProcId(bed->sim().AllocateId()), "writer",
+                                          bed->host(0), std::move(space), 11);
+    TraceBuilder trace;
+    for (int i = 0; i < writes; ++i) {
+      trace.Write(PageBase(i % 64) + 100, static_cast<std::uint8_t>(i + 1));
+      trace.Compute(gap);
+    }
+    trace.Terminate();
+    proc->SetTrace(trace.Build(), 0);
+    return proc;
+  }
+
+  MigrationRecord MigratePre(Testbed* bed, Process* proc, PreCopyConfig config) {
+    MigrationRecord record;
+    bool done = false;
+    bed->manager(0)->RegisterLocal(proc);
+    bed->manager(0)->MigratePreCopy(proc, bed->manager(1)->port(), config,
+                                    [&](const MigrationRecord& r) {
+                                      record = r;
+                                      done = true;
+                                    });
+    bed->sim().Run();
+    EXPECT_TRUE(done);
+    return record;
+  }
+};
+
+TEST_F(PreCopyTest, MigratesWithIntactData) {
+  Testbed bed;
+  auto proc = BuildWriter(&bed, 40, Ms(200));
+  proc->Start();
+  bed.sim().RunUntil(Ms(500));  // a few writes happen before migration starts
+
+  const MigrationRecord record = MigratePre(&bed, proc.get(), PreCopyConfig{});
+  ASSERT_EQ(bed.manager(1)->adopted().size(), 1u);
+  Process* remote = bed.manager(1)->adopted()[0].get();
+  EXPECT_TRUE(remote->done());
+
+  // Every image page is present and correct — the written byte of each
+  // touched page reflects the *last* write to it, wherever it happened.
+  const Trace& trace = *remote->trace();
+  std::map<PageIndex, std::uint8_t> last_write;
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kTouch && op.write) {
+      last_write[PageOf(op.addr)] = op.value;
+    }
+  }
+  for (PageIndex p = 0; p < 64; ++p) {
+    const PageData page = remote->space()->ReadPage(p);
+    auto it = last_write.find(p);
+    if (it != last_write.end()) {
+      EXPECT_EQ(PageByteAt(page, 100), it->second) << "page " << p;
+    }
+    // Unwritten bytes of the image still match the original pattern.
+    EXPECT_EQ(PageByteAt(page, 7), PageByteAt(MakePatternPage(p + 1), 7)) << "page " << p;
+  }
+  EXPECT_GE(record.precopy_rounds, 1);
+}
+
+TEST_F(PreCopyTest, DowntimeIsMuchSmallerThanPureCopy) {
+  // Pure-copy baseline downtime.
+  SimDuration copy_downtime;
+  {
+    Testbed bed;
+    auto proc = BuildWriter(&bed, 30, Ms(100));
+    proc->Start();
+    bed.sim().RunUntil(Ms(300));
+    MigrationRecord record;
+    bool done = false;
+    bed.manager(0)->RegisterLocal(proc.get());
+    bed.manager(0)->Migrate(proc.get(), bed.manager(1)->port(), TransferStrategy::kPureCopy,
+                            [&](const MigrationRecord& r) {
+                              record = r;
+                              done = true;
+                            });
+    bed.sim().Run();
+    ASSERT_TRUE(done);
+    copy_downtime = record.Downtime();
+  }
+
+  Testbed bed;
+  auto proc = BuildWriter(&bed, 30, Ms(100));
+  proc->Start();
+  bed.sim().RunUntil(Ms(300));
+  const MigrationRecord record = MigratePre(&bed, proc.get(), PreCopyConfig{});
+
+  // 64 pages of image: pure-copy freezes through the whole ~3 s transfer;
+  // pre-copy freezes only for the final dirty pages.
+  EXPECT_LT(ToSeconds(record.Downtime()), ToSeconds(copy_downtime) * 0.8);
+  EXPECT_GT(record.frozen, record.requested);  // it really ran during rounds
+}
+
+TEST_F(PreCopyTest, TotalBytesExceedPureCopy) {
+  // Section 5: "both hosts still paid the transfer costs" — iterative
+  // copying re-ships dirtied pages, so total traffic >= one full copy.
+  ByteCount copy_bytes;
+  {
+    Testbed bed;
+    auto proc = BuildWriter(&bed, 30, Ms(100));
+    bed.manager(0)->RegisterLocal(proc.get());
+    bool done = false;
+    bed.manager(0)->Migrate(proc.get(), bed.manager(1)->port(), TransferStrategy::kPureCopy,
+                            [&](const MigrationRecord&) { done = true; });
+    bed.sim().Run();
+    ASSERT_TRUE(done);
+    copy_bytes = bed.traffic().TotalBytes();
+  }
+
+  Testbed bed;
+  auto proc = BuildWriter(&bed, 30, Ms(100));
+  proc->Start();
+  bed.sim().RunUntil(Ms(300));
+  const MigrationRecord record = MigratePre(&bed, proc.get(), PreCopyConfig{});
+  EXPECT_GT(record.precopy_bytes, 0u);
+  EXPECT_GE(bed.traffic().TotalBytes(), copy_bytes);
+}
+
+TEST_F(PreCopyTest, ConvergesEarlyWhenWritesStop) {
+  Testbed bed;
+  // Writes finish quickly; later rounds see an empty dirty set.
+  auto proc = BuildWriter(&bed, 3, Ms(10));
+  proc->Start();
+  bed.sim().Run();  // run to completion? No: terminate would fire. Use a fresh one.
+  // The process terminated already; use a never-started one instead: its
+  // dirty set is empty after round 0, so pre-copy freezes at round 1.
+  auto idle = BuildWriter(&bed, 5, Ms(10));
+  PreCopyConfig config;
+  config.max_rounds = 5;
+  const MigrationRecord record = MigratePre(&bed, idle.get(), config);
+  EXPECT_LE(record.precopy_rounds, 2);  // snapshot + at most one dirty round
+  Process* remote = bed.manager(1)->adopted().back().get();
+  EXPECT_TRUE(remote->done());
+}
+
+TEST_F(PreCopyTest, RoundsAreAcknowledgedFlowControl) {
+  Testbed bed;
+  auto proc = BuildWriter(&bed, 60, Ms(150));
+  proc->Start();
+  PreCopyConfig config;
+  config.max_rounds = 4;
+  config.stop_threshold = 0;
+  const MigrationRecord record = MigratePre(&bed, proc.get(), config);
+  // All configured rounds ran (the writer keeps dirtying).
+  EXPECT_EQ(record.precopy_rounds, 4);
+  // Each round shipped something; bytes grow beyond one image copy.
+  EXPECT_GT(record.precopy_bytes, 64u * kPageSize);
+}
+
+}  // namespace
+}  // namespace accent

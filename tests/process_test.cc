@@ -1,0 +1,148 @@
+// Process execution-engine tests: trace stepping, fault blocking,
+// suspension draining, termination side effects.
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+#include "src/proc/process.h"
+
+namespace accent {
+namespace {
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Process> Make(TracePtr trace) {
+    auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+    space->Validate(0, 64 * kPageSize);
+    auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "p", bed.host(0),
+                                          std::move(space), 1);
+    proc->SetTrace(std::move(trace), 0);
+    return proc;
+  }
+
+  Testbed bed;
+};
+
+TEST_F(ProcessTest, RunsComputeAndTerminates) {
+  auto proc = Make(TraceBuilder().Compute(Ms(10)).Compute(Ms(5)).Terminate().Build());
+  bool terminated = false;
+  proc->set_on_terminate([&](Process*) { terminated = true; });
+  proc->Start();
+  bed.sim().Run();
+  EXPECT_TRUE(proc->done());
+  EXPECT_TRUE(terminated);
+  EXPECT_EQ(proc->finish_time() - proc->start_time(), Ms(15));
+  EXPECT_EQ(bed.cpu(0)->BusyTime(CpuWork::kProcess), Ms(15));
+}
+
+TEST_F(ProcessTest, WritesLandInAddressSpace) {
+  auto proc = Make(TraceBuilder().Write(100, 77).Terminate().Build());
+  proc->Start();
+  bed.sim().Run();
+  EXPECT_TRUE(proc->done());
+  EXPECT_EQ(proc->space()->ReadByte(100), 77);
+}
+
+TEST_F(ProcessTest, TouchesFaultThroughPager) {
+  auto proc = Make(TraceBuilder().Read(0).Read(kPageSize).Terminate().Build());
+  proc->Start();
+  bed.sim().Run();
+  EXPECT_EQ(bed.pager(0)->stats().fillzero_faults, 2u);
+}
+
+TEST_F(ProcessTest, SuspendBetweenOpsIsImmediate) {
+  auto proc = Make(TraceBuilder().Compute(Sec(100.0)).Terminate().Build());
+  bool suspended = false;
+  proc->RequestSuspend([&] { suspended = true; });
+  EXPECT_TRUE(suspended);  // never started: already quiescent
+  EXPECT_EQ(proc->state(), ProcState::kReady);
+}
+
+TEST_F(ProcessTest, SuspendDrainsInFlightAccess) {
+  // A remote fault takes ~100 ms; request suspension mid-fault.
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  space->Validate(0, kPageSize);
+  // Remote imaginary page backed by host 1's NetMsgServer cache.
+  std::vector<std::pair<PageIndex, PageData>> pages;
+  pages.emplace_back(8, MakePatternPage(8));
+  const IouRef iou = bed.netmsg(1)->AdoptPages(std::move(pages), "t");
+  Segment* standin = bed.segments().CreateImaginary(kAddressSpaceLimit, iou, "s");
+  space->MapImaginary(8 * kPageSize, 9 * kPageSize, standin, 8 * kPageSize);
+
+  auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "p", bed.host(0),
+                                        std::move(space), 1);
+  proc->SetTrace(
+      TraceBuilder().Read(8 * kPageSize).Compute(Ms(1)).Terminate().Build(), 0);
+  proc->Start();
+  bed.sim().RunUntil(Ms(10));  // inside the remote fault
+  bool suspended = false;
+  proc->RequestSuspend([&] { suspended = true; });
+  EXPECT_FALSE(suspended);  // must drain first
+  bed.sim().Run();
+  EXPECT_TRUE(suspended);
+  EXPECT_EQ(proc->state(), ProcState::kSuspended);
+  // The access completed (page present, pc advanced) before quiescence.
+  EXPECT_TRUE(proc->space()->HasPrivatePage(8));
+  EXPECT_EQ(proc->trace_pc(), 1u);
+  // Resume finishes the trace.
+  proc->Start();
+  bed.sim().Run();
+  EXPECT_TRUE(proc->done());
+}
+
+TEST_F(ProcessTest, TerminationNotifiesBackersAndFreesMemory) {
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  space->Validate(0, kPageSize);
+  std::vector<std::pair<PageIndex, PageData>> pages;
+  pages.emplace_back(4, MakePatternPage(4));
+  const IouRef iou = bed.netmsg(1)->AdoptPages(std::move(pages), "t");
+  Segment* standin = bed.segments().CreateImaginary(kAddressSpaceLimit, iou, "s");
+  space->MapImaginary(4 * kPageSize, 5 * kPageSize, standin, 4 * kPageSize);
+  const SpaceId space_id = space->id();
+
+  auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "p", bed.host(0),
+                                        std::move(space), 1);
+  proc->SetTrace(TraceBuilder().Read(0).Terminate().Build(), 0);
+  proc->Start();
+  bed.sim().Run();
+  EXPECT_TRUE(proc->done());
+  EXPECT_EQ(bed.host(0)->memory->ResidentCount(space_id), 0u);
+  // Imaginary Segment Death reached the backer even though never touched.
+  EXPECT_EQ(bed.netmsg(1)->backer().deaths_received(), 1u);
+  EXPECT_EQ(bed.netmsg(1)->backer().object_count(), 0u);
+}
+
+TEST_F(ProcessTest, ReceivesUserMessages) {
+  auto proc = Make(TraceBuilder().Compute(Ms(1)).Terminate().Build());
+  const PortId port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "inbox");
+  proc->AttachReceiveRight(port);
+  Message msg;
+  msg.dest = port;
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+  bed.sim().Run();
+  EXPECT_EQ(proc->user_messages_received(), 1u);
+}
+
+TEST_F(ProcessTest, TraceHelpers) {
+  auto trace = TraceBuilder()
+                   .Compute(Ms(10))
+                   .Read(0)
+                   .Write(kPageSize, 1)
+                   .Read(3)  // same page as the first read
+                   .Compute(Ms(5))
+                   .Terminate()
+                   .Build();
+  EXPECT_EQ(TraceComputeTime(*trace), Ms(15));
+  EXPECT_EQ(TraceTouchedPages(*trace), 2u);
+}
+
+TEST_F(ProcessTest, StateNames) {
+  EXPECT_STREQ(ProcStateName(ProcState::kReady), "ready");
+  EXPECT_STREQ(ProcStateName(ProcState::kDone), "done");
+  EXPECT_STREQ(ProcStateName(ProcState::kExcised), "excised");
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,210 @@
+// Segment store and user-level SegmentBacker tests (section 2.2: any
+// process can lazily back memory through one of its ports).
+#include <gtest/gtest.h>
+
+#include "src/experiments/testbed.h"
+#include "src/vm/backer.h"
+#include "src/vm/imag_protocol.h"
+
+namespace accent {
+namespace {
+
+TEST(Segment, SparseStoreReadsZeroForAbsentPages) {
+  Simulator sim;
+  SegmentTable table(&sim);
+  Segment* seg = table.CreateReal(8 * kPageSize, "s");
+  EXPECT_EQ(seg->ReadPage(0), PageData{});
+  EXPECT_FALSE(seg->HasPage(0));
+  seg->StorePage(3, MakePatternPage(3));
+  EXPECT_TRUE(seg->HasPage(3));
+  EXPECT_EQ(seg->ReadPage(3), MakePatternPage(3));
+  EXPECT_EQ(seg->stored_pages(), 1u);
+}
+
+TEST(Segment, StoringZeroPageKeepsSparse) {
+  Simulator sim;
+  SegmentTable table(&sim);
+  Segment* seg = table.CreateReal(8 * kPageSize, "s");
+  seg->StorePage(1, MakePatternPage(1));
+  seg->StorePage(1, PageData{});  // overwrite with zeros -> drop
+  EXPECT_FALSE(seg->HasPage(1));
+  EXPECT_EQ(seg->stored_pages(), 0u);
+}
+
+TEST(Segment, TableLifecycle) {
+  Simulator sim;
+  SegmentTable table(&sim);
+  Segment* seg = table.CreateReal(kPageSize, "s");
+  const SegmentId id = seg->id();
+  EXPECT_EQ(table.Find(id), seg);
+  table.Destroy(id);
+  EXPECT_EQ(table.Find(id), nullptr);
+  EXPECT_EQ(table.count(), 0u);
+}
+
+TEST(Segment, ImaginaryCarriesBacking) {
+  Simulator sim;
+  SegmentTable table(&sim);
+  const IouRef iou{PortId(1), SegmentId(2), 3 * kPageSize};
+  Segment* seg = table.CreateImaginary(16 * kPageSize, iou, "i");
+  EXPECT_EQ(seg->kind(), SegmentKind::kImaginary);
+  EXPECT_EQ(seg->backing().backing_port, PortId(1));
+  EXPECT_EQ(seg->backing().offset, 3 * kPageSize);
+}
+
+class BackerTest : public ::testing::Test {
+ protected:
+  BackerTest()
+      : backer_(bed.host(1)->id, &bed.sim(), &bed.costs(), &bed.fabric(), &bed.segments(),
+                CpuWork::kProcess, "backer") {
+    backer_.Start();
+  }
+
+  // Sends a raw read request from host 0 and returns the reply pages.
+  std::vector<PageData> Request(IouRef iou, ByteCount offset, std::uint32_t pages) {
+    struct Sink : Receiver {
+      std::vector<PageData> pages;
+      bool got = false;
+      void HandleMessage(Message msg) override {
+        got = true;
+        pages = msg.regions.at(0).pages;
+      }
+    } sink;
+    const PortId reply = bed.fabric().AllocatePort(bed.host(0)->id, &sink, "reply");
+
+    ImagReadRequest request;
+    request.request_id = 77;
+    request.segment = iou.segment;
+    request.offset = offset;
+    request.page_count = pages;
+    request.reply_port = reply;
+
+    Message msg;
+    msg.dest = iou.backing_port;
+    msg.op = MsgOp::kImagReadRequest;
+    msg.inline_bytes = bed.costs().fault_request_bytes;
+    msg.body = request;
+    EXPECT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
+    bed.sim().Run();
+    EXPECT_TRUE(sink.got);
+    return sink.pages;
+  }
+
+  Testbed bed;
+  SegmentBacker backer_;
+};
+
+TEST_F(BackerTest, ServesSinglePage) {
+  Segment* obj = bed.segments().CreateReal(4 * kPageSize, "obj");
+  obj->StorePage(2, MakePatternPage(2));
+  const IouRef iou = backer_.Back(obj);
+  const auto pages = Request(iou, 2 * kPageSize, 1);
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0], MakePatternPage(2));
+  EXPECT_EQ(backer_.pages_served(), 1u);
+}
+
+TEST_F(BackerTest, ClampsAtObjectEnd) {
+  Segment* obj = bed.segments().CreateReal(4 * kPageSize, "obj");
+  const IouRef iou = backer_.Back(obj);
+  const auto pages = Request(iou, 2 * kPageSize, 10);
+  EXPECT_EQ(pages.size(), 2u);
+}
+
+TEST_F(BackerTest, ZeroPagesWithinObjectAreServed) {
+  Segment* obj = bed.segments().CreateReal(4 * kPageSize, "obj");
+  const IouRef iou = backer_.Back(obj);
+  const auto pages = Request(iou, 0, 1);
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_TRUE(IsZeroPage(pages[0]));
+}
+
+TEST_F(BackerTest, BackPagesBuildsObject) {
+  const IouRef iou = backer_.BackPages(16 * kPageSize, 4 * kPageSize,
+                                       {MakePatternPage(10), MakePatternPage(11)}, "built");
+  const auto pages = Request(iou, 4 * kPageSize, 2);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], MakePatternPage(10));
+  EXPECT_EQ(pages[1], MakePatternPage(11));
+}
+
+TEST_F(BackerTest, BackSparsePagesBuildsVaIndexedObject) {
+  std::vector<std::pair<PageIndex, PageData>> sparse;
+  sparse.emplace_back(100, MakePatternPage(100));
+  sparse.emplace_back(5000, MakePatternPage(5000));
+  const IouRef iou = backer_.BackSparsePages(kAddressSpaceLimit, std::move(sparse), "sparse");
+  EXPECT_EQ(Request(iou, 100 * kPageSize, 1)[0], MakePatternPage(100));
+  EXPECT_EQ(Request(iou, 5000 * kPageSize, 1)[0], MakePatternPage(5000));
+}
+
+TEST_F(BackerTest, DeathRetiresObject) {
+  Segment* obj = bed.segments().CreateReal(kPageSize, "obj");
+  const IouRef iou = backer_.Back(obj);
+  EXPECT_EQ(backer_.object_count(), 1u);
+
+  Message death;
+  death.dest = iou.backing_port;
+  death.op = MsgOp::kImagSegmentDeath;
+  death.body = ImagSegmentDeath{iou.segment};
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(death)).ok());
+  bed.sim().Run();
+  EXPECT_EQ(backer_.object_count(), 0u);
+  EXPECT_EQ(backer_.deaths_received(), 1u);
+  EXPECT_FALSE(backer_.Owns(iou.segment));
+}
+
+TEST_F(BackerTest, RefCountedDeathRetiresOnlyAtZero) {
+  // Two references to the same object: the first death notice leaves it
+  // serving, the second retires it (section 2.2: "until all references to
+  // it die out").
+  Segment* obj = bed.segments().CreateReal(kPageSize, "shared");
+  obj->StorePage(0, MakePatternPage(3));
+  const IouRef iou = backer_.Back(obj);
+  backer_.AddRef(iou.segment);
+  EXPECT_EQ(backer_.RefCount(iou.segment), 2u);
+
+  auto send_death = [&]() {
+    Message death;
+    death.dest = iou.backing_port;
+    death.op = MsgOp::kImagSegmentDeath;
+    death.body = ImagSegmentDeath{iou.segment};
+    ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(death)).ok());
+    bed.sim().Run();
+  };
+
+  send_death();
+  EXPECT_EQ(backer_.object_count(), 1u);
+  EXPECT_EQ(backer_.RefCount(iou.segment), 1u);
+  // Still serving after the first death.
+  EXPECT_EQ(Request(iou, 0, 1)[0], MakePatternPage(3));
+
+  send_death();
+  EXPECT_EQ(backer_.object_count(), 0u);
+  // Externally-owned segment: dropped from service but not destroyed.
+  EXPECT_NE(bed.segments().Find(iou.segment), nullptr);
+}
+
+TEST_F(BackerTest, BackerOwnedObjectsAreDestroyedAtZeroRefs) {
+  const IouRef iou = backer_.BackPages(4 * kPageSize, 0, {MakePatternPage(1)}, "owned");
+  Message death;
+  death.dest = iou.backing_port;
+  death.op = MsgOp::kImagSegmentDeath;
+  death.body = ImagSegmentDeath{iou.segment};
+  ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(death)).ok());
+  bed.sim().Run();
+  EXPECT_EQ(bed.segments().Find(iou.segment), nullptr);  // created by the backer
+}
+
+TEST_F(BackerTest, MultipleObjectsIndependentlyAddressed) {
+  Segment* a = bed.segments().CreateReal(kPageSize, "a");
+  a->StorePage(0, MakePatternPage(1));
+  Segment* b = bed.segments().CreateReal(kPageSize, "b");
+  b->StorePage(0, MakePatternPage(2));
+  const IouRef iou_a = backer_.Back(a);
+  const IouRef iou_b = backer_.Back(b);
+  EXPECT_EQ(Request(iou_a, 0, 1)[0], MakePatternPage(1));
+  EXPECT_EQ(Request(iou_b, 0, 1)[0], MakePatternPage(2));
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,198 @@
+// Stress: many processes migrating concurrently among several hosts, with
+// interleaved bulk transfers, fault traffic and completions sharing the
+// wire and the CPUs. Everything must finish, and every byte must be right.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/experiments/testbed.h"
+
+namespace accent {
+namespace {
+
+struct Job {
+  std::unique_ptr<Process> process;
+  Process* final_process = nullptr;  // wherever it ended up
+  std::uint64_t content_base = 0;
+  std::vector<PageIndex> touched;
+  std::map<Addr, std::uint8_t> writes;
+};
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, ConcurrentMigrationsStayCoherent) {
+  Rng rng(GetParam() * 9176 + 3);
+  TestbedConfig config;
+  config.host_count = 3;
+  Testbed bed(config);
+
+  constexpr int kJobs = 8;
+  constexpr PageIndex kImagePages = 48;
+  std::vector<Job> jobs(kJobs);
+
+  for (int i = 0; i < kJobs; ++i) {
+    Job& job = jobs[i];
+    job.content_base = 100000ull * (i + 1);
+    auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                                bed.host(0)->id);
+    Segment* image = bed.segments().CreateReal(kImagePages * kPageSize, "img");
+    for (PageIndex p = 0; p < kImagePages; ++p) {
+      image->StorePage(p, MakePatternPage(job.content_base + p));
+    }
+    space->MapReal(0, kImagePages * kPageSize, image, 0, false);
+    space->Validate(kImagePages * kPageSize, 2 * kImagePages * kPageSize);
+
+    TraceBuilder trace;
+    const int touches = 10 + static_cast<int>(rng.NextBelow(20));
+    for (int t = 0; t < touches; ++t) {
+      const PageIndex page = rng.NextBelow(kImagePages);
+      job.touched.push_back(page);
+      if (rng.NextBool(0.3)) {
+        const Addr addr = PageBase(page) + 5;
+        const auto value = static_cast<std::uint8_t>(rng.NextBelow(256));
+        trace.Write(addr, value);
+        job.writes[addr] = value;
+      } else {
+        trace.Read(PageBase(page));
+      }
+      trace.Compute(Ms(static_cast<std::int64_t>(rng.NextBelow(400))));
+    }
+    trace.Terminate();
+
+    job.process = std::make_unique<Process>(ProcId(bed.sim().AllocateId()),
+                                            "stress-" + std::to_string(i), bed.host(0),
+                                            std::move(space), i + 1);
+    job.process->SetTrace(trace.Build(), 0);
+    bed.manager(0)->RegisterLocal(job.process.get());
+  }
+
+  // Launch every migration in one burst: 8 excisions, 8 bulk/IOU transfers
+  // and all subsequent fault traffic interleave on host 1's CPU and the
+  // shared wire.
+  int completions = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const auto strategy = static_cast<TransferStrategy>(rng.NextBelow(3));
+    const int dest = 1 + static_cast<int>(rng.NextBelow(2));
+    bed.manager(0)->Migrate(jobs[i].process.get(), bed.manager(dest)->port(), strategy,
+                            [&completions](const MigrationRecord&) { ++completions; });
+  }
+  bed.sim().Run();
+  ASSERT_EQ(completions, kJobs);
+
+  // Find every process wherever it landed and verify it.
+  for (int host = 1; host < 3; ++host) {
+    for (const auto& adopted : bed.manager(host)->adopted()) {
+      for (Job& job : jobs) {
+        if (adopted->id() == job.process->id()) {
+          job.final_process = adopted.get();
+        }
+      }
+    }
+  }
+  for (Job& job : jobs) {
+    ASSERT_NE(job.final_process, nullptr);
+    ASSERT_TRUE(job.final_process->done()) << job.final_process->name();
+    AddressSpace* space = job.final_process->space();
+    for (PageIndex page : job.touched) {
+      const Addr written_probe = PageBase(page) + 5;
+      if (job.writes.count(written_probe) != 0) {
+        EXPECT_EQ(space->ReadByte(written_probe), job.writes[written_probe])
+            << job.final_process->name() << " page " << page;
+      } else {
+        EXPECT_EQ(space->ReadPage(page), MakePatternPage(job.content_base + page))
+            << job.final_process->name() << " page " << page;
+      }
+    }
+  }
+  // The source's cached objects all received their death notices.
+  EXPECT_EQ(bed.netmsg(0)->backer().object_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(StressPingPong, ProcessBouncesBetweenHosts) {
+  // A -> B -> A -> B ... five hops, executing a little at each stop; owed
+  // memory chains through the NetMsgServer caches and always resolves.
+  Testbed bed;
+  constexpr PageIndex kPages = 32;
+  auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
+                                              bed.host(0)->id);
+  Segment* image = bed.segments().CreateReal(kPages * kPageSize, "img");
+  for (PageIndex p = 0; p < kPages; ++p) {
+    image->StorePage(p, MakePatternPage(777 + p));
+  }
+  space->MapReal(0, kPages * kPageSize, image, 0, false);
+
+  TraceBuilder trace;
+  for (PageIndex p = 0; p < kPages; p += 2) {
+    trace.Read(PageBase(p));
+    trace.Compute(Sec(1.0));
+  }
+  trace.Terminate();
+
+  auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "pingpong",
+                                        bed.host(0), std::move(space), 1);
+  proc->SetTrace(trace.Build(), 0);
+  const ProcId id = proc->id();
+  bed.manager(0)->RegisterLocal(proc.get());
+  proc->Start();
+
+  int hops_left = 5;
+  int current = 0;
+  std::function<void()> hop = [&]() {
+    if (hops_left == 0) {
+      return;
+    }
+    --hops_left;
+    const int next = 1 - current;
+    Process* running = nullptr;
+    if (current == 0 && hops_left == 4) {
+      running = proc.get();
+    } else {
+      for (const auto& adopted : bed.manager(current)->adopted()) {
+        if (adopted->id() == id) {
+          running = adopted.get();
+        }
+      }
+    }
+    ASSERT_NE(running, nullptr);
+    if (running->done()) {
+      hops_left = 0;
+      return;
+    }
+    bed.manager(current)->Migrate(running, bed.manager(next)->port(),
+                                  TransferStrategy::kPureIou,
+                                  [&current, &hop, next](const MigrationRecord&) {
+                                    current = next;
+                                    hop();
+                                  });
+  };
+  hop();
+  bed.sim().Run();
+
+  // Wherever it ended, it finished with correct data.
+  Process* final_proc = nullptr;
+  for (int host = 0; host < 2; ++host) {
+    for (const auto& adopted : bed.manager(host)->adopted()) {
+      if (adopted->id() == id) {
+        final_proc = adopted.get();
+      }
+    }
+  }
+  ASSERT_NE(final_proc, nullptr);
+  EXPECT_TRUE(final_proc->done());
+  // Pages touched at the final stop are materialised there with correct
+  // contents; pages touched at earlier stops travelled onward as IOUs and
+  // are legitimately still owed (their caches were retired at death).
+  int materialised = 0;
+  for (PageIndex p = 0; p < kPages; p += 2) {
+    if (final_proc->space()->ClassOf(PageBase(p)) != MemClass::kReal) {
+      continue;
+    }
+    ++materialised;
+    EXPECT_EQ(final_proc->space()->ReadPage(p), MakePatternPage(777 + p)) << "page " << p;
+  }
+  EXPECT_GT(materialised, 0);
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,48 @@
+// End-to-end smoke: migrate Minprog under each strategy and sanity-check
+// the whole pipeline (excise -> transfer -> insert -> remote execution).
+#include <gtest/gtest.h>
+
+#include "src/experiments/trial.h"
+
+namespace accent {
+namespace {
+
+TEST(TrialSmoke, PureCopyMinprog) {
+  TrialConfig config;
+  config.workload = "Minprog";
+  config.strategy = TransferStrategy::kPureCopy;
+  const TrialResult result = RunTrial(config);
+
+  EXPECT_EQ(result.spec.real_bytes, 142336u);
+  EXPECT_GT(result.bytes_bulk, result.spec.real_bytes);  // pages + descriptors
+  EXPECT_EQ(result.dest_pager.imag_faults, 0u);
+  EXPECT_GT(result.remote_exec.count(), 0);
+  EXPECT_GT(ToSeconds(result.migration.RimasTransferTime()), 5.0);
+  EXPECT_LT(ToSeconds(result.migration.RimasTransferTime()), 15.0);
+}
+
+TEST(TrialSmoke, PureIouMinprog) {
+  TrialConfig config;
+  config.workload = "Minprog";
+  config.strategy = TransferStrategy::kPureIou;
+  const TrialResult result = RunTrial(config);
+
+  // The address space ships as IOUs: transfer is fast, faults are remote.
+  EXPECT_LT(ToSeconds(result.migration.RimasTransferTime()), 1.0);
+  EXPECT_EQ(result.dest_pager.imag_faults, 24u);
+  EXPECT_LT(result.bytes_total, 142336u);  // far less than the full image
+}
+
+TEST(TrialSmoke, ResidentSetMinprog) {
+  TrialConfig config;
+  config.workload = "Minprog";
+  config.strategy = TransferStrategy::kResidentSet;
+  const TrialResult result = RunTrial(config);
+
+  EXPECT_EQ(result.migration.resident_bytes_shipped, 71680u);
+  // All touched pages are resident for Minprog: no remote faults.
+  EXPECT_EQ(result.dest_pager.imag_faults, 0u);
+}
+
+}  // namespace
+}  // namespace accent

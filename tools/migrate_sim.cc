@@ -1,0 +1,151 @@
+// migrate_sim: command-line driver for single migration trials.
+//
+//   migrate_sim --list
+//   migrate_sim --workload=Lisp-Del --strategy=iou --prefetch=3
+//   migrate_sim --workload=PM-Start --strategy=rs --series
+//
+// Runs one trial on the simulated two-Perq testbed and prints the full
+// measurement record: phase timings, byte traffic by category, fault
+// behaviour, message-handling cost, and (with --series) the transfer-rate
+// series of Figure 4-5.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/experiments/report.h"
+#include "src/experiments/trial.h"
+#include "src/metrics/table.h"
+
+namespace accent {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: migrate_sim [options]\n"
+      "  --list                 list the representative workloads and exit\n"
+      "  --workload=NAME        which process to migrate (default Minprog)\n"
+      "  --strategy=copy|iou|rs transfer strategy (default iou)\n"
+      "  --prefetch=N           pages prefetched per imaginary fault (default 0)\n"
+      "  --seed=N               trial seed (default 42)\n"
+      "  --frames=N             destination physical memory frames (default 4096)\n"
+      "  --no-iou-caching       disable NetMsgServer IOU substitution\n"
+      "  --series               print the byte transfer-rate series\n"
+      "  --csv                  emit one machine-readable CSV row\n"
+      "  --sweep                run the full strategy x prefetch grid as CSV\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return false;
+  }
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  if (arg[len] != '=') {
+    return false;
+  }
+  *value = arg + len + 1;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  TrialConfig config;
+  config.workload = "Minprog";
+  config.strategy = TransferStrategy::kPureIou;
+  bool series = false;
+  bool csv = false;
+  bool sweep = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--list", &value)) {
+      std::printf("Representative workloads (section 4.1):\n");
+      for (const WorkloadSpec& spec : RepresentativeWorkloads()) {
+        std::printf("  %-9s Real %9s B, total %13s B, RS %9s B — %s\n", spec.name.c_str(),
+                    FormatWithCommas(spec.real_bytes).c_str(),
+                    FormatWithCommas(spec.total_bytes()).c_str(),
+                    FormatWithCommas(spec.resident_bytes).c_str(),
+                    spec.pattern == AccessPattern::kSequentialScan ? "sequential scan"
+                    : spec.pattern == AccessPattern::kRandomClustered ? "clustered random"
+                    : spec.pattern == AccessPattern::kComputeBound ? "compute bound"
+                                                                    : "minimal");
+      }
+      return 0;
+    }
+    if (ParseFlag(argv[i], "--workload", &value)) {
+      config.workload = value;
+    } else if (ParseFlag(argv[i], "--strategy", &value)) {
+      if (value == "copy") {
+        config.strategy = TransferStrategy::kPureCopy;
+      } else if (value == "iou") {
+        config.strategy = TransferStrategy::kPureIou;
+      } else if (value == "rs") {
+        config.strategy = TransferStrategy::kResidentSet;
+      } else {
+        std::fprintf(stderr, "unknown strategy '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--prefetch", &value)) {
+      config.prefetch = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      config.seed = std::stoull(value);
+    } else if (ParseFlag(argv[i], "--frames", &value)) {
+      config.frames_per_host = std::stoul(value);
+    } else if (ParseFlag(argv[i], "--no-iou-caching", &value)) {
+      config.iou_caching = false;
+    } else if (ParseFlag(argv[i], "--series", &value)) {
+      series = true;
+    } else if (ParseFlag(argv[i], "--csv", &value)) {
+      csv = true;
+    } else if (ParseFlag(argv[i], "--sweep", &value)) {
+      sweep = true;
+    } else if (ParseFlag(argv[i], "--help", &value) || ParseFlag(argv[i], "-h", &value)) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (sweep) {
+    std::printf("%s", TrialsToCsv(RunStrategySweep(config.workload, config.seed)).c_str());
+    return 0;
+  }
+
+  const TrialResult r = RunTrial(config);
+  if (csv) {
+    std::printf("%s\n%s\n", TrialCsvHeader().c_str(), TrialCsvRow(r).c_str());
+    if (series) {
+      std::printf("%s", SeriesToCsv(r).c_str());
+    }
+    return 0;
+  }
+
+  std::printf("%s", TrialReport(r).c_str());
+
+  if (series) {
+    std::printf("\nTransfer-rate series (bucket %.1f s):\n", ToSeconds(r.series_bucket));
+    for (const auto& bucket : r.series) {
+      ByteCount fault = bucket.bytes[static_cast<int>(TrafficKind::kFaultData)];
+      ByteCount total = 0;
+      for (ByteCount b : bucket.bytes) {
+        total += b;
+      }
+      if (total == 0) {
+        continue;
+      }
+      std::printf("  %8.1f s  %10s B (%s B fault)\n", ToSeconds(bucket.start),
+                  FormatWithCommas(total).c_str(), FormatWithCommas(fault).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace accent
+
+int main(int argc, char** argv) { return accent::Run(argc, argv); }
