@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iou_caching.dir/ablation_iou_caching.cc.o"
+  "CMakeFiles/ablation_iou_caching.dir/ablation_iou_caching.cc.o.d"
+  "ablation_iou_caching"
+  "ablation_iou_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iou_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_precopy.dir/baseline_precopy.cc.o"
+  "CMakeFiles/baseline_precopy.dir/baseline_precopy.cc.o.d"
+  "baseline_precopy"
+  "baseline_precopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_precopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bystander_impact.dir/bystander_impact.cc.o"
+  "CMakeFiles/bystander_impact.dir/bystander_impact.cc.o.d"
+  "bystander_impact"
+  "bystander_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bystander_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure_4_2.cc" "bench/CMakeFiles/figure_4_2.dir/figure_4_2.cc.o" "gcc" "bench/CMakeFiles/figure_4_2.dir/figure_4_2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/accent_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/accent_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/accent_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/accent_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/accent_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmsg/CMakeFiles/accent_netmsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/accent_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/accent_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/accent_amap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/accent_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/accent_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/accent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/accent_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

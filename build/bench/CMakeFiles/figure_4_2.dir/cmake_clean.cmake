@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_2.dir/figure_4_2.cc.o"
+  "CMakeFiles/figure_4_2.dir/figure_4_2.cc.o.d"
+  "figure_4_2"
+  "figure_4_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_3.dir/figure_4_3.cc.o"
+  "CMakeFiles/figure_4_3.dir/figure_4_3.cc.o.d"
+  "figure_4_3"
+  "figure_4_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitzgerald_ipc.dir/fitzgerald_ipc.cc.o"
+  "CMakeFiles/fitzgerald_ipc.dir/fitzgerald_ipc.cc.o.d"
+  "fitzgerald_ipc"
+  "fitzgerald_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitzgerald_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

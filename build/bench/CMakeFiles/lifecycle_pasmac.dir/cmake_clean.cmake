@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifecycle_pasmac.dir/lifecycle_pasmac.cc.o"
+  "CMakeFiles/lifecycle_pasmac.dir/lifecycle_pasmac.cc.o.d"
+  "lifecycle_pasmac"
+  "lifecycle_pasmac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifecycle_pasmac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_faults.dir/micro_faults.cc.o"
+  "CMakeFiles/micro_faults.dir/micro_faults.cc.o.d"
+  "micro_faults"
+  "micro_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

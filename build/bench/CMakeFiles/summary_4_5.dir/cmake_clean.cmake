@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_4_5.dir/summary_4_5.cc.o"
+  "CMakeFiles/summary_4_5.dir/summary_4_5.cc.o.d"
+  "summary_4_5"
+  "summary_4_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_4_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_4_1.dir/table_4_1.cc.o"
+  "CMakeFiles/table_4_1.dir/table_4_1.cc.o.d"
+  "table_4_1"
+  "table_4_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_4_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

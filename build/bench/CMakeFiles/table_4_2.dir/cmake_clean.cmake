@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_4_2.dir/table_4_2.cc.o"
+  "CMakeFiles/table_4_2.dir/table_4_2.cc.o.d"
+  "table_4_2"
+  "table_4_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_4_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_4_4.dir/table_4_4.cc.o"
+  "CMakeFiles/table_4_4.dir/table_4_4.cc.o.d"
+  "table_4_4"
+  "table_4_4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_4_4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

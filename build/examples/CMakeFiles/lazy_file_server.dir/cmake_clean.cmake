@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_file_server.dir/lazy_file_server.cpp.o"
+  "CMakeFiles/lazy_file_server.dir/lazy_file_server.cpp.o.d"
+  "lazy_file_server"
+  "lazy_file_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_file_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

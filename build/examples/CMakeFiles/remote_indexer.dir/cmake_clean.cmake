@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_indexer.dir/remote_indexer.cpp.o"
+  "CMakeFiles/remote_indexer.dir/remote_indexer.cpp.o.d"
+  "remote_indexer"
+  "remote_indexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_indexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

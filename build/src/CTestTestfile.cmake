@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("host")
+subdirs("net")
+subdirs("ipc")
+subdirs("vm")
+subdirs("fs")
+subdirs("netmsg")
+subdirs("proc")
+subdirs("migration")
+subdirs("policy")
+subdirs("workloads")
+subdirs("metrics")
+subdirs("experiments")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_base.dir/check.cc.o"
+  "CMakeFiles/accent_base.dir/check.cc.o.d"
+  "CMakeFiles/accent_base.dir/logging.cc.o"
+  "CMakeFiles/accent_base.dir/logging.cc.o.d"
+  "CMakeFiles/accent_base.dir/page_data.cc.o"
+  "CMakeFiles/accent_base.dir/page_data.cc.o.d"
+  "CMakeFiles/accent_base.dir/rng.cc.o"
+  "CMakeFiles/accent_base.dir/rng.cc.o.d"
+  "libaccent_base.a"
+  "libaccent_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

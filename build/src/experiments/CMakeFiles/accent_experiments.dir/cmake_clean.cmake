@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_experiments.dir/lifecycle.cc.o"
+  "CMakeFiles/accent_experiments.dir/lifecycle.cc.o.d"
+  "CMakeFiles/accent_experiments.dir/report.cc.o"
+  "CMakeFiles/accent_experiments.dir/report.cc.o.d"
+  "CMakeFiles/accent_experiments.dir/testbed.cc.o"
+  "CMakeFiles/accent_experiments.dir/testbed.cc.o.d"
+  "CMakeFiles/accent_experiments.dir/trial.cc.o"
+  "CMakeFiles/accent_experiments.dir/trial.cc.o.d"
+  "libaccent_experiments.a"
+  "libaccent_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

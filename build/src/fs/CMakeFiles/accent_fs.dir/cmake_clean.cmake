@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_fs.dir/file_service.cc.o"
+  "CMakeFiles/accent_fs.dir/file_service.cc.o.d"
+  "libaccent_fs.a"
+  "libaccent_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

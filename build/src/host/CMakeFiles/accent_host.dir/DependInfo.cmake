@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpu.cc" "src/host/CMakeFiles/accent_host.dir/cpu.cc.o" "gcc" "src/host/CMakeFiles/accent_host.dir/cpu.cc.o.d"
+  "/root/repo/src/host/disk.cc" "src/host/CMakeFiles/accent_host.dir/disk.cc.o" "gcc" "src/host/CMakeFiles/accent_host.dir/disk.cc.o.d"
+  "/root/repo/src/host/physical_memory.cc" "src/host/CMakeFiles/accent_host.dir/physical_memory.cc.o" "gcc" "src/host/CMakeFiles/accent_host.dir/physical_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/accent_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/accent_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

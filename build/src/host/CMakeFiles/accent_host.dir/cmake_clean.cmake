@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_host.dir/cpu.cc.o"
+  "CMakeFiles/accent_host.dir/cpu.cc.o.d"
+  "CMakeFiles/accent_host.dir/disk.cc.o"
+  "CMakeFiles/accent_host.dir/disk.cc.o.d"
+  "CMakeFiles/accent_host.dir/physical_memory.cc.o"
+  "CMakeFiles/accent_host.dir/physical_memory.cc.o.d"
+  "libaccent_host.a"
+  "libaccent_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_ipc.dir/fabric.cc.o"
+  "CMakeFiles/accent_ipc.dir/fabric.cc.o.d"
+  "CMakeFiles/accent_ipc.dir/message.cc.o"
+  "CMakeFiles/accent_ipc.dir/message.cc.o.d"
+  "libaccent_ipc.a"
+  "libaccent_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_metrics.dir/table.cc.o"
+  "CMakeFiles/accent_metrics.dir/table.cc.o.d"
+  "libaccent_metrics.a"
+  "libaccent_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

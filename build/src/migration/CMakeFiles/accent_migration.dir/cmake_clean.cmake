@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_migration.dir/migration_manager.cc.o"
+  "CMakeFiles/accent_migration.dir/migration_manager.cc.o.d"
+  "libaccent_migration.a"
+  "libaccent_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

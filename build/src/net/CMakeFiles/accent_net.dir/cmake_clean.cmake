@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_net.dir/network.cc.o"
+  "CMakeFiles/accent_net.dir/network.cc.o.d"
+  "CMakeFiles/accent_net.dir/traffic.cc.o"
+  "CMakeFiles/accent_net.dir/traffic.cc.o.d"
+  "libaccent_net.a"
+  "libaccent_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

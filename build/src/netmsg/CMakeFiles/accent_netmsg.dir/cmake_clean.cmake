@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_netmsg.dir/netmsgserver.cc.o"
+  "CMakeFiles/accent_netmsg.dir/netmsgserver.cc.o.d"
+  "libaccent_netmsg.a"
+  "libaccent_netmsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_netmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

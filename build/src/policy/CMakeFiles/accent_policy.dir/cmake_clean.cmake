@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_policy.dir/load_balancer.cc.o"
+  "CMakeFiles/accent_policy.dir/load_balancer.cc.o.d"
+  "libaccent_policy.a"
+  "libaccent_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaccent_policy.a"
+)

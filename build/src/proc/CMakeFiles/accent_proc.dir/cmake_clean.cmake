@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_proc.dir/excise.cc.o"
+  "CMakeFiles/accent_proc.dir/excise.cc.o.d"
+  "CMakeFiles/accent_proc.dir/process.cc.o"
+  "CMakeFiles/accent_proc.dir/process.cc.o.d"
+  "CMakeFiles/accent_proc.dir/trace.cc.o"
+  "CMakeFiles/accent_proc.dir/trace.cc.o.d"
+  "libaccent_proc.a"
+  "libaccent_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_sim.dir/simulator.cc.o"
+  "CMakeFiles/accent_sim.dir/simulator.cc.o.d"
+  "libaccent_sim.a"
+  "libaccent_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

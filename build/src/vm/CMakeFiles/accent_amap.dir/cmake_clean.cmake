@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_amap.dir/amap.cc.o"
+  "CMakeFiles/accent_amap.dir/amap.cc.o.d"
+  "libaccent_amap.a"
+  "libaccent_amap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_amap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_vm.dir/address_space.cc.o"
+  "CMakeFiles/accent_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/accent_vm.dir/backer.cc.o"
+  "CMakeFiles/accent_vm.dir/backer.cc.o.d"
+  "CMakeFiles/accent_vm.dir/pager.cc.o"
+  "CMakeFiles/accent_vm.dir/pager.cc.o.d"
+  "CMakeFiles/accent_vm.dir/segment.cc.o"
+  "CMakeFiles/accent_vm.dir/segment.cc.o.d"
+  "libaccent_vm.a"
+  "libaccent_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accent_workloads.dir/trace_gen.cc.o"
+  "CMakeFiles/accent_workloads.dir/trace_gen.cc.o.d"
+  "CMakeFiles/accent_workloads.dir/workload.cc.o"
+  "CMakeFiles/accent_workloads.dir/workload.cc.o.d"
+  "libaccent_workloads.a"
+  "libaccent_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accent_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amap_test.dir/amap_test.cc.o"
+  "CMakeFiles/amap_test.dir/amap_test.cc.o.d"
+  "amap_test"
+  "amap_test.pdb"
+  "amap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excise_insert_test.dir/excise_insert_test.cc.o"
+  "CMakeFiles/excise_insert_test.dir/excise_insert_test.cc.o.d"
+  "excise_insert_test"
+  "excise_insert_test.pdb"
+  "excise_insert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excise_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

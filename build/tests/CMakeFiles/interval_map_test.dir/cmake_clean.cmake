@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_map_test.dir/interval_map_test.cc.o"
+  "CMakeFiles/interval_map_test.dir/interval_map_test.cc.o.d"
+  "interval_map_test"
+  "interval_map_test.pdb"
+  "interval_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_net_test.dir/metrics_net_test.cc.o"
+  "CMakeFiles/metrics_net_test.dir/metrics_net_test.cc.o.d"
+  "metrics_net_test"
+  "metrics_net_test.pdb"
+  "metrics_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmsg_test.dir/netmsg_test.cc.o"
+  "CMakeFiles/netmsg_test.dir/netmsg_test.cc.o.d"
+  "netmsg_test"
+  "netmsg_test.pdb"
+  "netmsg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

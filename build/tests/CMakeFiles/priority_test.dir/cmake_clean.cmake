@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_test.dir/priority_test.cc.o"
+  "CMakeFiles/priority_test.dir/priority_test.cc.o.d"
+  "priority_test"
+  "priority_test.pdb"
+  "priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

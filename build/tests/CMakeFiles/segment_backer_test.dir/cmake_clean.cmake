@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_backer_test.dir/segment_backer_test.cc.o"
+  "CMakeFiles/segment_backer_test.dir/segment_backer_test.cc.o.d"
+  "segment_backer_test"
+  "segment_backer_test.pdb"
+  "segment_backer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_backer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_host_test.dir/sim_host_test.cc.o"
+  "CMakeFiles/sim_host_test.dir/sim_host_test.cc.o.d"
+  "sim_host_test"
+  "sim_host_test.pdb"
+  "sim_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trial_properties_test.dir/trial_properties_test.cc.o"
+  "CMakeFiles/trial_properties_test.dir/trial_properties_test.cc.o.d"
+  "trial_properties_test"
+  "trial_properties_test.pdb"
+  "trial_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trial_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trial_smoke_test.dir/trial_smoke_test.cc.o"
+  "CMakeFiles/trial_smoke_test.dir/trial_smoke_test.cc.o.d"
+  "trial_smoke_test"
+  "trial_smoke_test.pdb"
+  "trial_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trial_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/address_space_test[1]_include.cmake")
+include("/root/repo/build/tests/amap_test[1]_include.cmake")
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/contract_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/excise_insert_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/file_service_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/netmsg_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_backer_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_net_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/pager_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/precopy_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_test[1]_include.cmake")
+include("/root/repo/build/tests/process_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_map_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_host_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/trial_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/trial_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")

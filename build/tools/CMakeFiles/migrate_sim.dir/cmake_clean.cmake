@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_sim.dir/migrate_sim.cc.o"
+  "CMakeFiles/migrate_sim.dir/migrate_sim.cc.o.d"
+  "migrate_sim"
+  "migrate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
