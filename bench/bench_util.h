@@ -3,10 +3,10 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "src/experiments/sweep_cache.h"
 #include "src/experiments/trial.h"
 #include "src/metrics/table.h"
 
@@ -23,17 +23,14 @@ inline const std::vector<std::string>& RepresentativeNames() {
   return names;
 }
 
-// Runs the full paper grid (7 workloads x {copy, IOU x PF, RS x PF}) once
-// and caches it for the duration of the process.
+// The full paper grid (7 workloads x {copy, IOU x PF, RS x PF}), served
+// from the cross-binary disk cache: the first binary (or bench/run_all)
+// simulates the grid in parallel and persists it; every later binary
+// deserialises instead of re-simulating. See src/experiments/sweep_cache.h.
 class SweepCache {
  public:
   static const std::vector<TrialResult>& For(const std::string& workload) {
-    static std::map<std::string, std::vector<TrialResult>> cache;
-    auto it = cache.find(workload);
-    if (it == cache.end()) {
-      it = cache.emplace(workload, RunStrategySweep(workload)).first;
-    }
-    return it->second;
+    return DiskSweepCache::Global().For(workload);
   }
 
   static const TrialResult& Find(const std::string& workload, TransferStrategy strategy,

@@ -1,0 +1,69 @@
+// Warms the cross-binary sweep cache once, in parallel, so the ~20
+// table/figure/ablation binaries deserialise the paper grid from disk
+// instead of each re-simulating it.
+//
+// Usage: run_all [--force] [--threads N] [--seed N]
+//   --force     recompute and rewrite cache files even when present
+//   --threads   worker threads (default: ACCENT_SWEEP_THREADS or hardware)
+//   --seed      trial seed (default 42, the grid every binary uses)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/experiments/sweep.h"
+#include "src/experiments/sweep_cache.h"
+
+namespace accent {
+namespace {
+
+int Main(int argc, char** argv) {
+  bool force = false;
+  int threads = 0;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--force] [--threads N] [--seed N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (threads <= 0) {
+    threads = SweepThreadCount();
+  }
+
+  DiskSweepCache& cache = DiskSweepCache::Global();
+  std::printf("Warming sweep cache in %s (threads=%d, seed=%llu)\n", cache.dir().c_str(),
+              threads, static_cast<unsigned long long>(seed));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t trials = 0;
+  for (const std::string& name : RepresentativeNames()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<TrialResult>& results =
+        force ? cache.Refresh(name, seed, threads) : cache.For(name, seed, threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    trials += results.size();
+    std::printf("  %-10s %3zu trials  %8.1f ms\n", name.c_str(), results.size(),
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  std::printf("%zu trials ready in %.2f s (%d recomputed, %d loaded from disk)\n", trials,
+              std::chrono::duration<double>(stop - start).count(), cache.computes(),
+              cache.disk_hits());
+  std::printf("Bench binaries will now load the grid from %s.\n", cache.dir().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace accent
+
+int main(int argc, char** argv) { return accent::Main(argc, argv); }

@@ -1,0 +1,487 @@
+#include "src/base/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace accent {
+
+bool Json::AsBool() const {
+  ACCENT_CHECK(is_bool()) << " JSON value is not a bool";
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::AsInt64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return *i;
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    ACCENT_CHECK(*u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+        << " JSON integer " << *u << " overflows int64";
+    return static_cast<std::int64_t>(*u);
+  }
+  ACCENT_CHECK(false) << " JSON value is not an integer";
+  return 0;
+}
+
+std::uint64_t Json::AsUint64() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return *u;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    ACCENT_CHECK(*i >= 0) << " JSON integer " << *i << " is negative";
+    return static_cast<std::uint64_t>(*i);
+  }
+  ACCENT_CHECK(false) << " JSON value is not an integer";
+  return 0;
+}
+
+double Json::AsDouble() const {
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
+  ACCENT_CHECK(false) << " JSON value is not a number";
+  return 0;
+}
+
+const std::string& Json::AsString() const {
+  ACCENT_CHECK(is_string()) << " JSON value is not a string";
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::AsArray() const {
+  ACCENT_CHECK(is_array()) << " JSON value is not an array";
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::AsObject() const {
+  ACCENT_CHECK(is_object()) << " JSON value is not an object";
+  return std::get<Object>(value_);
+}
+
+const Json& Json::Get(const std::string& key) const {
+  const Json* found = Find(key);
+  ACCENT_CHECK(found != nullptr) << " missing JSON key \"" << key << '"';
+  return *found;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const Object& obj = std::get<Object>(value_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) {
+    ACCENT_CHECK(is_null()) << " indexing a non-object JSON value";
+    value_ = Object{};
+  }
+  return std::get<Object>(value_)[key];
+}
+
+void Json::Append(Json v) {
+  if (!is_array()) {
+    ACCENT_CHECK(is_null()) << " appending to a non-array JSON value";
+    value_ = Array{};
+  }
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent >= 0) {
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  }
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  if (is_null()) {
+    *out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    *out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    *out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    *out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    *out += buf;
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    EscapeString(*s, out);
+  } else if (const auto* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    bool first = true;
+    for (const Json& item : *a) {
+      if (!first) {
+        out->push_back(',');
+      }
+      first = false;
+      Newline(out, indent, depth + 1);
+      item.DumpTo(out, indent, depth + 1);
+    }
+    Newline(out, indent, depth);
+    out->push_back(']');
+  } else {
+    const Object& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, item] : obj) {
+      if (!first) {
+        out->push_back(',');
+      }
+      first = false;
+      Newline(out, indent, depth + 1);
+      EscapeString(key, out);
+      out->push_back(':');
+      if (indent >= 0) {
+        out->push_back(' ');
+      }
+      item.DumpTo(out, indent, depth + 1);
+    }
+    Newline(out, indent, depth);
+    out->push_back('}');
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser. On error, fails by returning false with a
+// position-carrying message the callers surface through ACCENT_CHECK.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Json* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, /*depth=*/0)) {
+      return false;
+    }
+    SkipWhitespace();
+    return pos_ == text_.size();  // trailing garbage is an error
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) {
+          return false;
+        }
+        *out = std::move(s);
+        return true;
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = true;
+          return true;
+        }
+        return false;
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = false;
+          return true;
+        }
+        return false;
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = nullptr;
+          return true;
+        }
+        return false;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    Json::Object obj;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      *out = std::move(obj);
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWhitespace();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWhitespace();
+      Json value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      obj.emplace(std::move(key), std::move(value));
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        *out = std::move(obj);
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    Json::Array arr;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      *out = std::move(arr);
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      Json value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      arr.push_back(std::move(value));
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        *out = std::move(arr);
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The writer only emits \u for control characters; decode the
+          // basic-multilingual-plane scalar as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(Json* out) {
+    const std::size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_integer = pos_ > start && (text_[start] != '-' || pos_ > start + 1);
+    if (Peek() == '.') {
+      is_integer = false;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_integer = false;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (is_integer) {
+      if (text_[start] == '-') {
+        std::int64_t v = 0;
+        const auto [p, ec] = std::from_chars(first, last, v);
+        if (ec == std::errc() && p == last) {
+          *out = v;
+          return true;
+        }
+      } else {
+        std::uint64_t v = 0;
+        const auto [p, ec] = std::from_chars(first, last, v);
+        if (ec == std::errc() && p == last) {
+          *out = v;
+          return true;
+        }
+      }
+      // Overflowing integers fall through to double.
+    }
+    char* end = nullptr;
+    const std::string slice(first, last);
+    const double d = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) {
+      return false;
+    }
+    *out = d;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Parse(const std::string& text) {
+  Json out;
+  ACCENT_CHECK(TryParse(text, &out)) << " malformed JSON (" << text.size() << " bytes)";
+  return out;
+}
+
+bool Json::TryParse(const std::string& text, Json* out) {
+  Parser parser(text);
+  return parser.Parse(out);
+}
+
+}  // namespace accent

@@ -1,0 +1,93 @@
+// Minimal JSON value, writer and parser.
+//
+// Exists so the experiment harness can persist TrialResults to disk without
+// an external dependency. Scope is deliberately narrow: UTF-8 passthrough,
+// no comments, objects keep sorted key order (std::map) so serialisation is
+// canonical — equal values always produce byte-identical text, which lets
+// cache files be compared and hashed.
+//
+// Numbers preserve integer exactness: unsigned and signed 64-bit integers
+// round-trip bit-for-bit (they are not squeezed through a double), and
+// doubles are emitted with max_digits10 precision.
+#ifndef SRC_BASE_JSON_H_
+#define SRC_BASE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace accent {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT
+  Json(bool b) : value_(b) {}                // NOLINT
+  Json(std::int64_t v) : value_(v) {}        // NOLINT
+  Json(std::uint64_t v) : value_(v) {}       // NOLINT
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(unsigned v) : value_(static_cast<std::uint64_t>(v)) {}  // NOLINT
+  Json(double v) : value_(v) {}              // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT
+  Json(Array a) : value_(std::move(a)) {}    // NOLINT
+  Json(Object o) : value_(std::move(o)) {}   // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_integer() const {
+    return std::holds_alternative<std::int64_t>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_);
+  }
+  bool is_number() const { return is_integer() || std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  // Typed accessors; each ACCENT_CHECKs the stored kind (integers convert
+  // between signedness when the value is representable).
+  bool AsBool() const;
+  std::int64_t AsInt64() const;
+  std::uint64_t AsUint64() const;
+  double AsDouble() const;  // accepts integers too
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  // Object field access. Get() aborts on a missing key; Find() returns
+  // nullptr so callers can distinguish absence.
+  const Json& Get(const std::string& key) const;
+  const Json* Find(const std::string& key) const;
+
+  // Mutable object/array builders.
+  Json& operator[](const std::string& key);
+  void Append(Json v);
+
+  // Canonical serialisation. `indent` < 0 emits compact one-line output.
+  std::string Dump(int indent = -1) const;
+
+  // Parses `text`; aborts (ACCENT_CHECK) on malformed input. ParseOrNull
+  // returns std::nullopt-like null Json + false instead, for cache loads
+  // that must survive a corrupt or truncated file.
+  static Json Parse(const std::string& text);
+  static bool TryParse(const std::string& text, Json* out);
+
+  friend bool operator==(const Json& a, const Json& b) { return a.value_ == b.value_; }
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double, std::string,
+               Array, Object>
+      value_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_BASE_JSON_H_

@@ -1,0 +1,387 @@
+#include "src/experiments/sweep_cache.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/experiments/sweep.h"
+
+namespace accent {
+namespace {
+
+Json DurationToJson(SimDuration d) { return Json(static_cast<std::int64_t>(d.count())); }
+SimDuration DurationFromJson(const Json& j) { return SimDuration(j.AsInt64()); }
+
+Json PagerStatsToJson(const PagerStats& stats) {
+  Json json;
+  json["resident_hits"] = Json(stats.resident_hits);
+  json["fillzero_faults"] = Json(stats.fillzero_faults);
+  json["disk_faults"] = Json(stats.disk_faults);
+  json["cow_faults"] = Json(stats.cow_faults);
+  json["imag_faults"] = Json(stats.imag_faults);
+  json["imag_pages_fetched"] = Json(stats.imag_pages_fetched);
+  json["prefetched_pages"] = Json(stats.prefetched_pages);
+  json["prefetch_hits"] = Json(stats.prefetch_hits);
+  json["pageouts"] = Json(stats.pageouts);
+  json["address_errors"] = Json(stats.address_errors);
+  json["failed_fetches"] = Json(stats.failed_fetches);
+  return json;
+}
+
+PagerStats PagerStatsFromJson(const Json& json) {
+  PagerStats stats;
+  stats.resident_hits = json.Get("resident_hits").AsUint64();
+  stats.fillzero_faults = json.Get("fillzero_faults").AsUint64();
+  stats.disk_faults = json.Get("disk_faults").AsUint64();
+  stats.cow_faults = json.Get("cow_faults").AsUint64();
+  stats.imag_faults = json.Get("imag_faults").AsUint64();
+  stats.imag_pages_fetched = json.Get("imag_pages_fetched").AsUint64();
+  stats.prefetched_pages = json.Get("prefetched_pages").AsUint64();
+  stats.prefetch_hits = json.Get("prefetch_hits").AsUint64();
+  stats.pageouts = json.Get("pageouts").AsUint64();
+  stats.address_errors = json.Get("address_errors").AsUint64();
+  stats.failed_fetches = json.Get("failed_fetches").AsUint64();
+  return stats;
+}
+
+Json SpecToJson(const WorkloadSpec& spec) {
+  Json json;
+  json["name"] = Json(spec.name);
+  json["real_bytes"] = Json(spec.real_bytes);
+  json["zero_bytes"] = Json(spec.zero_bytes);
+  json["resident_bytes"] = Json(spec.resident_bytes);
+  json["real_regions"] = Json(spec.real_regions);
+  json["zero_regions"] = Json(spec.zero_regions);
+  json["pattern"] = Json(static_cast<int>(spec.pattern));
+  json["touched_real_pages"] = Json(spec.touched_real_pages);
+  json["resident_touched_overlap"] = Json(spec.resident_touched_overlap);
+  json["zero_touches"] = Json(spec.zero_touches);
+  json["compute_us"] = DurationToJson(spec.compute);
+  json["scan_density"] = Json(spec.scan_density);
+  return json;
+}
+
+WorkloadSpec SpecFromJson(const Json& json) {
+  WorkloadSpec spec;
+  spec.name = json.Get("name").AsString();
+  spec.real_bytes = json.Get("real_bytes").AsUint64();
+  spec.zero_bytes = json.Get("zero_bytes").AsUint64();
+  spec.resident_bytes = json.Get("resident_bytes").AsUint64();
+  spec.real_regions = static_cast<std::uint32_t>(json.Get("real_regions").AsUint64());
+  spec.zero_regions = static_cast<std::uint32_t>(json.Get("zero_regions").AsUint64());
+  spec.pattern = static_cast<AccessPattern>(json.Get("pattern").AsInt64());
+  spec.touched_real_pages = json.Get("touched_real_pages").AsUint64();
+  spec.resident_touched_overlap = json.Get("resident_touched_overlap").AsUint64();
+  spec.zero_touches = json.Get("zero_touches").AsUint64();
+  spec.compute = DurationFromJson(json.Get("compute_us"));
+  spec.scan_density = json.Get("scan_density").AsDouble();
+  return spec;
+}
+
+Json MigrationToJson(const MigrationRecord& record) {
+  Json json;
+  json["proc"] = Json(record.proc.value);
+  json["name"] = Json(record.name);
+  json["strategy"] = Json(static_cast<int>(record.strategy));
+  json["requested_us"] = DurationToJson(record.requested);
+  json["excise_done_us"] = DurationToJson(record.excise_done);
+  json["core_sent_us"] = DurationToJson(record.core_sent);
+  json["rimas_sent_us"] = DurationToJson(record.rimas_sent);
+  json["excise_amap_us"] = DurationToJson(record.excise_amap);
+  json["excise_rimas_us"] = DurationToJson(record.excise_rimas);
+  json["excise_overall_us"] = DurationToJson(record.excise_overall);
+  json["core_arrived_us"] = DurationToJson(record.core_arrived);
+  json["rimas_arrived_us"] = DurationToJson(record.rimas_arrived);
+  json["insert_time_us"] = DurationToJson(record.insert_time);
+  json["resumed_us"] = DurationToJson(record.resumed);
+  json["resident_bytes_shipped"] = Json(record.resident_bytes_shipped);
+  json["precopy_rounds"] = Json(record.precopy_rounds);
+  json["precopy_bytes"] = Json(record.precopy_bytes);
+  json["frozen_us"] = DurationToJson(record.frozen);
+  return json;
+}
+
+MigrationRecord MigrationFromJson(const Json& json) {
+  MigrationRecord record;
+  record.proc = ProcId(json.Get("proc").AsUint64());
+  record.name = json.Get("name").AsString();
+  record.strategy = static_cast<TransferStrategy>(json.Get("strategy").AsInt64());
+  record.requested = DurationFromJson(json.Get("requested_us"));
+  record.excise_done = DurationFromJson(json.Get("excise_done_us"));
+  record.core_sent = DurationFromJson(json.Get("core_sent_us"));
+  record.rimas_sent = DurationFromJson(json.Get("rimas_sent_us"));
+  record.excise_amap = DurationFromJson(json.Get("excise_amap_us"));
+  record.excise_rimas = DurationFromJson(json.Get("excise_rimas_us"));
+  record.excise_overall = DurationFromJson(json.Get("excise_overall_us"));
+  record.core_arrived = DurationFromJson(json.Get("core_arrived_us"));
+  record.rimas_arrived = DurationFromJson(json.Get("rimas_arrived_us"));
+  record.insert_time = DurationFromJson(json.Get("insert_time_us"));
+  record.resumed = DurationFromJson(json.Get("resumed_us"));
+  record.resident_bytes_shipped = json.Get("resident_bytes_shipped").AsUint64();
+  record.precopy_rounds = static_cast<int>(json.Get("precopy_rounds").AsInt64());
+  record.precopy_bytes = json.Get("precopy_bytes").AsUint64();
+  record.frozen = DurationFromJson(json.Get("frozen_us"));
+  return record;
+}
+
+Json SeriesToJson(const std::vector<TrafficRecorder::Bucket>& series) {
+  Json json = Json::Array{};
+  for (const TrafficRecorder::Bucket& bucket : series) {
+    Json entry;
+    entry["start_us"] = DurationToJson(bucket.start);
+    Json bytes = Json::Array{};
+    for (ByteCount b : bucket.bytes) {
+      bytes.Append(Json(b));
+    }
+    entry["bytes"] = std::move(bytes);
+    json.Append(std::move(entry));
+  }
+  return json;
+}
+
+std::vector<TrafficRecorder::Bucket> SeriesFromJson(const Json& json) {
+  std::vector<TrafficRecorder::Bucket> series;
+  for (const Json& entry : json.AsArray()) {
+    TrafficRecorder::Bucket bucket;
+    bucket.start = DurationFromJson(entry.Get("start_us"));
+    const Json::Array& bytes = entry.Get("bytes").AsArray();
+    ACCENT_CHECK_EQ(bytes.size(), bucket.bytes.size());
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bucket.bytes[i] = bytes[i].AsUint64();
+    }
+    series.push_back(bucket);
+  }
+  return series;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Json TrialConfigToJson(const TrialConfig& config) {
+  Json json;
+  json["workload"] = Json(config.workload);
+  json["strategy"] = Json(static_cast<int>(config.strategy));
+  json["prefetch"] = Json(config.prefetch);
+  json["seed"] = Json(config.seed);
+  json["iou_caching"] = Json(config.iou_caching);
+  json["frames_per_host"] = Json(static_cast<std::uint64_t>(config.frames_per_host));
+  json["traffic_bucket_us"] = DurationToJson(config.traffic_bucket);
+  return json;
+}
+
+TrialConfig TrialConfigFromJson(const Json& json) {
+  TrialConfig config;
+  config.workload = json.Get("workload").AsString();
+  config.strategy = static_cast<TransferStrategy>(json.Get("strategy").AsInt64());
+  config.prefetch = static_cast<std::uint32_t>(json.Get("prefetch").AsUint64());
+  config.seed = json.Get("seed").AsUint64();
+  config.iou_caching = json.Get("iou_caching").AsBool();
+  config.frames_per_host = static_cast<std::size_t>(json.Get("frames_per_host").AsUint64());
+  config.traffic_bucket = DurationFromJson(json.Get("traffic_bucket_us"));
+  return config;
+}
+
+Json TrialResultToJson(const TrialResult& result) {
+  Json json;
+  json["config"] = TrialConfigToJson(result.config);
+  json["spec"] = SpecToJson(result.spec);
+  json["migration"] = MigrationToJson(result.migration);
+  json["finished_us"] = DurationToJson(result.finished);
+  json["remote_exec_us"] = DurationToJson(result.remote_exec);
+  json["bytes_total"] = Json(result.bytes_total);
+  json["bytes_control"] = Json(result.bytes_control);
+  json["bytes_core"] = Json(result.bytes_core);
+  json["bytes_bulk"] = Json(result.bytes_bulk);
+  json["bytes_fault"] = Json(result.bytes_fault);
+  json["messages_total"] = Json(result.messages_total);
+  json["series"] = SeriesToJson(result.series);
+  json["series_bucket_us"] = DurationToJson(result.series_bucket);
+  json["netmsg_busy_us"] = DurationToJson(result.netmsg_busy);
+  json["dest_pager"] = PagerStatsToJson(result.dest_pager);
+  json["real_bytes_transferred"] = Json(result.real_bytes_transferred);
+  return json;
+}
+
+TrialResult TrialResultFromJson(const Json& json) {
+  TrialResult result;
+  result.config = TrialConfigFromJson(json.Get("config"));
+  result.spec = SpecFromJson(json.Get("spec"));
+  result.migration = MigrationFromJson(json.Get("migration"));
+  result.finished = DurationFromJson(json.Get("finished_us"));
+  result.remote_exec = DurationFromJson(json.Get("remote_exec_us"));
+  result.bytes_total = json.Get("bytes_total").AsUint64();
+  result.bytes_control = json.Get("bytes_control").AsUint64();
+  result.bytes_core = json.Get("bytes_core").AsUint64();
+  result.bytes_bulk = json.Get("bytes_bulk").AsUint64();
+  result.bytes_fault = json.Get("bytes_fault").AsUint64();
+  result.messages_total = json.Get("messages_total").AsUint64();
+  result.series = SeriesFromJson(json.Get("series"));
+  result.series_bucket = DurationFromJson(json.Get("series_bucket_us"));
+  result.netmsg_busy = DurationFromJson(json.Get("netmsg_busy_us"));
+  result.dest_pager = PagerStatsFromJson(json.Get("dest_pager"));
+  result.real_bytes_transferred = json.Get("real_bytes_transferred").AsUint64();
+  return result;
+}
+
+std::string SweepCacheKey(const std::vector<TrialConfig>& configs) {
+  Json list = Json::Array{};
+  list.Append(Json(kSweepCacheFormatVersion));
+  for (const TrialConfig& config : configs) {
+    list.Append(TrialConfigToJson(config));
+  }
+  const std::string canonical = list.Dump();
+
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64-bit
+  for (unsigned char c : canonical) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+void WriteSweepFile(const std::string& path, const std::vector<TrialResult>& results) {
+  Json root;
+  root["format_version"] = Json(kSweepCacheFormatVersion);
+  Json trials = Json::Array{};
+  for (const TrialResult& result : results) {
+    trials.Append(TrialResultToJson(result));
+  }
+  root["trials"] = std::move(trials);
+
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  // Unique temp name per process so concurrent bench binaries warming the
+  // same key cannot interleave; rename is atomic within a filesystem.
+  std::filesystem::path temp = target;
+  temp += ".tmp." + std::to_string(static_cast<unsigned long>(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    ACCENT_CHECK(out.good()) << " cannot write sweep cache temp file " << temp.string();
+    out << root.Dump(2) << '\n';
+    ACCENT_CHECK(out.good()) << " short write to " << temp.string();
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, target, ec);
+  ACCENT_CHECK(!ec) << " rename " << temp.string() << " -> " << path << ": " << ec.message();
+}
+
+bool LoadSweepFile(const std::string& path, const std::vector<TrialConfig>& expected_configs,
+                   std::vector<TrialResult>* results) {
+  ACCENT_EXPECTS(results != nullptr);
+  const std::string text = ReadFileOrEmpty(path);
+  if (text.empty()) {
+    return false;
+  }
+  Json root;
+  if (!Json::TryParse(text, &root) || !root.is_object()) {
+    return false;
+  }
+  const Json* version = root.Find("format_version");
+  if (version == nullptr || !version->is_integer() ||
+      version->AsInt64() != kSweepCacheFormatVersion) {
+    return false;
+  }
+  const Json* trials = root.Find("trials");
+  if (trials == nullptr || !trials->is_array() ||
+      trials->AsArray().size() != expected_configs.size()) {
+    return false;
+  }
+
+  std::vector<TrialResult> loaded;
+  loaded.reserve(expected_configs.size());
+  for (std::size_t i = 0; i < expected_configs.size(); ++i) {
+    const Json& entry = trials->AsArray()[i];
+    // Canonical dumps make config equality a cheap string compare.
+    const Json* config = entry.Find("config");
+    if (config == nullptr ||
+        config->Dump() != TrialConfigToJson(expected_configs[i]).Dump()) {
+      return false;
+    }
+    loaded.push_back(TrialResultFromJson(entry));
+  }
+  *results = std::move(loaded);
+  return true;
+}
+
+DiskSweepCache::DiskSweepCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    if (const char* env = std::getenv("ACCENT_SWEEP_CACHE_DIR"); env != nullptr && *env) {
+      dir_ = env;
+    } else {
+      dir_ = ".accent_sweep_cache";
+    }
+  }
+}
+
+const std::vector<TrialResult>& DiskSweepCache::For(const std::string& workload,
+                                                    std::uint64_t seed, int threads) {
+  return ForLocked(workload, seed, threads, /*force=*/false);
+}
+
+const std::vector<TrialResult>& DiskSweepCache::Refresh(const std::string& workload,
+                                                        std::uint64_t seed, int threads) {
+  return ForLocked(workload, seed, threads, /*force=*/true);
+}
+
+const std::vector<TrialResult>& DiskSweepCache::ForLocked(const std::string& workload,
+                                                          std::uint64_t seed, int threads,
+                                                          bool force) {
+  const std::string memo_key = workload + "|" + std::to_string(seed);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!force) {
+    auto it = memo_.find(memo_key);
+    if (it != memo_.end()) {
+      return it->second;
+    }
+  }
+
+  const std::vector<TrialConfig> configs = StrategySweepConfigs(workload, seed);
+  const std::string path = FilePath(workload, configs);
+
+  std::vector<TrialResult> results;
+  if (!force && LoadSweepFile(path, configs, &results)) {
+    ++disk_hits_;
+  } else {
+    results = RunTrials(configs, threads);
+    WriteSweepFile(path, results);
+    ++computes_;
+  }
+  return memo_[memo_key] = std::move(results);
+}
+
+std::string DiskSweepCache::FilePath(const std::string& workload,
+                                     const std::vector<TrialConfig>& configs) const {
+  std::string safe_name;
+  for (char c : workload) {
+    safe_name += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return dir_ + "/sweep_" + safe_name + "_" + SweepCacheKey(configs) + ".json";
+}
+
+DiskSweepCache& DiskSweepCache::Global() {
+  static DiskSweepCache cache;
+  return cache;
+}
+
+}  // namespace accent

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/experiments/sweep.h"
 #include "src/experiments/testbed.h"
 
 namespace accent {
@@ -81,22 +82,11 @@ TrialResult RunTrial(const TrialConfig& config) {
 }
 
 std::vector<TrialResult> RunStrategySweep(const std::string& workload, std::uint64_t seed) {
+  // Serial reference path: same grid as the parallel engine (sweep.h), one
+  // trial at a time on the calling thread.
   std::vector<TrialResult> results;
-  TrialConfig config;
-  config.workload = workload;
-  config.seed = seed;
-
-  config.strategy = TransferStrategy::kPureCopy;
-  config.prefetch = 0;
-  results.push_back(RunTrial(config));
-
-  for (TransferStrategy strategy :
-       {TransferStrategy::kPureIou, TransferStrategy::kResidentSet}) {
-    for (std::uint32_t prefetch : kPaperPrefetchValues) {
-      config.strategy = strategy;
-      config.prefetch = prefetch;
-      results.push_back(RunTrial(config));
-    }
+  for (const TrialConfig& config : StrategySweepConfigs(workload, seed)) {
+    results.push_back(RunTrial(config));
   }
   return results;
 }

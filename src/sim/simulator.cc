@@ -1,20 +1,23 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace accent {
 
-void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
-  ACCENT_EXPECTS(when >= now_) << " scheduling into the past: when=" << when.count()
-                               << "us now=" << now_.count() << "us";
-  ACCENT_EXPECTS(fn != nullptr);
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+void Simulator::ScheduleAt(SimTime when, InlineEvent fn) {
+  ACCENT_CHECK(when >= now_) << " scheduling into the past: when=" << when.count()
+                             << "us now=" << now_.count() << "us";
+  ACCENT_CHECK(static_cast<bool>(fn)) << " scheduling an empty event";
+  queue_.push_back(Event{when, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
 }
 
 void Simulator::RunOne() {
   // The event must be popped before running: the callback may schedule.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
   now_ = event.when;
   ++events_executed_;
   event.fn();
@@ -32,7 +35,7 @@ std::uint64_t Simulator::Run() {
 bool Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    if (queue_.top().when > deadline) {
+    if (queue_.front().when > deadline) {
       now_ = deadline;
       return false;
     }

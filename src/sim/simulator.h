@@ -5,32 +5,37 @@
 // bytes — is expressed as events on a single priority queue ordered by
 // simulated time. Events scheduled for the same instant run in FIFO order,
 // which keeps trials deterministic.
+//
+// Hot-path notes: the queue is a binary heap laid out in a std::vector whose
+// storage is reserved up front and retained across pops, and each event
+// carries a small-buffer-optimised InlineEvent instead of a heap-allocated
+// std::function, so steady-state scheduling performs no allocation.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/sim/event.h"
 
 namespace accent {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { queue_.reserve(kInitialQueueCapacity); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` at absolute simulated time `when` (>= Now()).
-  void ScheduleAt(SimTime when, std::function<void()> fn);
+  // Schedules `fn` at absolute simulated time `when` (>= Now()). Accepts any
+  // void() callable; small captures are stored inline (see event.h).
+  void ScheduleAt(SimTime when, InlineEvent fn);
 
   // Schedules `fn` after `delay` of simulated time.
-  void ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  void ScheduleAfter(SimDuration delay, InlineEvent fn) {
     ScheduleAt(now_ + delay, std::move(fn));
   }
 
@@ -52,11 +57,15 @@ class Simulator {
   std::uint64_t AllocateId() { return ++last_id_; }
 
  private:
+  static constexpr std::size_t kInitialQueueCapacity = 1024;
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
+    InlineEvent fn;
   };
+  // Heap comparator: the "largest" element (heap top) is the earliest event;
+  // ties broken by sequence number for same-instant FIFO order.
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) {
@@ -68,7 +77,8 @@ class Simulator {
 
   void RunOne();
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Binary heap over queue_ (std::push_heap/pop_heap with EventLater).
+  std::vector<Event> queue_;
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t last_id_ = 0;

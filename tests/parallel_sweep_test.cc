@@ -1,0 +1,226 @@
+// Determinism contract of the parallel sweep engine: for any thread count,
+// results must be byte-identical — every TrialResult metric field — to the
+// serial sweep. Also covers the sweep-cache JSON round trip and the
+// ACCENT_SWEEP_THREADS / thread-pool plumbing underneath.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/experiments/sweep.h"
+#include "src/experiments/sweep_cache.h"
+#include "src/experiments/trial.h"
+
+namespace accent {
+namespace {
+
+// Field-by-field equality for every metric the evaluation reports. Exact
+// (==) on purpose: the engines must agree bit-for-bit, not approximately.
+void ExpectTrialResultsIdentical(const TrialResult& a, const TrialResult& b,
+                                 const std::string& label) {
+  SCOPED_TRACE(label);
+  // Config echo.
+  EXPECT_EQ(a.config.workload, b.config.workload);
+  EXPECT_EQ(a.config.strategy, b.config.strategy);
+  EXPECT_EQ(a.config.prefetch, b.config.prefetch);
+  EXPECT_EQ(a.config.seed, b.config.seed);
+  EXPECT_EQ(a.config.iou_caching, b.config.iou_caching);
+  EXPECT_EQ(a.config.frames_per_host, b.config.frames_per_host);
+  EXPECT_EQ(a.config.traffic_bucket, b.config.traffic_bucket);
+  // Spec echo.
+  EXPECT_EQ(a.spec.name, b.spec.name);
+  EXPECT_EQ(a.spec.real_bytes, b.spec.real_bytes);
+  EXPECT_EQ(a.spec.zero_bytes, b.spec.zero_bytes);
+  EXPECT_EQ(a.spec.resident_bytes, b.spec.resident_bytes);
+  EXPECT_EQ(a.spec.touched_real_pages, b.spec.touched_real_pages);
+  EXPECT_EQ(a.spec.compute, b.spec.compute);
+  // Migration phases.
+  EXPECT_EQ(a.migration.requested, b.migration.requested);
+  EXPECT_EQ(a.migration.excise_done, b.migration.excise_done);
+  EXPECT_EQ(a.migration.core_sent, b.migration.core_sent);
+  EXPECT_EQ(a.migration.rimas_sent, b.migration.rimas_sent);
+  EXPECT_EQ(a.migration.excise_amap, b.migration.excise_amap);
+  EXPECT_EQ(a.migration.excise_rimas, b.migration.excise_rimas);
+  EXPECT_EQ(a.migration.excise_overall, b.migration.excise_overall);
+  EXPECT_EQ(a.migration.core_arrived, b.migration.core_arrived);
+  EXPECT_EQ(a.migration.rimas_arrived, b.migration.rimas_arrived);
+  EXPECT_EQ(a.migration.insert_time, b.migration.insert_time);
+  EXPECT_EQ(a.migration.resumed, b.migration.resumed);
+  EXPECT_EQ(a.migration.resident_bytes_shipped, b.migration.resident_bytes_shipped);
+  EXPECT_EQ(a.migration.precopy_rounds, b.migration.precopy_rounds);
+  EXPECT_EQ(a.migration.precopy_bytes, b.migration.precopy_bytes);
+  EXPECT_EQ(a.migration.frozen, b.migration.frozen);
+  // Completion and traffic.
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.remote_exec, b.remote_exec);
+  EXPECT_EQ(a.bytes_total, b.bytes_total);
+  EXPECT_EQ(a.bytes_control, b.bytes_control);
+  EXPECT_EQ(a.bytes_core, b.bytes_core);
+  EXPECT_EQ(a.bytes_bulk, b.bytes_bulk);
+  EXPECT_EQ(a.bytes_fault, b.bytes_fault);
+  EXPECT_EQ(a.messages_total, b.messages_total);
+  EXPECT_EQ(a.netmsg_busy, b.netmsg_busy);
+  EXPECT_EQ(a.series_bucket, b.series_bucket);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].start, b.series[i].start) << "bucket " << i;
+    EXPECT_EQ(a.series[i].bytes, b.series[i].bytes) << "bucket " << i;
+  }
+  // Destination pager.
+  EXPECT_EQ(a.dest_pager.resident_hits, b.dest_pager.resident_hits);
+  EXPECT_EQ(a.dest_pager.fillzero_faults, b.dest_pager.fillzero_faults);
+  EXPECT_EQ(a.dest_pager.disk_faults, b.dest_pager.disk_faults);
+  EXPECT_EQ(a.dest_pager.cow_faults, b.dest_pager.cow_faults);
+  EXPECT_EQ(a.dest_pager.imag_faults, b.dest_pager.imag_faults);
+  EXPECT_EQ(a.dest_pager.imag_pages_fetched, b.dest_pager.imag_pages_fetched);
+  EXPECT_EQ(a.dest_pager.prefetched_pages, b.dest_pager.prefetched_pages);
+  EXPECT_EQ(a.dest_pager.prefetch_hits, b.dest_pager.prefetch_hits);
+  EXPECT_EQ(a.dest_pager.pageouts, b.dest_pager.pageouts);
+  EXPECT_EQ(a.dest_pager.address_errors, b.dest_pager.address_errors);
+  EXPECT_EQ(a.dest_pager.failed_fetches, b.dest_pager.failed_fetches);
+  EXPECT_EQ(a.real_bytes_transferred, b.real_bytes_transferred);
+
+  // Belt and braces: the canonical JSON dumps must also match byte for
+  // byte, which covers any field a future PR adds but forgets to list here.
+  EXPECT_EQ(TrialResultToJson(a).Dump(), TrialResultToJson(b).Dump());
+}
+
+TEST(ParallelSweep, MatchesSerialSweepUnder1And2And8Threads) {
+  const std::string workload = "Minprog";
+  const std::vector<TrialResult> serial = RunStrategySweep(workload);
+  ASSERT_EQ(serial.size(), 11u);  // copy + 2 strategies x 5 prefetch values
+
+  for (int threads : {1, 2, 8}) {
+    const std::vector<TrialResult> parallel =
+        RunStrategySweepParallel(workload, 42, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ExpectTrialResultsIdentical(serial[i], parallel[i],
+                                  "threads=" + std::to_string(threads) + " trial=" +
+                                      std::to_string(i));
+    }
+  }
+}
+
+TEST(ParallelSweep, GridOrderMatchesSerialContract) {
+  const std::vector<TrialConfig> configs = StrategySweepConfigs("Chess", 7);
+  ASSERT_EQ(configs.size(), 11u);
+  EXPECT_EQ(configs[0].strategy, TransferStrategy::kPureCopy);
+  for (std::size_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(configs[i].strategy, TransferStrategy::kPureIou);
+    EXPECT_EQ(configs[i].prefetch, kPaperPrefetchValues[i - 1]);
+  }
+  for (std::size_t i = 6; i <= 10; ++i) {
+    EXPECT_EQ(configs[i].strategy, TransferStrategy::kResidentSet);
+    EXPECT_EQ(configs[i].prefetch, kPaperPrefetchValues[i - 6]);
+  }
+  for (const TrialConfig& config : configs) {
+    EXPECT_EQ(config.workload, "Chess");
+    EXPECT_EQ(config.seed, 7u);
+  }
+}
+
+TEST(SweepThreads, EnvVarOverridesAndClamps) {
+  ASSERT_EQ(setenv("ACCENT_SWEEP_THREADS", "3", 1), 0);
+  EXPECT_EQ(SweepThreadCount(), 3);
+  // Non-positive and garbage values fall back to the hardware default.
+  ASSERT_EQ(setenv("ACCENT_SWEEP_THREADS", "0", 1), 0);
+  EXPECT_EQ(SweepThreadCount(), ThreadPool::HardwareThreads());
+  ASSERT_EQ(setenv("ACCENT_SWEEP_THREADS", "-4", 1), 0);
+  EXPECT_EQ(SweepThreadCount(), ThreadPool::HardwareThreads());
+  ASSERT_EQ(setenv("ACCENT_SWEEP_THREADS", "lots", 1), 0);
+  EXPECT_EQ(SweepThreadCount(), ThreadPool::HardwareThreads());
+  ASSERT_EQ(unsetenv("ACCENT_SWEEP_THREADS"), 0);
+  EXPECT_GE(SweepThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(threads, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(SweepCacheTest, JsonRoundTripIsLossless) {
+  const std::vector<TrialResult> results = RunStrategySweepParallel("Minprog", 42, 2);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Json json = TrialResultToJson(results[i]);
+    const TrialResult reloaded = TrialResultFromJson(Json::Parse(json.Dump(2)));
+    ExpectTrialResultsIdentical(results[i], reloaded, "trial=" + std::to_string(i));
+  }
+}
+
+TEST(SweepCacheTest, FileRoundTripAndValidation) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "accent_sweep_cache_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "sweep.json").string();
+
+  const std::vector<TrialConfig> configs = StrategySweepConfigs("Minprog", 42);
+  const std::vector<TrialResult> results = RunTrials(configs, 2);
+  WriteSweepFile(path, results);
+
+  std::vector<TrialResult> loaded;
+  ASSERT_TRUE(LoadSweepFile(path, configs, &loaded));
+  ASSERT_EQ(loaded.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ExpectTrialResultsIdentical(results[i], loaded[i], "trial=" + std::to_string(i));
+  }
+
+  // A different expected grid (other seed) must be rejected, not served.
+  EXPECT_FALSE(LoadSweepFile(path, StrategySweepConfigs("Minprog", 43), &loaded));
+  // Truncated/corrupt files are a miss, not an abort.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"format_version\": 1, \"trials\": [";
+  }
+  EXPECT_FALSE(LoadSweepFile(path, configs, &loaded));
+  EXPECT_FALSE(LoadSweepFile((dir / "absent.json").string(), configs, &loaded));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCacheTest, DiskCacheServesIdenticalResultsAcrossInstances) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "accent_sweep_cache_test2";
+  std::filesystem::remove_all(dir);
+
+  DiskSweepCache writer(dir.string());
+  const std::vector<TrialResult>& computed = writer.For("Minprog", 42, 2);
+  EXPECT_EQ(writer.computes(), 1);
+  EXPECT_EQ(writer.disk_hits(), 0);
+
+  // A fresh instance (a different bench binary, in effect) must load the
+  // same grid from disk without re-simulating.
+  DiskSweepCache reader(dir.string());
+  const std::vector<TrialResult>& loaded = reader.For("Minprog", 42, 2);
+  EXPECT_EQ(reader.computes(), 0);
+  EXPECT_EQ(reader.disk_hits(), 1);
+  ASSERT_EQ(loaded.size(), computed.size());
+  for (std::size_t i = 0; i < computed.size(); ++i) {
+    ExpectTrialResultsIdentical(computed[i], loaded[i], "trial=" + std::to_string(i));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCacheTest, KeyChangesWithGridContents) {
+  const std::string base = SweepCacheKey(StrategySweepConfigs("Minprog", 42));
+  EXPECT_EQ(base, SweepCacheKey(StrategySweepConfigs("Minprog", 42)));  // stable
+  EXPECT_NE(base, SweepCacheKey(StrategySweepConfigs("Minprog", 43)));
+  EXPECT_NE(base, SweepCacheKey(StrategySweepConfigs("Chess", 42)));
+
+  std::vector<TrialConfig> tweaked = StrategySweepConfigs("Minprog", 42);
+  tweaked[3].iou_caching = false;
+  EXPECT_NE(base, SweepCacheKey(tweaked));
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,142 @@
+// Simulator event-queue contract: same-instant FIFO ordering, the
+// no-scheduling-into-the-past precondition, and the InlineEvent callable
+// (inline small-buffer path, heap fallback, move-only captures).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+namespace {
+
+TEST(SimulatorOrdering, SameInstantEventsRunInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // Interleave two instants; within each instant, scheduling order must be
+  // execution order regardless of insertion interleaving.
+  sim.ScheduleAt(Us(10), [&] { order.push_back(0); });
+  sim.ScheduleAt(Us(5), [&] { order.push_back(100); });
+  sim.ScheduleAt(Us(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Us(5), [&] { order.push_back(101); });
+  sim.ScheduleAt(Us(10), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 0, 1, 2}));
+}
+
+TEST(SimulatorOrdering, FifoHoldsForEventsScheduledFromInsideAnEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Us(10), [&] {
+    order.push_back(0);
+    // Same-instant events scheduled mid-execution run after already-queued
+    // same-instant events (they get later sequence numbers).
+    sim.ScheduleAt(Us(10), [&] { order.push_back(2); });
+  });
+  sim.ScheduleAt(Us(10), [&] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorOrdering, FifoSurvivesQueueGrowthAcrossManyEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  constexpr int kCount = 5000;  // forces several vector regrowths
+  for (int i = 0; i < kCount; ++i) {
+    sim.ScheduleAt(Us(7), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i) << "at " << i;
+  }
+}
+
+TEST(SimulatorOrderingDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(Us(10), [] {});
+  sim.Run();
+  ASSERT_EQ(sim.Now(), Us(10));
+  EXPECT_DEATH(sim.ScheduleAt(Us(5), [] {}), "scheduling into the past");
+}
+
+TEST(InlineEvent, RunsSmallInlineCallable) {
+  int hits = 0;
+  InlineEvent event([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(event));
+  event();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineEvent, HeapFallbackForOversizedCapture) {
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes > kInlineCapacity
+  payload[0] = 7;
+  payload[15] = 9;
+  std::uint64_t sum = 0;
+  InlineEvent event([payload, &sum] { sum = payload[0] + payload[15]; });
+  event();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(InlineEvent, MoveTransfersTheCallable) {
+  int hits = 0;
+  InlineEvent a([&hits] { ++hits; });
+  InlineEvent b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineEvent c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineEvent, MoveOnlyCaptureIsSupported) {
+  auto value = std::make_unique<int>(41);
+  int seen = 0;
+  InlineEvent event([v = std::move(value), &seen] { seen = *v + 1; });
+  InlineEvent moved(std::move(event));
+  moved();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineEvent, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    explicit Probe(int* counter) : counter_(counter) {}
+    Probe(Probe&& other) noexcept : counter_(other.counter_) { other.counter_ = nullptr; }
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (counter_ != nullptr) {
+        ++*counter_;
+      }
+    }
+    int* counter_;
+  };
+  int destroyed = 0;
+  {
+    InlineEvent event([probe = Probe(&destroyed)] { (void)probe; });
+    InlineEvent moved(std::move(event));
+    moved();
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineEvent, SimulatorAcceptsStdFunctionArguments) {
+  // Call sites that still build a std::function first must keep working.
+  Simulator sim;
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  sim.ScheduleAfter(Us(1), std::move(fn));
+  sim.Run();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace accent

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the micro_sim event-loop benchmark and validates the schema of the
+# BENCH_sim.json it emits, so tier-1 ctest runs keep the perf trajectory
+# machine-readable (and loudly fail if a refactor breaks the bench).
+#
+# Usage: check_bench.sh <micro_sim-binary> [output.json]
+set -euo pipefail
+
+BIN=${1:?usage: check_bench.sh <micro_sim binary> [out.json]}
+OUT=${2:-BENCH_sim.json}
+
+# Modest event budget: this is a schema/regression tripwire in CI, not the
+# full measurement run (invoke micro_sim directly for that).
+"$BIN" --events 100000 --reps 2 --out "$OUT"
+
+status=0
+for key in bench schema_version events inline_events_per_sec legacy_events_per_sec \
+           inline_ns_per_event legacy_ns_per_event speedup; do
+  if ! grep -q "\"$key\"" "$OUT"; then
+    echo "check_bench: missing key \"$key\" in $OUT" >&2
+    status=1
+  fi
+done
+
+# Rates must be positive numbers, not nan/inf.
+if grep -qiE "nan|inf" "$OUT"; then
+  echo "check_bench: non-finite number in $OUT" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "check_bench: $OUT schema ok"
+fi
+exit "$status"
