@@ -1,5 +1,7 @@
 #include "src/experiments/testbed.h"
 
+#include "src/base/logging.h"
+
 namespace accent {
 
 Testbed::Testbed(const TestbedConfig& config)
@@ -9,6 +11,12 @@ Testbed::Testbed(const TestbedConfig& config)
       network_(&sim_, &config_.costs, &traffic_),
       fabric_(&sim_, &config_.costs) {
   ACCENT_EXPECTS(config_.host_count >= 1);
+  const bool faulty = config_.fault_plan.enabled();
+  const bool reliable = faulty || config_.reliable_transport;
+  if (faulty) {
+    fault_ = std::make_unique<FaultInjector>(config_.fault_plan, config_.fault_seed);
+    network_.set_fault_injector(fault_.get());
+  }
   hosts_.reserve(static_cast<std::size_t>(config_.host_count));
   for (int i = 0; i < config_.host_count; ++i) {
     const HostId id(static_cast<std::uint64_t>(i) + 1);
@@ -26,6 +34,10 @@ Testbed::Testbed(const TestbedConfig& config)
                                                   &segments_, &directory_);
     parts.netmsg->Start();
     parts.netmsg->set_iou_caching(config_.iou_caching);
+    if (reliable) {
+      parts.netmsg->set_reliable(true);
+      parts.pager->set_fetch_timeout_enabled(true);
+    }
 
     parts.env = std::make_unique<HostEnv>();
     parts.env->id = id;
@@ -85,6 +97,18 @@ SimDuration Testbed::TotalNetMsgBusy() const {
     total += parts.cpu->BusyTime(CpuWork::kNetMsgServer);
   }
   return total;
+}
+
+bool Testbed::RunGuarded(SimDuration limit) {
+  if (sim_.RunUntil(sim_.Now() + limit)) {
+    return true;
+  }
+  ACCENT_LOG(kError) << "testbed: event queue not drained after " << limit.count()
+                     << "us of simulated time; " << sim_.pending_events() << " events pending";
+  for (SimTime when : sim_.PendingEventTimes(8)) {
+    ACCENT_LOG(kError) << "testbed:   pending event at t=" << when.count() << "us";
+  }
+  return false;
 }
 
 SimDuration Testbed::TotalPagerBusy() const {

@@ -16,6 +16,7 @@
 #include "src/host/physical_memory.h"
 #include "src/ipc/fabric.h"
 #include "src/migration/migration_manager.h"
+#include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/net/traffic.h"
 #include "src/netmsg/netmsgserver.h"
@@ -34,6 +35,16 @@ struct TestbedConfig {
   SimDuration traffic_bucket = Ms(500);
   // NetMsgServer IOU substitution (the paper's system has it on).
   bool iou_caching = true;
+
+  // Fault injection. A non-trivial plan attaches a FaultInjector to the
+  // wire and switches every host to the reliable NetMsgServer transport
+  // (lossy delivery without retransmission would simply wedge). The
+  // default — empty plan, reliable off — leaves the lossless event
+  // schedule bit-identical to the seed.
+  FaultPlan fault_plan{};
+  std::uint64_t fault_seed = 42;
+  // Force the reliable transport even with a trivial plan (protocol tests).
+  bool reliable_transport = false;
 };
 
 class Testbed {
@@ -57,6 +68,16 @@ class Testbed {
   TrafficRecorder& traffic() { return traffic_; }
   IpcFabric& fabric() { return fabric_; }
   SegmentTable& segments() { return segments_; }
+  Network& network() { return network_; }
+
+  // Null unless the config carried a non-trivial fault plan.
+  FaultInjector* fault_injector() { return fault_.get(); }
+
+  // Simulated-time watchdog: drains the event queue but gives up once the
+  // clock passes Now() + limit. Returns true if the queue drained; on
+  // false, logs the earliest pending event times so a hung test fails
+  // fast with a usable dump instead of spinning a wall-clock timeout.
+  bool RunGuarded(SimDuration limit = Sec(3600.0));
 
   // Sets the imaginary-fault prefetch on every host's pager.
   void SetPrefetch(std::uint32_t pages);
@@ -81,6 +102,7 @@ class Testbed {
   Simulator sim_;
   SegmentTable segments_;
   TrafficRecorder traffic_;
+  std::unique_ptr<FaultInjector> fault_;
   Network network_;
   IpcFabric fabric_;
   NetMsgDirectory directory_;

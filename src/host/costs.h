@@ -70,6 +70,17 @@ struct CostTable {
   // Fragment payload size used for large message reassembly.
   ByteCount netmsg_fragment_bytes = 16 * 1024;
 
+  // --- NetMsgServer reliable transport (lossy-wire experiments only) ------
+  // These knobs are inert unless a NetMsgServer is switched into reliable
+  // mode (fault-injection testbeds); the lossless paper runs never consult
+  // them. Retransmission backoff doubles from rto_initial, capped at
+  // rto_max; after max_retries unacknowledged sends the transfer is
+  // declared dead and handed to the dead-letter path.
+  SimDuration netmsg_rto_initial = Ms(250);
+  SimDuration netmsg_rto_max = Sec(4.0);
+  std::uint32_t netmsg_max_retries = 10;
+  ByteCount netmsg_ack_bytes = 16;
+
   // --- Network wire (10 Mbit Ethernet) -------------------------------------
   SimDuration wire_latency = Ms(4);
   double wire_bytes_per_sec = 1.25e6 * 0.8;  // 10 Mbit minus framing.
@@ -98,6 +109,18 @@ struct CostTable {
   // Manager handling of the RIMAS message itself (descriptor preparation,
   // strategy bookkeeping): the floor of Table 4-5's ~0.16 s IOU transfers.
   SimDuration migration_rimas_handling = Ms(110);
+
+  // --- Failure handling (lossy-wire experiments only) -----------------------
+  // Like the reliable-transport knobs these are consulted only when a
+  // testbed enables fault injection. A source manager that has not seen
+  // kMigrateComplete after migration_abort_timeout rolls the process back;
+  // a destination holding half a context (core XOR rimas) for
+  // migration_pending_timeout tears the pending insert down; a pager
+  // fetch unanswered after pager_fetch_timeout fails the access (terminal
+  // IOU fault — the owed memory is unrecoverable).
+  SimDuration migration_abort_timeout = Sec(600.0);
+  SimDuration migration_pending_timeout = Sec(300.0);
+  SimDuration pager_fetch_timeout = Sec(120.0);
 
   // --- Scheduling policy ------------------------------------------------------
   // Service imaginary-fault traffic (requests, replies, their kernel and

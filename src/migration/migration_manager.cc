@@ -25,6 +25,11 @@ MigrationManager::MigrationManager(HostEnv* env) : env_(env) {
 void MigrationManager::Start() {
   ACCENT_EXPECTS(!port_.valid()) << " manager started twice";
   port_ = env_->fabric->AllocatePort(env_->id, this, "migration-manager");
+  // Claim the local NetMsgServer's dead-letter channel: an undeliverable
+  // context message means the peer is gone and the migration must abort.
+  // (Only ever invoked in reliable mode; registering is free otherwise.)
+  env_->netmsg->set_dead_letter_handler(
+      [this](const Message& msg) { HandleDeadLetter(msg); });
 }
 
 void MigrationManager::RegisterLocal(Process* proc) {
@@ -130,6 +135,7 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
   record.requested = env_->sim->Now();
   outbound_[proc->id().value] = record;
   done_[proc->id().value] = std::move(done);
+  ArmAbortTimer(proc->id());
 
   proc->RequestSuspend([this, proc, dest_manager, strategy]() {
     // Sample the resident set now: excision destroys residency.
@@ -150,6 +156,122 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
   });
 }
 
+void MigrationManager::ArmAbortTimer(ProcId proc) {
+  if (!failure_handling_enabled()) {
+    return;
+  }
+  // The requested timestamp identifies this attempt: a later re-migration
+  // of the same (rolled-back) process must not be killed by a stale timer.
+  const SimTime attempt = outbound_.at(proc.value).requested;
+  env_->sim->ScheduleAfter(env_->costs->migration_abort_timeout, [this, proc, attempt]() {
+    auto it = outbound_.find(proc.value);
+    if (it != outbound_.end() && it->second.requested == attempt) {
+      AbortMigration(proc, "transfer-complete handshake timed out");
+    }
+  });
+}
+
+void MigrationManager::ArmPendingTimeout(ProcId proc, PendingInsert* pending) {
+  if (!failure_handling_enabled() || pending->timeout_armed) {
+    return;
+  }
+  pending->timeout_armed = true;
+  env_->sim->ScheduleAfter(env_->costs->migration_pending_timeout, [this, proc]() {
+    auto it = pending_.find(proc.value);
+    if (it == pending_.end() || (it->second.have_core && it->second.have_rimas)) {
+      return;  // completed (or already torn down)
+    }
+    ACCENT_LOG(kInfo) << "tearing down half-arrived context for " << proc
+                      << " (peer presumed gone)";
+    pending_.erase(it);
+    staged_.erase(proc.value);
+  });
+}
+
+void MigrationManager::AbortMigration(ProcId proc, const std::string& reason) {
+  auto record_it = outbound_.find(proc.value);
+  if (record_it == outbound_.end()) {
+    return;  // already completed or aborted
+  }
+  MigrationRecord record = record_it->second;
+  record.aborted = true;
+  record.aborted_at = env_->sim->Now();
+  record.abort_reason = reason;
+  outbound_.erase(record_it);
+  precopy_ack_waiters_.erase(proc.value);
+  ACCENT_LOG(kInfo) << "aborting migration of " << proc << ": " << reason;
+
+  MigrateDone done;
+  auto done_it = done_.find(proc.value);
+  if (done_it != done_.end()) {
+    done = std::move(done_it->second);
+    done_.erase(done_it);
+  }
+
+  auto context_it = outbound_context_.find(proc.value);
+  if (context_it == outbound_context_.end()) {
+    // Not yet excised (e.g. a pre-copy round failed before the freeze):
+    // the process never stopped running here. Nothing to restore.
+    record.rolled_back = true;
+    if (done != nullptr) {
+      done(record);
+    }
+    return;
+  }
+
+  // Source-side rollback: the authoritative context copies were retained
+  // until the handshake, so InsertProcess can rebuild the process exactly
+  // as it was excised — resident-set/IOU strategies left the owed pages in
+  // the *local* NetMsgServer cache, which keeps serving them here.
+  OutboundContext context = std::move(context_it->second);
+  outbound_context_.erase(context_it);
+  InsertProcess(env_, std::move(context.core), std::move(context.rimas),
+                [this, record, done = std::move(done)](std::unique_ptr<Process> process,
+                                                       InsertResult result) mutable {
+                  Process* raw = process.get();
+                  adopted_.push_back(std::move(process));
+                  RegisterLocal(raw);
+                  raw->Start();
+                  if (on_insert_ != nullptr) {
+                    on_insert_(raw);
+                  }
+                  record.rolled_back = true;
+                  record.rollback_insert = result.insert_time;
+                  if (done != nullptr) {
+                    done(record);
+                  }
+                });
+}
+
+void MigrationManager::HandleDeadLetter(const Message& msg) {
+  switch (msg.op) {
+    case MsgOp::kMigrateCore:
+      AbortMigration(msg.BodyAs<CoreBody>().proc, "core context undeliverable");
+      return;
+    case MsgOp::kMigrateRimas:
+      AbortMigration(msg.BodyAs<RimasBody>().proc, "RIMAS undeliverable");
+      return;
+    case MsgOp::kMigrateComplete:
+      // The source vanished after we resumed its process. The process runs
+      // on here; its residual dependencies will fault terminally if touched.
+      ACCENT_LOG(kInfo) << "completion report undeliverable (source gone)";
+      return;
+    case MsgOp::kUser:
+      if (const auto* round = std::any_cast<PreCopyRoundBody>(&msg.body)) {
+        AbortMigration(round->proc, "pre-copy round undeliverable");
+        return;
+      }
+      if (std::any_cast<PreCopyAckBody>(&msg.body) != nullptr) {
+        ACCENT_LOG(kInfo) << "pre-copy ack undeliverable (sender gone)";
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  ACCENT_LOG(kInfo) << "unhandled dead letter: " << MsgOpName(msg.op);
+}
+
 void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
                                           ExciseResult excised) {
   // The RIMAS message goes first so lazy transfers aren't queued behind the
@@ -158,6 +280,12 @@ void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
   // per-migration control work is charged at the destination manager
   // (command processing around the Core message, §4.3.2's ~1 s).
   outbound_.at(proc.value).rimas_sent = env_->sim->Now();
+  if (failure_handling_enabled()) {
+    // Keep the authoritative copy until the transfer-complete handshake:
+    // rollback re-inserts these exact messages. Deep copies (page data and
+    // all) — made only on fault-injection testbeds.
+    outbound_context_[proc.value] = OutboundContext{excised.core, excised.rimas};
+  }
   env_->cpu->Submit(CpuWork::kMigration, env_->costs->migration_rimas_handling,
                     [this, proc, dest_manager, excised = std::move(excised)]() mutable {
     MigrationRecord& rec = outbound_.at(proc.value);
@@ -189,6 +317,7 @@ void MigrationManager::MigratePreCopy(Process* proc, PortId dest_manager,
   record.requested = env_->sim->Now();
   outbound_[proc->id().value] = record;
   done_[proc->id().value] = std::move(done);
+  ArmAbortTimer(proc->id());
 
   proc->space()->MarkAllClean();
   RunPreCopyRound(proc, dest_manager, config, 0);
@@ -314,6 +443,7 @@ void MigrationManager::HandleMessage(Message msg) {
         pending.reply_port = shared->reply_port;
         pending.core = std::move(*shared);
         pending.have_core = true;
+        ArmPendingTimeout(body.proc, &pending);
         MaybeInsert(body.proc);
       });
       return;
@@ -324,19 +454,30 @@ void MigrationManager::HandleMessage(Message msg) {
       pending.rimas_arrived = env_->sim->Now();
       pending.rimas = std::move(msg);
       pending.have_rimas = true;
+      ArmPendingTimeout(body.proc, &pending);
       MaybeInsert(body.proc);
       return;
     }
     case MsgOp::kMigrateComplete: {
       const auto& body = msg.BodyAs<MigrateCompleteBody>();
       auto record_it = outbound_.find(body.proc.value);
-      ACCENT_CHECK(record_it != outbound_.end()) << " stray completion for " << body.proc;
+      if (record_it == outbound_.end()) {
+        // A completion for a migration this side already aborted: the
+        // context got through after all and the process now runs on both
+        // sides. The abort judged the peer unreachable for good and it
+        // wasn't — log loudly; resolving the split brain needs an epoch
+        // protocol out of scope here (see DESIGN.md failure semantics).
+        ACCENT_LOG(kError) << "stray completion for " << body.proc
+                           << " — peer inserted after this side aborted";
+        return;
+      }
       MigrationRecord record = record_it->second;
       record.core_arrived = body.core_arrived;
       record.rimas_arrived = body.rimas_arrived;
       record.insert_time = body.insert_time;
       record.resumed = body.resumed;
       outbound_.erase(record_it);
+      outbound_context_.erase(body.proc.value);  // handshake done; drop the copy
 
       auto done_it = done_.find(body.proc.value);
       ACCENT_CHECK(done_it != done_.end());

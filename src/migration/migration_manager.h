@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/ipc/fabric.h"
@@ -98,6 +99,14 @@ class MigrationManager : public Receiver {
   // Fires whenever a process is inserted (arrives) at this host.
   void set_on_insert(std::function<void(Process*)> fn) { on_insert_ = std::move(fn); }
 
+  // Aborts an outbound migration that can no longer complete (dead-lettered
+  // context, transfer-complete handshake timeout). If the process was
+  // already excised, the retained authoritative context is re-inserted
+  // locally and the process restarted — source-side rollback. The done
+  // callback fires with record.aborted set. No-op if the migration already
+  // completed or aborted.
+  void AbortMigration(ProcId proc, const std::string& reason);
+
   // Processes that migrated here (owned until they migrate away again).
   const std::vector<std::unique_ptr<Process>>& adopted() const { return adopted_; }
 
@@ -117,7 +126,25 @@ class MigrationManager : public Receiver {
     bool have_rimas = false;
     SimTime rimas_arrived{0};
     PortId reply_port;
+    bool timeout_armed = false;  // destination teardown timer scheduled
   };
+
+  // Deep copies of the two context messages, kept at the source until the
+  // kMigrateComplete handshake so an abort can restore the process
+  // (fault-injection runs only — lossless runs never copy).
+  struct OutboundContext {
+    Message core;
+    Message rimas;
+  };
+
+  // Failure handling is active only when the local NetMsgServer runs the
+  // reliable transport (fault-injection testbeds); lossless runs carry no
+  // context copies, no timers, and an unchanged event schedule.
+  bool failure_handling_enabled() const { return env_->netmsg->reliable(); }
+
+  void HandleDeadLetter(const Message& msg);
+  void ArmAbortTimer(ProcId proc);
+  void ArmPendingTimeout(ProcId proc, PendingInsert* pending);
 
   // Applies the strategy to the excised RIMAS message. `resident_pages` is
   // the resident set sampled at suspension time.
@@ -141,6 +168,7 @@ class MigrationManager : public Receiver {
   std::map<std::uint64_t, Process*> local_;          // registered local processes
   std::map<std::uint64_t, PendingInsert> pending_;   // keyed by ProcId
   std::map<std::uint64_t, MigrationRecord> outbound_;  // awaiting completion
+  std::map<std::uint64_t, OutboundContext> outbound_context_;  // for rollback
   std::map<std::uint64_t, MigrateDone> done_;
   std::vector<std::unique_ptr<Process>> adopted_;
 

@@ -45,6 +45,15 @@ struct MigrationRecord {
   ByteCount precopy_bytes = 0;     // bytes shipped while still running
   SimTime frozen{0};               // process quiesced (downtime starts)
 
+  // Abort/rollback bookkeeping (lossy-wire runs only; never set on the
+  // lossless paper trials and deliberately NOT serialised into the sweep
+  // cache — the cache format describes successful migrations).
+  bool aborted = false;            // transfer given up (peer unreachable)
+  SimTime aborted_at{0};
+  std::string abort_reason;
+  bool rolled_back = false;        // process runnable at the source again
+  SimDuration rollback_insert{0};  // InsertProcess cost of the rollback
+
   // Downtime: how long the process was unable to execute anywhere. For
   // pre-copy this is freeze->resume; the paper's strategies freeze at the
   // migration request.

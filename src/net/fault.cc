@@ -1,0 +1,80 @@
+#include "src/net/fault.h"
+
+namespace accent {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), rng_(Rng(seed).Fork(0x4641554C54ull)) {  // "FAULT"
+  ACCENT_EXPECTS(plan.drop >= 0.0 && plan.drop <= 1.0);
+  ACCENT_EXPECTS(plan.duplicate >= 0.0 && plan.duplicate <= 1.0);
+  ACCENT_EXPECTS(plan.delay >= 0.0 && plan.delay <= 1.0);
+  ACCENT_EXPECTS(plan.reorder >= 0.0 && plan.reorder <= 1.0);
+  for (const CrashWindow& window : plan.crashes) {
+    ACCENT_EXPECTS(window.end > window.start);
+  }
+  for (const LinkPartition& cut : plan.partitions) {
+    ACCENT_EXPECTS(cut.end > cut.start && cut.a != cut.b);
+  }
+}
+
+bool FaultInjector::HostDown(HostId host, SimTime now) const {
+  for (const CrashWindow& window : plan_.crashes) {
+    if (window.host == host && now >= window.start && now < window.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::LinkCut(HostId a, HostId b, SimTime now) const {
+  for (const LinkPartition& cut : plan_.partitions) {
+    const bool matches = (cut.a == a && cut.b == b) || (cut.a == b && cut.b == a);
+    if (matches && now >= cut.start && now < cut.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration FaultInjector::DrawDelay(SimDuration window) {
+  if (window <= SimDuration::zero()) {
+    return SimDuration::zero();
+  }
+  return SimDuration(static_cast<std::int64_t>(
+      rng_.NextBelow(static_cast<std::uint64_t>(window.count()) + 1)));
+}
+
+FaultVerdict FaultInjector::Judge(HostId from, HostId to, SimTime now) {
+  ++stats_.packets_judged;
+  FaultVerdict verdict;
+  if (HostDown(from, now) || HostDown(to, now) || LinkCut(from, to, now)) {
+    verdict.lost = true;
+    ++stats_.packets_blocked;
+    return verdict;
+  }
+  if (plan_.drop > 0.0 && rng_.NextBool(plan_.drop)) {
+    verdict.lost = true;
+    ++stats_.packets_dropped;
+    return verdict;
+  }
+
+  SimDuration jitter = SimDuration::zero();
+  if (plan_.delay > 0.0 && rng_.NextBool(plan_.delay)) {
+    jitter += DrawDelay(plan_.delay_window);
+  }
+  if (plan_.reorder > 0.0 && rng_.NextBool(plan_.reorder)) {
+    jitter += DrawDelay(plan_.reorder_window);
+  }
+  if (jitter > SimDuration::zero()) {
+    ++stats_.packets_delayed;
+  }
+  verdict.extra_delays.push_back(jitter);
+
+  if (plan_.duplicate > 0.0 && rng_.NextBool(plan_.duplicate)) {
+    ++stats_.packets_duplicated;
+    SimDuration dup_jitter = DrawDelay(plan_.reorder_window);
+    verdict.extra_delays.push_back(jitter + dup_jitter);
+  }
+  return verdict;
+}
+
+}  // namespace accent

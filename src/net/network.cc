@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace accent {
@@ -20,7 +21,47 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
       static_cast<double>(bytes) / costs_.wire_bytes_per_sec * 1e6));
   const SimTime start = std::max(sim_.Now(), wire_busy_until_);
   wire_busy_until_ = start + serialize;
-  sim_.ScheduleAt(wire_busy_until_ + costs_.wire_latency, std::move(deliver));
+  const SimTime arrival = wire_busy_until_ + costs_.wire_latency;
+
+  if (fault_ == nullptr) {
+    sim_.ScheduleAt(arrival, std::move(deliver));
+    return;
+  }
+
+  // Lost packets still occupy the wire (collisions, a crashed receiver's
+  // frames are transmitted regardless); only delivery is affected.
+  FaultVerdict verdict = fault_->Judge(from, to, sim_.Now());
+  if (verdict.lost) {
+    ++deliveries_lost_;
+    return;
+  }
+  auto shared_deliver =
+      verdict.extra_delays.size() > 1
+          ? std::make_shared<std::function<void()>>(std::move(deliver))
+          : nullptr;
+  for (std::size_t copy = 0; copy < verdict.extra_delays.size(); ++copy) {
+    const SimTime when = arrival + verdict.extra_delays[copy];
+    // Re-check the receiver at arrival: a host that crashes while the
+    // packet is in flight still loses it.
+    FaultInjector* fault = fault_;
+    if (shared_deliver != nullptr) {
+      sim_.ScheduleAt(when, [this, fault, to, when, shared_deliver]() {
+        if (fault->HostDown(to, when)) {
+          ++deliveries_lost_;
+          return;
+        }
+        (*shared_deliver)();
+      });
+    } else {
+      sim_.ScheduleAt(when, [this, fault, to, when, deliver = std::move(deliver)]() {
+        if (fault->HostDown(to, when)) {
+          ++deliveries_lost_;
+          return;
+        }
+        deliver();
+      });
+    }
+  }
 }
 
 }  // namespace accent

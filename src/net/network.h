@@ -13,6 +13,7 @@
 
 #include "src/base/types.h"
 #include "src/host/costs.h"
+#include "src/net/fault.h"
 #include "src/net/traffic.h"
 #include "src/sim/simulator.h"
 
@@ -34,17 +35,27 @@ class Network {
   void Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind,
                 std::function<void()> deliver);
 
+  // Attaches a fault injector consulted once per transmission. Null (the
+  // default) keeps the wire perfectly reliable and the event schedule
+  // bit-identical to the injector-free build; deliveries to a host inside a
+  // crash window are additionally discarded at arrival time.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
+
   std::uint64_t transmissions() const { return transmissions_; }
   ByteCount bytes_carried() const { return bytes_carried_; }
+  std::uint64_t deliveries_lost() const { return deliveries_lost_; }
   TrafficRecorder* recorder() const { return recorder_; }
 
  private:
   Simulator& sim_;
   const CostTable& costs_;
   TrafficRecorder* recorder_;  // may be null (micro tests)
+  FaultInjector* fault_ = nullptr;  // may be null (reliable wire)
   SimTime wire_busy_until_{0};
   std::uint64_t transmissions_ = 0;
   ByteCount bytes_carried_ = 0;
+  std::uint64_t deliveries_lost_ = 0;  // dropped, blocked, or dead on arrival
 };
 
 }  // namespace accent

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/vm/imag_protocol.h"
 
 namespace accent {
 
@@ -119,6 +120,11 @@ void NetMsgServer::ForwardToRemote(HostId dest_host, Message msg) {
   // Per-message protocol work happens once, up front.
   cpu->Submit(CpuWork::kNetMsgServer, costs_.netmsg_per_message, nullptr, priority);
 
+  if (reliable_) {
+    ForwardReliable(peer, std::move(msg), priority);
+    return;
+  }
+
   struct Shipment {
     Message msg;
     HostId dest;
@@ -181,6 +187,195 @@ void NetMsgServer::OnFragmentArrived(std::uint64_t transfer, ByteCount bytes,
                                  fabric_.DeliverAt(host_, std::move(msg));
                                },
                                priority);
+}
+
+// --- reliable transport ----------------------------------------------------
+
+void NetMsgServer::ForwardReliable(NetMsgServer* peer, Message msg, CpuPriority priority) {
+  const ByteCount wire = msg.WireSize(costs_);
+  const ByteCount frag_payload = costs_.netmsg_fragment_bytes;
+  const std::uint64_t fragments =
+      std::max<std::uint64_t>(1, (wire + frag_payload - 1) / frag_payload);
+
+  auto transfer = std::make_shared<OutboundTransfer>();
+  transfer->kind = msg.traffic;
+  transfer->msg = std::move(msg);
+  transfer->dest = peer->host();
+  transfer->transfer = (host_.value << 48) | next_transfer_id_++;
+  transfer->priority = priority;
+  ByteCount remaining = wire;
+  for (std::uint64_t i = 0; i < fragments; ++i) {
+    const ByteCount bytes = std::min<ByteCount>(frag_payload, remaining);
+    remaining -= bytes;
+    transfer->frag_bytes.push_back(bytes);
+  }
+  transfer->acked.assign(fragments, false);
+  transfer->retries.assign(fragments, 0);
+  outbound_[transfer->transfer] = transfer;
+
+  for (std::size_t i = 0; i < fragments; ++i) {
+    SendFragment(peer, transfer, i, /*retransmit=*/false);
+  }
+}
+
+void NetMsgServer::SendFragment(NetMsgServer* peer, std::shared_ptr<OutboundTransfer> transfer,
+                                std::size_t index, bool retransmit) {
+  const ByteCount bytes = transfer->frag_bytes[index];
+  ++stats_.fragments_sent;
+  if (retransmit) {
+    ++stats_.fragments_retransmitted;
+    stats_.retransmit_bytes += bytes;
+  }
+  const SimDuration handle =
+      costs_.netmsg_per_fragment + costs_.netmsg_per_byte * static_cast<std::int64_t>(bytes);
+  fabric_.CpuOf(host_)->Submit(
+      CpuWork::kNetMsgServer, handle,
+      [this, peer, transfer, index, bytes]() {
+        if (transfer->dead || transfer->acked[index]) {
+          return;  // acked (or abandoned) while queued on the CPU
+        }
+        network_.Transmit(host_, transfer->dest, bytes, transfer->kind,
+                          [this, peer, transfer, index, bytes]() {
+                            peer->OnReliableFragment(this, transfer, index, bytes);
+                          });
+        ArmRetryTimer(peer, transfer, index);
+      },
+      transfer->priority);
+}
+
+void NetMsgServer::ArmRetryTimer(NetMsgServer* peer, std::shared_ptr<OutboundTransfer> transfer,
+                                 std::size_t index) {
+  SimDuration rto = costs_.netmsg_rto_initial;
+  for (std::uint32_t i = 0; i < transfer->retries[index] && rto < costs_.netmsg_rto_max; ++i) {
+    rto += rto;  // exponential backoff
+  }
+  rto = std::min(rto, costs_.netmsg_rto_max);
+  sim_.ScheduleAfter(rto, [this, peer, transfer, index]() {
+    if (transfer->dead || transfer->acked[index]) {
+      return;
+    }
+    if (transfer->retries[index] >= costs_.netmsg_max_retries) {
+      DeadLetterTransfer(transfer);
+      return;
+    }
+    ++transfer->retries[index];
+    SendFragment(peer, transfer, index, /*retransmit=*/true);
+  });
+}
+
+void NetMsgServer::OnReliableFragment(NetMsgServer* sender,
+                                      std::shared_ptr<OutboundTransfer> transfer,
+                                      std::size_t index, ByteCount bytes) {
+  ++stats_.fragments_received;
+  const std::uint64_t id = transfer->transfer;
+  // Every arrival is acknowledged, duplicates included: the sender may be
+  // retrying because the previous ack was the casualty.
+  SendAck(sender, id, index);
+  if (completed_transfers_.count(id) != 0) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  InboundReliable& inbound = inbound_[id];
+  if (!inbound.received.insert(index).second) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  inbound.bytes += bytes;
+  if (inbound.received.size() < transfer->frag_bytes.size()) {
+    return;
+  }
+
+  // Complete: claim the payload (the sender's copy is no longer needed —
+  // any retransmissions still in flight will be suppressed above), charge
+  // this node's handling in one piece and deliver.
+  completed_transfers_.insert(id);
+  const std::uint64_t fragments = transfer->frag_bytes.size();
+  const ByteCount total_bytes = inbound.bytes;
+  inbound_.erase(id);
+  transfer->delivered = true;
+  Message msg = std::move(transfer->msg);
+  ++stats_.messages_delivered;
+  const SimDuration handle =
+      costs_.netmsg_per_message +
+      costs_.netmsg_per_fragment * static_cast<std::int64_t>(fragments) +
+      costs_.netmsg_per_byte * static_cast<std::int64_t>(total_bytes);
+  const CpuPriority priority =
+      costs_.fault_priority_lane && msg.traffic == TrafficKind::kFaultData
+          ? CpuPriority::kHigh
+          : CpuPriority::kNormal;
+  fabric_.CpuOf(host_)->Submit(CpuWork::kNetMsgServer, handle,
+                               [this, msg = std::move(msg)]() mutable {
+                                 fabric_.DeliverAt(host_, std::move(msg));
+                               },
+                               priority);
+}
+
+void NetMsgServer::SendAck(NetMsgServer* sender, std::uint64_t transfer, std::size_t index) {
+  ++stats_.acks_sent;
+  // Acks are tiny driver-level frames: they ride the (faulty) wire but
+  // charge no NetMsgServer CPU, and are never themselves retried — the
+  // sender's retransmission timer covers their loss.
+  network_.Transmit(host_, sender->host(), costs_.netmsg_ack_bytes, TrafficKind::kControl,
+                    [sender, transfer, index]() { sender->OnFragmentAck(transfer, index); });
+}
+
+void NetMsgServer::OnFragmentAck(std::uint64_t transfer, std::size_t index) {
+  ++stats_.acks_received;
+  auto it = outbound_.find(transfer);
+  if (it == outbound_.end()) {
+    return;  // duplicate ack for a finished transfer
+  }
+  OutboundTransfer& record = *it->second;
+  if (record.acked[index]) {
+    return;
+  }
+  record.acked[index] = true;
+  if (++record.acked_count == record.frag_bytes.size()) {
+    outbound_.erase(it);
+  }
+}
+
+void NetMsgServer::DeadLetterTransfer(std::shared_ptr<OutboundTransfer> transfer) {
+  if (transfer->dead) {
+    return;
+  }
+  transfer->dead = true;
+  outbound_.erase(transfer->transfer);
+  if (transfer->delivered) {
+    // Two-generals: every fragment arrived but the acks were lost. The
+    // receiver owns the message; this is a success, not a failure.
+    ACCENT_LOG(kDebug) << "transfer " << transfer->transfer
+                       << " acks lost but payload delivered; not dead-lettering";
+    return;
+  }
+  ++stats_.transfers_dead_lettered;
+  const Message& msg = transfer->msg;
+  ACCENT_LOG(kInfo) << "dead-lettering " << MsgOpName(msg.op) << " transfer "
+                    << transfer->transfer << " to " << transfer->dest;
+
+  if (msg.op == MsgOp::kImagReadRequest) {
+    // The unreachable peer owes this host memory it will never deliver:
+    // bounce a terminal failure reply to the local pager so the faulting
+    // process stops instead of hanging (§2.3's "analyze and properly
+    // terminate", stretched across machines).
+    const auto& request = msg.BodyAs<ImagReadRequest>();
+    ImagReadReply reply;
+    reply.request_id = request.request_id;
+    reply.segment = request.segment;
+    reply.offset = request.offset;
+    reply.failed = true;
+    Message bounce;
+    bounce.dest = request.reply_port;
+    bounce.op = MsgOp::kImagReadReply;
+    bounce.traffic = TrafficKind::kControl;
+    bounce.inline_bytes = kImagReplyBodyBytes;
+    bounce.body = reply;
+    fabric_.DeliverAt(host_, std::move(bounce));
+    return;
+  }
+  if (dead_letter_ != nullptr) {
+    dead_letter_(msg);
+  }
 }
 
 }  // namespace accent

@@ -23,7 +23,10 @@
 #define SRC_NETMSG_NETMSGSERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,6 +60,14 @@ struct NetMsgStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t regions_cached = 0;    // Real regions substituted with IOUs
   ByteCount bytes_cached = 0;          // page bytes kept home by substitution
+
+  // Reliable-transport counters; all zero when reliable mode is off.
+  std::uint64_t fragments_retransmitted = 0;
+  ByteCount retransmit_bytes = 0;            // wire bytes re-sent
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t duplicates_suppressed = 0;   // fragments discarded as dups
+  std::uint64_t transfers_dead_lettered = 0; // gave up after max retries
 };
 
 class NetMsgServer : public RemoteTransport {
@@ -75,6 +86,24 @@ class NetMsgServer : public RemoteTransport {
   // (ablation knob; the paper's system has it on).
   void set_iou_caching(bool enabled) { iou_caching_ = enabled; }
   bool iou_caching() const { return iou_caching_; }
+
+  // Switches outbound transfers to the reliable protocol: per-fragment
+  // sequence numbers, receiver-side duplicate suppression, per-fragment
+  // acknowledgements and timeout-driven retransmission with capped
+  // exponential backoff (costs.netmsg_rto_*). Off by default — the
+  // lossless paper runs use the original fire-and-forget path and stay
+  // bit-identical. Enable together with a Network fault injector.
+  void set_reliable(bool enabled) { reliable_ = enabled; }
+  bool reliable() const { return reliable_; }
+
+  // Invoked (reliable mode) when a transfer exhausts its retries and the
+  // peer is presumed unreachable for good; receives the undelivered
+  // message. Imaginary Read Requests are bounced to the local pager as
+  // failed replies before the handler is consulted.
+  using DeadLetterHandler = std::function<void(const Message&)>;
+  void set_dead_letter_handler(DeadLetterHandler handler) {
+    dead_letter_ = std::move(handler);
+  }
 
   // Adopts `pages` (keyed by VA page index) as a VA-indexed backed object
   // and returns its IouRef. Used by the resident-set strategy, which ships
@@ -102,6 +131,37 @@ class NetMsgServer : public RemoteTransport {
   void OnFragmentArrived(std::uint64_t transfer, ByteCount bytes, bool final_fragment,
                          Message msg);
 
+  // --- reliable transport ------------------------------------------------
+  // One in-flight reliable transfer on the sending side. The message stays
+  // here — the authoritative copy — until every fragment is acknowledged;
+  // the receiver claims it (sets `delivered`) when reassembly completes, so
+  // a dead-letter verdict reached purely through lost acks is downgraded
+  // to success (the two-generals case: data arrived, receipts didn't).
+  struct OutboundTransfer {
+    Message msg;
+    HostId dest;
+    std::uint64_t transfer = 0;
+    TrafficKind kind = TrafficKind::kControl;
+    CpuPriority priority = CpuPriority::kNormal;
+    std::vector<ByteCount> frag_bytes;
+    std::vector<bool> acked;
+    std::vector<std::uint32_t> retries;
+    std::uint64_t acked_count = 0;
+    bool delivered = false;  // receiver completed reassembly
+    bool dead = false;       // dead-lettered; stop retrying
+  };
+
+  void ForwardReliable(NetMsgServer* peer, Message msg, CpuPriority priority);
+  void SendFragment(NetMsgServer* peer, std::shared_ptr<OutboundTransfer> transfer,
+                    std::size_t index, bool retransmit);
+  void ArmRetryTimer(NetMsgServer* peer, std::shared_ptr<OutboundTransfer> transfer,
+                     std::size_t index);
+  void OnReliableFragment(NetMsgServer* sender, std::shared_ptr<OutboundTransfer> transfer,
+                          std::size_t index, ByteCount bytes);
+  void SendAck(NetMsgServer* sender, std::uint64_t transfer, std::size_t index);
+  void OnFragmentAck(std::uint64_t transfer, std::size_t index);
+  void DeadLetterTransfer(std::shared_ptr<OutboundTransfer> transfer);
+
   HostId host_;
   Simulator& sim_;
   const CostTable& costs_;
@@ -117,6 +177,17 @@ class NetMsgServer : public RemoteTransport {
     std::uint64_t fragments = 0;
   };
   std::map<std::uint64_t, Reassembly> reassembly_;  // keyed by transfer id
+
+  // Reliable-mode state.
+  bool reliable_ = false;
+  DeadLetterHandler dead_letter_;
+  std::map<std::uint64_t, std::shared_ptr<OutboundTransfer>> outbound_;
+  struct InboundReliable {
+    std::set<std::size_t> received;  // fragment indices seen so far
+    ByteCount bytes = 0;
+  };
+  std::map<std::uint64_t, InboundReliable> inbound_;   // keyed by transfer id
+  std::set<std::uint64_t> completed_transfers_;        // fully reassembled
   NetMsgStats stats_;
 };
 

@@ -32,6 +32,19 @@ std::uint64_t Simulator::Run() {
   return events_executed_ - start;
 }
 
+std::vector<SimTime> Simulator::PendingEventTimes(std::size_t limit) const {
+  std::vector<SimTime> times;
+  times.reserve(queue_.size());
+  for (const Event& event : queue_) {
+    times.push_back(event.when);
+  }
+  std::sort(times.begin(), times.end());
+  if (times.size() > limit) {
+    times.resize(limit);
+  }
+  return times;
+}
+
 bool Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {

@@ -51,6 +51,13 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Scheduled times of up to `limit` earliest pending events, ascending.
+  // Diagnostic surface for watchdogs: a stuck simulation dumps what it was
+  // still waiting on instead of timing out silently.
+  std::vector<SimTime> PendingEventTimes(std::size_t limit) const;
+
   std::uint64_t events_executed() const { return events_executed_; }
 
   // Process/port/segment id allocator (ids are unique per simulation).

@@ -26,6 +26,10 @@ struct ImagReadReply {
   std::uint64_t request_id = 0;
   SegmentId segment;
   ByteCount offset = 0;
+  // The request could not be serviced and never will be: the backer is
+  // unreachable for good (dead-lettered request on a lossy wire). The
+  // reply carries no pages; the pager fails the waiting accesses.
+  bool failed = false;
   // Pages ride as the message's single kReal MemoryRegion. The backer may
   // return fewer pages than asked (object end, pages it no longer owns).
 };

@@ -189,6 +189,17 @@ void Pager::StartImaginaryFault(AddressSpace* space, PageIndex page, bool write,
                   FailPendingFetch(request_id);
                 }
               });
+  if (fetch_timeout_enabled_) {
+    // Lossy-wire guard: a reply lost to a crashed peer (in either
+    // direction) must not strand the faulting process. Dead-letter bounces
+    // normally fail the fetch first; this is the backstop.
+    sim_.ScheduleAfter(costs_.pager_fetch_timeout, [this, request_id]() {
+      if (pending_.count(request_id) != 0) {
+        ACCENT_LOG(kInfo) << "imaginary fetch " << request_id << " timed out";
+        FailPendingFetch(request_id);
+      }
+    });
+  }
 }
 
 void Pager::FailPendingFetch(std::uint64_t request_id) {
@@ -215,6 +226,11 @@ void Pager::HandleMessage(Message msg) {
   ACCENT_CHECK(msg.op == MsgOp::kImagReadReply)
       << " pager received unexpected " << MsgOpName(msg.op);
   const auto& reply = msg.BodyAs<ImagReadReply>();
+  if (reply.failed) {
+    // The request was dead-lettered: the backer is unreachable for good.
+    FailPendingFetch(reply.request_id);
+    return;
+  }
   auto it = pending_.find(reply.request_id);
   if (it == pending_.end()) {
     ACCENT_LOG(kDebug) << "orphan imaginary read reply " << reply.request_id;

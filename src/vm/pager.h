@@ -82,6 +82,12 @@ class Pager : public Receiver {
   void set_prefetch_pages(std::uint32_t pages) { prefetch_pages_ = pages; }
   std::uint32_t prefetch_pages() const { return prefetch_pages_; }
 
+  // Arms a per-fetch timeout (costs.pager_fetch_timeout) that fails any
+  // imaginary fetch whose reply never arrives. Off by default: lossless
+  // testbeds must not carry extra events; fault-injection testbeds enable
+  // it so a crashed backer can never strand a process.
+  void set_fetch_timeout_enabled(bool enabled) { fetch_timeout_enabled_ = enabled; }
+
   // Resolves a touch of `addr` by `space`; `done` runs once the page is
   // resident (and privately owned, for writes). Charges all fault costs.
   void Access(AddressSpace* space, Addr addr, bool write, AccessDone done);
@@ -130,6 +136,7 @@ class Pager : public Receiver {
   PhysicalMemory& memory_;
   PortId port_;
   std::uint32_t prefetch_pages_ = 0;
+  bool fetch_timeout_enabled_ = false;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, PendingFetch> pending_;
   // (space,page) currently being fetched -> request id (for waiter joining).

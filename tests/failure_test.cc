@@ -1,9 +1,14 @@
 // Failure injection: dead backing ports, addressing errors, dead
 // destinations — the system must degrade loudly but gracefully, never hang.
+// Every drain goes through the simulated-time watchdog (RunGuarded), so a
+// regression that wedges the event loop fails fast with a pending-event
+// dump instead of timing out the test binary.
 #include <gtest/gtest.h>
 
+#include "src/experiments/failure_sweep.h"
 #include "src/experiments/testbed.h"
 #include "src/vm/backer.h"
+#include "src/workloads/workload.h"
 
 namespace accent {
 namespace {
@@ -24,7 +29,7 @@ TEST_F(FailureTest, BadMemReferenceInvokesDebugger) {
     outcome = o;
     done = true;
   });
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
   ASSERT_TRUE(done);
   EXPECT_TRUE(outcome.failed);
   EXPECT_EQ(outcome.fault, FaultKind::kAddressError);
@@ -50,7 +55,7 @@ TEST_F(FailureTest, ProcessStopsFaultedOnBadMem) {
     EXPECT_EQ(o.fault, FaultKind::kAddressError);
   });
   proc->Start();
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
   EXPECT_TRUE(fault_seen);
   EXPECT_TRUE(proc->faulted());
   EXPECT_FALSE(proc->done());
@@ -79,7 +84,7 @@ TEST_F(FailureTest, DeadBackerFailsTheFault) {
     outcome = o;
     done = true;
   });
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
   ASSERT_TRUE(done);  // never hangs
   EXPECT_TRUE(outcome.failed);
   EXPECT_EQ(outcome.fault, FaultKind::kImaginary);
@@ -106,7 +111,7 @@ TEST_F(FailureTest, JoinedWaitersAllFailTogether) {
       failures += o.failed ? 1 : 0;
     });
   }
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
   EXPECT_EQ(failures, 3);
   EXPECT_EQ(bed.pager(0)->stats().failed_fetches, 1u);  // one shared fetch
 }
@@ -139,7 +144,7 @@ TEST_F(FailureTest, ProcessFaultsWhenBackerDiesMidRun) {
   bed.sim().RunUntil(Sec(1.0));
   EXPECT_TRUE(proc->space()->HasPrivatePage(0));  // first fetch succeeded
   bed.fabric().DestroyPort(iou.backing_port);
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
   EXPECT_TRUE(proc->faulted());
   // The fetched page survived; only the unfetched one is lost.
   EXPECT_EQ(proc->space()->ReadPage(0), MakePatternPage(0));
@@ -169,7 +174,7 @@ TEST_F(FailureTest, PortDyingInFlightDropsMessageQuietly) {
   ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
   bed.sim().RunUntil(Ms(2));  // message is crossing
   bed.fabric().DestroyPort(port);
-  bed.sim().Run();  // must drain without crashing
+  ASSERT_TRUE(bed.RunGuarded());  // must drain without crashing
   EXPECT_EQ(sink.received, 0);
 }
 
@@ -185,7 +190,51 @@ TEST_F(FailureTest, DeathNoticeToDeadBackerIsHarmless) {
   space->MapImaginary(0, kPageSize, standin, 0);
   bed.fabric().DestroyPort(iou.backing_port);
   bed.pager(0)->NotifySpaceDeath(space.get());  // logs, doesn't crash
-  bed.sim().Run();
+  EXPECT_TRUE(bed.RunGuarded());
+}
+
+TEST(MigrationRollback, DestinationCrashMidInsertRollsBackSource) {
+  // The destination dies *after* both context messages arrived but before
+  // the kMigrateComplete handshake could return: the source must conclude
+  // the peer is gone, abort, and restore the process runnable at home from
+  // its retained context copies. Crash placement comes from a lossless
+  // baseline of the same trial.
+  const FailureBaseline baseline =
+      RunFailureBaseline("Minprog", TransferStrategy::kPureIou, 42);
+  ASSERT_GT(baseline.migration.insert_time.count(), 0);
+  const SimTime mid_insert =
+      baseline.migration.resumed - baseline.migration.insert_time / 2;
+
+  TestbedConfig config;
+  config.costs.migration_abort_timeout = Sec(30.0);  // keep the test brisk
+  config.fault_plan.crashes.push_back(CrashWindow{HostId(2), mid_insert, kFaultForever});
+  Testbed bed(config);
+
+  WorkloadInstance instance = BuildWorkload(WorkloadByName("Minprog"), bed.host(0), 42);
+  Process* proc = instance.process.get();
+  bed.manager(0)->RegisterLocal(proc);
+
+  Process* local = nullptr;
+  bed.manager(0)->set_on_insert([&local](Process* inserted) { local = inserted; });
+
+  bool done = false;
+  MigrationRecord record;
+  bed.manager(0)->Migrate(proc, bed.manager(1)->port(), TransferStrategy::kPureIou,
+                          [&](const MigrationRecord& r) {
+                            record = r;
+                            done = true;
+                          });
+  ASSERT_TRUE(bed.RunGuarded());
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(record.aborted);
+  EXPECT_TRUE(record.rolled_back);
+  EXPECT_GT(record.rollback_insert.count(), 0);
+
+  // The rolled-back incarnation is runnable at the source and finishes its
+  // trace there; the excised husk stays excised.
+  ASSERT_NE(local, nullptr);
+  EXPECT_TRUE(local->done()) << "rolled-back process never ran at the source";
+  EXPECT_EQ(local->env()->id, bed.host(0)->id);
 }
 
 }  // namespace

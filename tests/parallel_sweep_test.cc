@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/thread_pool.h"
+#include "src/experiments/failure_sweep.h"
 #include "src/experiments/sweep.h"
 #include "src/experiments/sweep_cache.h"
 #include "src/experiments/trial.h"
@@ -124,6 +125,27 @@ TEST(ParallelSweep, GridOrderMatchesSerialContract) {
     EXPECT_EQ(config.workload, "Chess");
     EXPECT_EQ(config.seed, 7u);
   }
+}
+
+TEST(ParallelSweep, FailureMatrixIsByteIdenticalAcross1And2And8Threads) {
+  // Fault-injection trials consume extra randomness (every packet verdict
+  // draws from the injector's Rng), so this is the sharper determinism
+  // claim: the verdict stream is keyed to each trial's private simulator,
+  // never to wall-clock interleaving. The canonical JSON dump covers every
+  // outcome, counter and checksum in one comparison. The thread count goes
+  // in through ACCENT_SWEEP_THREADS to exercise the same plumbing CI uses.
+  std::string reference;
+  for (const char* threads : {"1", "2", "8"}) {
+    ASSERT_EQ(setenv("ACCENT_SWEEP_THREADS", threads, 1), 0);
+    const std::string dump = FailureMatrixToJson(RunFailureMatrix(42, 0)).Dump(2);
+    if (reference.empty()) {
+      reference = dump;
+      EXPECT_NE(reference.find("\"hung\": 0"), std::string::npos);
+    } else {
+      EXPECT_EQ(dump, reference) << "threads=" << threads;
+    }
+  }
+  ASSERT_EQ(unsetenv("ACCENT_SWEEP_THREADS"), 0);
 }
 
 TEST(SweepThreads, EnvVarOverridesAndClamps) {

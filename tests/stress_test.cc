@@ -75,7 +75,7 @@ TEST_P(StressTest, ConcurrentMigrationsStayCoherent) {
     bed.manager(0)->Migrate(jobs[i].process.get(), bed.manager(dest)->port(), strategy,
                             [&completions](const MigrationRecord&) { ++completions; });
   }
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
   ASSERT_EQ(completions, kJobs);
 
   // Find every process wherever it landed and verify it.
@@ -167,7 +167,7 @@ TEST(StressPingPong, ProcessBouncesBetweenHosts) {
                                   });
   };
   hop();
-  bed.sim().Run();
+  ASSERT_TRUE(bed.RunGuarded());
 
   // Wherever it ended, it finished with correct data.
   Process* final_proc = nullptr;

@@ -1,21 +1,50 @@
 #!/usr/bin/env bash
-# Runs the micro_sim event-loop benchmark and validates the schema of the
-# BENCH_sim.json it emits, so tier-1 ctest runs keep the perf trajectory
-# machine-readable (and loudly fail if a refactor breaks the bench).
+# Runs a bench binary and validates the schema of the BENCH_*.json it
+# emits, so tier-1 ctest runs keep the perf/failure trajectory
+# machine-readable (and loudly fail if a refactor breaks a bench).
 #
-# Usage: check_bench.sh <micro_sim-binary> [output.json]
+# Usage:
+#   check_bench.sh <micro_sim-binary> [output.json]
+#   check_bench.sh --failure <failure_sweep-binary> [output.json]
 set -euo pipefail
 
-BIN=${1:?usage: check_bench.sh <micro_sim binary> [out.json]}
-OUT=${2:-BENCH_sim.json}
+MODE=sim
+if [ "${1:-}" = "--failure" ]; then
+  MODE=failure
+  shift
+fi
 
-# Modest event budget: this is a schema/regression tripwire in CI, not the
-# full measurement run (invoke micro_sim directly for that).
-"$BIN" --events 100000 --reps 2 --out "$OUT"
+BIN=${1:?usage: check_bench.sh [--failure] <bench binary> [out.json]}
 
 status=0
-for key in bench schema_version events inline_events_per_sec legacy_events_per_sec \
-           inline_ns_per_event legacy_ns_per_event speedup; do
+if [ "$MODE" = "sim" ]; then
+  OUT=${2:-BENCH_sim.json}
+  # Modest event budget: this is a schema/regression tripwire in CI, not the
+  # full measurement run (invoke micro_sim directly for that).
+  "$BIN" --events 100000 --reps 2 --out "$OUT"
+  KEYS="bench schema_version events inline_events_per_sec legacy_events_per_sec \
+        inline_ns_per_event legacy_ns_per_event speedup"
+else
+  OUT=${2:-BENCH_failure.json}
+  # The full matrix (7 workloads x 3 strategies x 4 scenarios). The binary
+  # itself exits non-zero if any trial hung or completed with corrupted
+  # contents, so set -e makes those hard failures here.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version trial_count completed aborted terminal_faults \
+        hung integrity_failures trials"
+
+  # Belt and braces: re-assert the invariants from the emitted JSON.
+  if ! grep -q '"hung": 0' "$OUT"; then
+    echo "check_bench: failure matrix reports hung trials in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"integrity_failures": 0' "$OUT"; then
+    echo "check_bench: failure matrix reports corrupted completions in $OUT" >&2
+    status=1
+  fi
+fi
+
+for key in $KEYS; do
   if ! grep -q "\"$key\"" "$OUT"; then
     echo "check_bench: missing key \"$key\" in $OUT" >&2
     status=1
