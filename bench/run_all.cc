@@ -1,20 +1,27 @@
 // Warms the cross-binary sweep cache once, in parallel, so the ~20
 // table/figure/ablation binaries deserialise the paper grid from disk
-// instead of each re-simulating it.
+// instead of each re-simulating it — then folds the grid into
+// BENCH_sweep.json: per-trial summary rows plus the aggregated metrics
+// registry (validated by tools/check_bench.sh --sweep, consumed by
+// tools/render_results).
 //
-// Usage: run_all [--force] [--threads N] [--seed N]
+// Usage: run_all [--force] [--threads N] [--seed N] [--out FILE]
 //   --force     recompute and rewrite cache files even when present
 //   --threads   worker threads (default: ACCENT_SWEEP_THREADS or hardware)
 //   --seed      trial seed (default 42, the grid every binary uses)
+//   --out       sweep summary JSON path (default BENCH_sweep.json)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/experiments/metrics_fold.h"
 #include "src/experiments/sweep.h"
 #include "src/experiments/sweep_cache.h"
+#include "src/metrics/registry.h"
 
 namespace accent {
 namespace {
@@ -23,6 +30,7 @@ int Main(int argc, char** argv) {
   bool force = false;
   int threads = 0;
   std::uint64_t seed = 42;
+  std::string out = "BENCH_sweep.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--force") == 0) {
       force = true;
@@ -30,8 +38,11 @@ int Main(int argc, char** argv) {
       threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--force] [--threads N] [--seed N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--force] [--threads N] [--seed N] [--out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -45,20 +56,46 @@ int Main(int argc, char** argv) {
 
   const auto start = std::chrono::steady_clock::now();
   std::size_t trials = 0;
+  MetricsRegistry metrics;
+  Json trial_rows{Json::Array{}};
+  Json workloads{Json::Array{}};
   for (const std::string& name : RepresentativeNames()) {
     const auto t0 = std::chrono::steady_clock::now();
     const std::vector<TrialResult>& results =
         force ? cache.Refresh(name, seed, threads) : cache.For(name, seed, threads);
     const auto t1 = std::chrono::steady_clock::now();
     trials += results.size();
+    workloads.Append(Json(name));
+    for (const TrialResult& result : results) {
+      FoldTrialMetrics(result, &metrics);
+      trial_rows.Append(TrialSummaryToJson(result));
+    }
     std::printf("  %-10s %3zu trials  %8.1f ms\n", name.c_str(), results.size(),
                 std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
   const auto stop = std::chrono::steady_clock::now();
 
+  Json root{Json::Object{}};
+  root["bench"] = Json("sweep");
+  root["schema_version"] = Json(1);
+  root["seed"] = Json(seed);
+  root["trial_count"] = Json(static_cast<std::uint64_t>(trials));
+  root["workloads"] = std::move(workloads);
+  root["metrics"] = metrics.ToJson();
+  root["trials"] = std::move(trial_rows);
+  {
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "run_all: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    file << root.Dump(1) << "\n";
+  }
+
   std::printf("%zu trials ready in %.2f s (%d recomputed, %d loaded from disk)\n", trials,
               std::chrono::duration<double>(stop - start).count(), cache.computes(),
               cache.disk_hits());
+  std::printf("Sweep summary + metrics registry written to %s.\n", out.c_str());
   std::printf("Bench binaries will now load the grid from %s.\n", cache.dir().c_str());
   return 0;
 }

@@ -11,6 +11,7 @@ Testbed::Testbed(const TestbedConfig& config)
       network_(&sim_, &config_.costs, &traffic_),
       fabric_(&sim_, &config_.costs) {
   ACCENT_EXPECTS(config_.host_count >= 1);
+  sim_.set_tracer(config_.tracer);
   const bool faulty = config_.fault_plan.enabled();
   const bool reliable = faulty || config_.reliable_transport;
   if (faulty) {

@@ -45,6 +45,12 @@ struct TestbedConfig {
   std::uint64_t fault_seed = 42;
   // Force the reliable transport even with a trivial plan (protocol tests).
   bool reliable_transport = false;
+
+  // Observability (not owned; may be null — the default — for no tracing).
+  // Attached to the simulator at construction; every instrumented subsystem
+  // reaches it through sim().tracer(). Recording never alters the event
+  // schedule, so traced and untraced runs produce identical results.
+  Tracer* tracer = nullptr;
 };
 
 class Testbed {

@@ -26,6 +26,11 @@ struct TrialConfig {
   bool iou_caching = true;  // ablation: NetMsgServer substitution on/off
   std::size_t frames_per_host = 4096;
   SimDuration traffic_bucket = Ms(500);  // Figure 4-5 series resolution
+
+  // Optional observability hook (not owned, may be null). Deliberately NOT
+  // part of the serialised trial configuration (sweep_cache.cc) — tracing
+  // never changes results, so a traced run must hash to the same cache key.
+  Tracer* tracer = nullptr;
 };
 
 struct TrialResult {

@@ -1,0 +1,144 @@
+#include "src/metrics/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace accent {
+
+void MetricHistogram::Observe(double sample) {
+  if (counts.empty()) {
+    counts.assign(bounds.size() + 1, 0);
+  }
+  std::size_t bucket = bounds.size();  // overflow unless a bound admits it
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (sample <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  if (count == 0) {
+    min = sample;
+    max = sample;
+  } else {
+    min = std::min(min, sample);
+    max = std::max(max, sample);
+  }
+  ++count;
+  sum += sample;
+}
+
+MetricCounter& MetricsRegistry::Counter(const std::string& name) {
+  return counters_[name];
+}
+
+MetricHistogram& MetricsRegistry::Histogram(const std::string& name,
+                                            std::vector<double> bounds) {
+  ACCENT_EXPECTS(std::is_sorted(bounds.begin(), bounds.end()));
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second.bounds = std::move(bounds);
+  } else {
+    ACCENT_CHECK(it->second.bounds == bounds)
+        << " histogram '" << name << "' re-declared with different buckets";
+  }
+  return it->second;
+}
+
+const MetricCounter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const MetricHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].value += counter.value;
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    auto [it, inserted] = histograms_.try_emplace(name);
+    MetricHistogram& mine = it->second;
+    if (inserted) {
+      mine = histogram;
+      continue;
+    }
+    ACCENT_CHECK(mine.bounds == histogram.bounds)
+        << " merging histogram '" << name << "' with different buckets";
+    if (histogram.count == 0) {
+      continue;
+    }
+    if (mine.counts.empty()) {
+      mine.counts.assign(mine.bounds.size() + 1, 0);
+    }
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      mine.counts[i] += histogram.counts[i];
+    }
+    mine.min = mine.count == 0 ? histogram.min : std::min(mine.min, histogram.min);
+    mine.max = mine.count == 0 ? histogram.max : std::max(mine.max, histogram.max);
+    mine.count += histogram.count;
+    mine.sum += histogram.sum;
+  }
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json counters{Json::Object{}};
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = Json(counter.value);
+  }
+  Json histograms{Json::Object{}};
+  for (const auto& [name, histogram] : histograms_) {
+    Json entry{Json::Object{}};
+    Json bounds{Json::Array{}};
+    for (double bound : histogram.bounds) {
+      bounds.Append(Json(bound));
+    }
+    entry["bounds"] = std::move(bounds);
+    Json counts{Json::Array{}};
+    for (std::uint64_t c : histogram.counts) {
+      counts.Append(Json(c));
+    }
+    entry["counts"] = std::move(counts);
+    entry["count"] = Json(histogram.count);
+    entry["sum"] = Json(histogram.sum);
+    entry["min"] = Json(histogram.min);
+    entry["max"] = Json(histogram.max);
+    histograms[name] = std::move(entry);
+  }
+  Json out{Json::Object{}};
+  out["counters"] = std::move(counters);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+MetricsRegistry MetricsRegistry::FromJson(const Json& json) {
+  MetricsRegistry registry;
+  for (const auto& [name, value] : json.Get("counters").AsObject()) {
+    registry.counters_[name].value = value.AsUint64();
+  }
+  for (const auto& [name, entry] : json.Get("histograms").AsObject()) {
+    MetricHistogram histogram;
+    for (const Json& bound : entry.Get("bounds").AsArray()) {
+      histogram.bounds.push_back(bound.AsDouble());
+    }
+    for (const Json& c : entry.Get("counts").AsArray()) {
+      histogram.counts.push_back(c.AsUint64());
+    }
+    ACCENT_CHECK(histogram.counts.empty() ||
+                 histogram.counts.size() == histogram.bounds.size() + 1)
+        << " malformed histogram '" << name << "'";
+    histogram.count = entry.Get("count").AsUint64();
+    histogram.sum = entry.Get("sum").AsDouble();
+    histogram.min = entry.Get("min").AsDouble();
+    histogram.max = entry.Get("max").AsDouble();
+    registry.histograms_[name] = std::move(histogram);
+  }
+  return registry;
+}
+
+}  // namespace accent

@@ -1,0 +1,80 @@
+// Typed counter/histogram metrics registry.
+//
+// Bench binaries accumulate per-trial measurements (messages, bytes,
+// retransmissions, faults served, IOU pulls) into a MetricsRegistry and fold
+// the result into their BENCH_*.json output, so every headline number has a
+// machine-readable form. The registry serialises through src/base/json's
+// canonical writer: equal registries always dump byte-identical text.
+//
+// Not thread-safe: parallel sweeps aggregate per-thread results after the
+// barrier, they do not share a registry across workers.
+#ifndef SRC_METRICS_REGISTRY_H_
+#define SRC_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+namespace accent {
+
+// Monotonic event count (messages forwarded, pages fetched, ...).
+struct MetricCounter {
+  std::uint64_t value = 0;
+
+  void Add(std::uint64_t delta) { value += delta; }
+  void Increment() { ++value; }
+};
+
+// Fixed-bucket histogram over doubles. `bounds` are inclusive upper bounds,
+// strictly ascending; a sample greater than the last bound lands in the
+// overflow bucket, so counts.size() == bounds.size() + 1. Min/max/sum/count
+// travel alongside so averages and ranges survive aggregation.
+struct MetricHistogram {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // sized bounds.size() + 1 once observed
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+
+  void Observe(double sample);
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the named counter, creating it at zero on first use.
+  MetricCounter& Counter(const std::string& name);
+
+  // Returns the named histogram; `bounds` fixes the buckets on first use
+  // and must match (ACCENT_CHECK) on later calls.
+  MetricHistogram& Histogram(const std::string& name, std::vector<double> bounds);
+
+  const MetricCounter* FindCounter(const std::string& name) const;
+  const MetricHistogram* FindHistogram(const std::string& name) const;
+
+  const std::map<std::string, MetricCounter>& counters() const { return counters_; }
+  const std::map<std::string, MetricHistogram>& histograms() const { return histograms_; }
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  // Adds every metric of `other` into this registry: counters sum,
+  // histograms merge bucket-wise (bounds must agree). Used to aggregate
+  // per-trial registries into a sweep-wide one.
+  void Merge(const MetricsRegistry& other);
+
+  // {"counters": {name: value}, "histograms": {name: {...}}} — canonical,
+  // round-trips exactly through FromJson.
+  Json ToJson() const;
+  static MetricsRegistry FromJson(const Json& json);
+
+ private:
+  std::map<std::string, MetricCounter> counters_;
+  std::map<std::string, MetricHistogram> histograms_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_METRICS_REGISTRY_H_

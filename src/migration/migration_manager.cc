@@ -137,6 +137,15 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
   done_[proc->id().value] = std::move(done);
   ArmAbortTimer(proc->id());
 
+  if (Tracer* tracer = env_->sim->tracer()) {
+    tracer->Instant(env_->id, TraceLane::kMigration, "migrate:request",
+                    record.requested,
+                    {{"proc", Json(record.proc.value)},
+                     {"workload", Json(record.name)},
+                     {"strategy", Json(StrategyName(strategy))},
+                     {"dest_manager", Json(dest_manager.value)}});
+  }
+
   proc->RequestSuspend([this, proc, dest_manager, strategy]() {
     // Sample the resident set now: excision destroys residency.
     std::vector<PageIndex> resident = env_->memory->PagesOf(proc->space()->id());
@@ -200,6 +209,11 @@ void MigrationManager::AbortMigration(ProcId proc, const std::string& reason) {
   outbound_.erase(record_it);
   precopy_ack_waiters_.erase(proc.value);
   ACCENT_LOG(kInfo) << "aborting migration of " << proc << ": " << reason;
+  if (Tracer* tracer = env_->sim->tracer()) {
+    tracer->Instant(env_->id, TraceLane::kMigration, "migrate:abort",
+                    record.aborted_at,
+                    {{"proc", Json(proc.value)}, {"reason", Json(reason)}});
+  }
 
   MigrateDone done;
   auto done_it = done_.find(proc.value);
@@ -237,6 +251,13 @@ void MigrationManager::AbortMigration(ProcId proc, const std::string& reason) {
                   }
                   record.rolled_back = true;
                   record.rollback_insert = result.insert_time;
+                  if (Tracer* tracer = env_->sim->tracer()) {
+                    tracer->Instant(
+                        env_->id, TraceLane::kMigration, "migrate:rolled-back",
+                        env_->sim->Now(),
+                        {{"proc", Json(record.proc.value)},
+                         {"insert_us", Json(result.insert_time.count())}});
+                  }
                   if (done != nullptr) {
                     done(record);
                   }
@@ -279,6 +300,20 @@ void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
   // floor of Table 4-5's ~0.16 s pure-IOU transfers. The heavier
   // per-migration control work is charged at the destination manager
   // (command processing around the Core message, §4.3.2's ~1 s).
+  {
+    // The excise phase span: downtime start (freeze for pre-copy, request
+    // otherwise) to the ExciseProcess trap returning.
+    MigrationRecord& record = outbound_.at(proc.value);
+    if (Tracer* tracer = env_->sim->tracer()) {
+      const SimTime phase_start =
+          record.frozen > SimTime{0} ? record.frozen : record.requested;
+      tracer->Complete(env_->id, TraceLane::kMigration, "migrate:excise",
+                       phase_start, record.excise_done - phase_start,
+                       {{"proc", Json(record.proc.value)},
+                        {"amap_us", Json(record.excise_amap.count())},
+                        {"rimas_us", Json(record.excise_rimas.count())}});
+    }
+  }
   outbound_.at(proc.value).rimas_sent = env_->sim->Now();
   if (failure_handling_enabled()) {
     // Keep the authoritative copy until the transfer-complete handshake:
@@ -443,6 +478,11 @@ void MigrationManager::HandleMessage(Message msg) {
         pending.reply_port = shared->reply_port;
         pending.core = std::move(*shared);
         pending.have_core = true;
+        if (Tracer* tracer = env_->sim->tracer()) {
+          tracer->Instant(env_->id, TraceLane::kMigration,
+                          "migrate:core-arrived", pending.core_arrived,
+                          {{"proc", Json(body.proc.value)}});
+        }
         ArmPendingTimeout(body.proc, &pending);
         MaybeInsert(body.proc);
       });
@@ -454,6 +494,11 @@ void MigrationManager::HandleMessage(Message msg) {
       pending.rimas_arrived = env_->sim->Now();
       pending.rimas = std::move(msg);
       pending.have_rimas = true;
+      if (Tracer* tracer = env_->sim->tracer()) {
+        tracer->Instant(env_->id, TraceLane::kMigration,
+                        "migrate:rimas-arrived", pending.rimas_arrived,
+                        {{"proc", Json(body.proc.value)}});
+      }
       ArmPendingTimeout(body.proc, &pending);
       MaybeInsert(body.proc);
       return;
@@ -478,6 +523,27 @@ void MigrationManager::HandleMessage(Message msg) {
       record.resumed = body.resumed;
       outbound_.erase(record_it);
       outbound_context_.erase(body.proc.value);  // handshake done; drop the copy
+
+      if (Tracer* tracer = env_->sim->tracer()) {
+        // The three phase spans tile the downtime exactly: excise (emitted
+        // when the context left) ends at excise_done, transfer runs to the
+        // start of insertion, insert runs to resumption — so their durations
+        // sum to record.Downtime(). Tests hold this invariant.
+        const SimTime insert_begin = record.resumed - record.insert_time;
+        tracer->Complete(env_->id, TraceLane::kMigration, "migrate:transfer",
+                         record.excise_done, insert_begin - record.excise_done,
+                         {{"proc", Json(record.proc.value)},
+                          {"core_arrived_us", Json(record.core_arrived.count())},
+                          {"rimas_arrived_us",
+                           Json(record.rimas_arrived.count())}});
+        tracer->Complete(env_->id, TraceLane::kMigration, "migrate:insert",
+                         insert_begin, record.insert_time,
+                         {{"proc", Json(record.proc.value)}});
+        tracer->Instant(env_->id, TraceLane::kMigration, "migrate:complete",
+                        env_->sim->Now(),
+                        {{"proc", Json(record.proc.value)},
+                         {"downtime_us", Json(record.Downtime().count())}});
+      }
 
       auto done_it = done_.find(body.proc.value);
       ACCENT_CHECK(done_it != done_.end());
@@ -605,6 +671,14 @@ void MigrationManager::MaybeInsert(ProcId proc) {
                   body.rimas_arrived = pending_rimas_arrived;
                   body.insert_time = result.insert_time;
                   body.resumed = env_->sim->Now();
+
+                  if (Tracer* tracer = env_->sim->tracer()) {
+                    tracer->Instant(
+                        env_->id, TraceLane::kMigration, "migrate:resumed",
+                        body.resumed,
+                        {{"proc", Json(body.proc.value)},
+                         {"insert_us", Json(result.insert_time.count())}});
+                  }
 
                   Message complete;
                   complete.dest = reply_port;

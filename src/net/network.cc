@@ -23,6 +23,13 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
   wire_busy_until_ = start + serialize;
   const SimTime arrival = wire_busy_until_ + costs_.wire_latency;
 
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Complete(from, TraceLane::kWire, "wire:tx", start, arrival - start,
+                     {{"to", Json(to.value)},
+                      {"bytes", Json(bytes)},
+                      {"kind", Json(TrafficKindName(kind))}});
+  }
+
   if (fault_ == nullptr) {
     sim_.ScheduleAt(arrival, std::move(deliver));
     return;
@@ -31,6 +38,23 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
   // Lost packets still occupy the wire (collisions, a crashed receiver's
   // frames are transmitted regardless); only delivery is affected.
   FaultVerdict verdict = fault_->Judge(from, to, sim_.Now());
+  if (Tracer* tracer = sim_.tracer()) {
+    if (verdict.lost) {
+      tracer->Instant(from, TraceLane::kWire, "fault:drop", sim_.Now(),
+                      {{"to", Json(to.value)}, {"bytes", Json(bytes)}});
+    } else if (verdict.extra_delays.size() > 1) {
+      tracer->Instant(
+          from, TraceLane::kWire, "fault:duplicate", sim_.Now(),
+          {{"to", Json(to.value)},
+           {"copies",
+            Json(static_cast<std::uint64_t>(verdict.extra_delays.size()))}});
+    } else if (!verdict.extra_delays.empty() &&
+               verdict.extra_delays.front() > SimDuration{0}) {
+      tracer->Instant(from, TraceLane::kWire, "fault:delay", sim_.Now(),
+                      {{"to", Json(to.value)},
+                       {"extra_us", Json(verdict.extra_delays.front().count())}});
+    }
+  }
   if (verdict.lost) {
     ++deliveries_lost_;
     return;
@@ -48,6 +72,9 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
       sim_.ScheduleAt(when, [this, fault, to, when, shared_deliver]() {
         if (fault->HostDown(to, when)) {
           ++deliveries_lost_;
+          if (Tracer* tracer = sim_.tracer()) {
+            tracer->Instant(to, TraceLane::kWire, "fault:dead-receiver", when);
+          }
           return;
         }
         (*shared_deliver)();
@@ -56,6 +83,9 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
       sim_.ScheduleAt(when, [this, fault, to, when, deliver = std::move(deliver)]() {
         if (fault->HostDown(to, when)) {
           ++deliveries_lost_;
+          if (Tracer* tracer = sim_.tracer()) {
+            tracer->Instant(to, TraceLane::kWire, "fault:dead-receiver", when);
+          }
           return;
         }
         deliver();

@@ -105,12 +105,22 @@ void NetMsgServer::ForwardToRemote(HostId dest_host, Message msg) {
   NetMsgServer* peer = directory_.Find(dest_host);
   ACCENT_CHECK(peer != nullptr) << " no NetMsgServer on " << dest_host;
 
-  SubstituteIous(&msg);
+  const bool iou_substituted = SubstituteIous(&msg);
   ++stats_.messages_forwarded;
 
   const ByteCount wire = msg.WireSize(costs_);
   const ByteCount frag_payload = costs_.netmsg_fragment_bytes;
   const std::uint64_t fragments = std::max<std::uint64_t>(1, (wire + frag_payload - 1) / frag_payload);
+
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:forward", sim_.Now(),
+                    {{"op", Json(MsgOpName(msg.op))},
+                     {"dest", Json(dest_host.value)},
+                     {"wire_bytes", Json(wire)},
+                     {"fragments", Json(fragments)},
+                     {"iou_substituted", Json(iou_substituted)},
+                     {"reliable", Json(reliable_)}});
+  }
 
   Cpu* cpu = fabric_.CpuOf(host_);
   const CpuPriority priority =
@@ -146,6 +156,13 @@ void NetMsgServer::ForwardToRemote(HostId dest_host, Message msg) {
     cpu->Submit(CpuWork::kNetMsgServer, handle,
                 [this, peer, shipment, transfer, bytes, final_fragment]() {
                   const TrafficKind kind = shipment->msg.traffic;
+                  if (Tracer* tracer = sim_.tracer();
+                      tracer != nullptr && tracer->verbose()) {
+                    tracer->Instant(host_, TraceLane::kNetMsg,
+                                    "netmsg:frag-send", sim_.Now(),
+                                    {{"transfer", Json(transfer)},
+                                     {"bytes", Json(bytes)}});
+                  }
                   network_.Transmit(host_, shipment->dest, bytes, kind,
                                     [peer, shipment, transfer, bytes, final_fragment]() {
                                       Message payload;
@@ -168,6 +185,13 @@ void NetMsgServer::OnFragmentArrived(std::uint64_t transfer, ByteCount bytes,
   ++assembly.fragments;
   if (!final_fragment) {
     return;
+  }
+
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:delivered", sim_.Now(),
+                    {{"transfer", Json(transfer)},
+                     {"bytes", Json(assembly.bytes)},
+                     {"fragments", Json(assembly.fragments)}});
   }
 
   // The whole message has arrived: charge this node's handling in one piece
@@ -226,6 +250,16 @@ void NetMsgServer::SendFragment(NetMsgServer* peer, std::shared_ptr<OutboundTran
     ++stats_.fragments_retransmitted;
     stats_.retransmit_bytes += bytes;
   }
+  if (Tracer* tracer = sim_.tracer();
+      tracer != nullptr && (retransmit || tracer->verbose())) {
+    tracer->Instant(host_, TraceLane::kNetMsg,
+                    retransmit ? "netmsg:retransmit" : "netmsg:frag-send",
+                    sim_.Now(),
+                    {{"transfer", Json(transfer->transfer)},
+                     {"index", Json(static_cast<std::uint64_t>(index))},
+                     {"bytes", Json(bytes)},
+                     {"retry", Json(transfer->retries[index])}});
+  }
   const SimDuration handle =
       costs_.netmsg_per_fragment + costs_.netmsg_per_byte * static_cast<std::int64_t>(bytes);
   fabric_.CpuOf(host_)->Submit(
@@ -271,15 +305,19 @@ void NetMsgServer::OnReliableFragment(NetMsgServer* sender,
   // Every arrival is acknowledged, duplicates included: the sender may be
   // retrying because the previous ack was the casualty.
   SendAck(sender, id, index);
-  if (completed_transfers_.count(id) != 0) {
+  Tracer* tracer = sim_.tracer();
+  if (completed_transfers_.count(id) != 0 ||
+      !inbound_[id].received.insert(index).second) {
     ++stats_.duplicates_suppressed;
+    if (tracer != nullptr && tracer->verbose()) {
+      tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:dup-suppressed",
+                      sim_.Now(),
+                      {{"transfer", Json(id)},
+                       {"index", Json(static_cast<std::uint64_t>(index))}});
+    }
     return;
   }
   InboundReliable& inbound = inbound_[id];
-  if (!inbound.received.insert(index).second) {
-    ++stats_.duplicates_suppressed;
-    return;
-  }
   inbound.bytes += bytes;
   if (inbound.received.size() < transfer->frag_bytes.size()) {
     return;
@@ -291,6 +329,12 @@ void NetMsgServer::OnReliableFragment(NetMsgServer* sender,
   completed_transfers_.insert(id);
   const std::uint64_t fragments = transfer->frag_bytes.size();
   const ByteCount total_bytes = inbound.bytes;
+  if (tracer != nullptr) {
+    tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:delivered", sim_.Now(),
+                    {{"transfer", Json(id)},
+                     {"bytes", Json(total_bytes)},
+                     {"fragments", Json(fragments)}});
+  }
   inbound_.erase(id);
   transfer->delivered = true;
   Message msg = std::move(transfer->msg);
@@ -312,6 +356,12 @@ void NetMsgServer::OnReliableFragment(NetMsgServer* sender,
 
 void NetMsgServer::SendAck(NetMsgServer* sender, std::uint64_t transfer, std::size_t index) {
   ++stats_.acks_sent;
+  if (Tracer* tracer = sim_.tracer();
+      tracer != nullptr && tracer->verbose()) {
+    tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:ack-send", sim_.Now(),
+                    {{"transfer", Json(transfer)},
+                     {"index", Json(static_cast<std::uint64_t>(index))}});
+  }
   // Acks are tiny driver-level frames: they ride the (faulty) wire but
   // charge no NetMsgServer CPU, and are never themselves retried — the
   // sender's retransmission timer covers their loss.
@@ -321,6 +371,12 @@ void NetMsgServer::SendAck(NetMsgServer* sender, std::uint64_t transfer, std::si
 
 void NetMsgServer::OnFragmentAck(std::uint64_t transfer, std::size_t index) {
   ++stats_.acks_received;
+  if (Tracer* tracer = sim_.tracer();
+      tracer != nullptr && tracer->verbose()) {
+    tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:ack-recv", sim_.Now(),
+                    {{"transfer", Json(transfer)},
+                     {"index", Json(static_cast<std::uint64_t>(index))}});
+  }
   auto it = outbound_.find(transfer);
   if (it == outbound_.end()) {
     return;  // duplicate ack for a finished transfer
@@ -350,6 +406,12 @@ void NetMsgServer::DeadLetterTransfer(std::shared_ptr<OutboundTransfer> transfer
   }
   ++stats_.transfers_dead_lettered;
   const Message& msg = transfer->msg;
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:dead-letter", sim_.Now(),
+                    {{"transfer", Json(transfer->transfer)},
+                     {"op", Json(MsgOpName(msg.op))},
+                     {"dest", Json(transfer->dest.value)}});
+  }
   ACCENT_LOG(kInfo) << "dead-lettering " << MsgOpName(msg.op) << " transfer "
                     << transfer->transfer << " to " << transfer->dest;
 

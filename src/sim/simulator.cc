@@ -20,6 +20,14 @@ void Simulator::RunOne() {
   queue_.pop_back();
   now_ = event.when;
   ++events_executed_;
+  // Dispatch instants are high-volume, so they are gated behind verbose
+  // mode on top of the usual null check; the common path costs one branch.
+  if (tracer_ != nullptr && tracer_->verbose()) {
+    tracer_->KernelInstant("sim:dispatch", now_,
+                           {{"seq", Json(event.seq)},
+                            {"pending", Json(static_cast<std::uint64_t>(
+                                            queue_.size()))}});
+  }
   event.fn();
 }
 

@@ -19,6 +19,7 @@
 #include "src/base/check.h"
 #include "src/base/types.h"
 #include "src/sim/event.h"
+#include "src/trace/trace.h"
 
 namespace accent {
 
@@ -63,6 +64,13 @@ class Simulator {
   // Process/port/segment id allocator (ids are unique per simulation).
   std::uint64_t AllocateId() { return ++last_id_; }
 
+  // Optional observability hook. The simulator does not own the tracer;
+  // callers must keep it alive for the simulation's lifetime. Instrumented
+  // subsystems reach it through here (sim.tracer()), so one assignment
+  // enables tracing everywhere. Null (the default) disables all recording.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   static constexpr std::size_t kInitialQueueCapacity = 1024;
 
@@ -91,6 +99,7 @@ class Simulator {
   std::uint64_t last_id_ = 0;
   std::uint64_t events_executed_ = 0;
   bool stopped_ = false;
+  Tracer* tracer_ = nullptr;  // not owned
 };
 
 }  // namespace accent

@@ -1,0 +1,206 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace accent {
+namespace {
+
+// pid used for kernel-attributed events in the exported trace. Host ids are
+// allocated from 1, so 0 is free.
+constexpr std::uint64_t kKernelPid = 0;
+
+std::uint64_t PidOf(const TraceEvent& event) {
+  return event.host.valid() ? event.host.value : kKernelPid;
+}
+
+Json ArgsToJson(const TraceArgs& args) {
+  Json out{Json::Object{}};
+  for (const TraceArg& arg : args) {
+    out[arg.key] = arg.value;
+  }
+  return out;
+}
+
+Json MetadataEvent(const char* name, std::uint64_t pid, std::uint64_t tid,
+                   Json args) {
+  Json event{Json::Object{}};
+  event["ph"] = "M";
+  event["name"] = name;
+  event["pid"] = pid;
+  event["tid"] = tid;
+  event["ts"] = std::int64_t{0};
+  event["args"] = std::move(args);
+  return event;
+}
+
+}  // namespace
+
+const char* TraceLaneName(TraceLane lane) {
+  switch (lane) {
+    case TraceLane::kMigration:
+      return "migration";
+    case TraceLane::kPager:
+      return "pager";
+    case TraceLane::kNetMsg:
+      return "netmsg";
+    case TraceLane::kWire:
+      return "wire";
+    case TraceLane::kSim:
+      return "sim";
+  }
+  return "?";
+}
+
+void Tracer::Instant(HostId host, TraceLane lane, std::string name, SimTime ts,
+                     TraceArgs args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.host = host;
+  event.lane = lane;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Complete(HostId host, TraceLane lane, std::string name,
+                      SimTime start, SimDuration dur, TraceArgs args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.host = host;
+  event.lane = lane;
+  event.name = std::move(name);
+  event.ts = start;
+  event.dur = dur;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Counter(HostId host, std::string name, SimTime ts, double value) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kCounter;
+  event.host = host;
+  event.lane = TraceLane::kSim;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::KernelInstant(std::string name, SimTime ts, TraceArgs args) {
+  Instant(HostId{}, TraceLane::kSim, std::move(name), ts, std::move(args));
+}
+
+Json Tracer::ToChromeTraceJson() const {
+  // Stable sort by timestamp: viewers expect monotonically non-decreasing
+  // ts, and recording order is the meaningful tie-break (it reflects the
+  // simulator's same-instant FIFO execution order).
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const TraceEvent& event : events_) {
+    ordered.push_back(&event);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts < b->ts;
+                   });
+
+  Json::Array trace_events;
+  // Metadata: name every (pid) process and (pid, lane) thread that appears,
+  // and sort hosts ascending in the viewer. std::map keeps this canonical.
+  std::map<std::uint64_t, bool> pids;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, TraceLane> lanes;
+  for (const TraceEvent& event : events_) {
+    const std::uint64_t pid = PidOf(event);
+    pids[pid] = true;
+    lanes[{pid, static_cast<std::uint32_t>(event.lane)}] = event.lane;
+  }
+  for (const auto& [pid, unused] : pids) {
+    Json name_args{Json::Object{}};
+    name_args["name"] = pid == kKernelPid
+                            ? std::string("simulator")
+                            : "host-" + std::to_string(pid);
+    trace_events.push_back(MetadataEvent("process_name", pid, 0,
+                                         std::move(name_args)));
+    Json sort_args{Json::Object{}};
+    sort_args["sort_index"] = static_cast<std::int64_t>(pid);
+    trace_events.push_back(MetadataEvent("process_sort_index", pid, 0,
+                                         std::move(sort_args)));
+  }
+  for (const auto& [key, lane] : lanes) {
+    Json name_args{Json::Object{}};
+    name_args["name"] = TraceLaneName(lane);
+    trace_events.push_back(MetadataEvent("thread_name", key.first, key.second,
+                                         std::move(name_args)));
+    Json sort_args{Json::Object{}};
+    sort_args["sort_index"] = static_cast<std::int64_t>(key.second);
+    trace_events.push_back(MetadataEvent("thread_sort_index", key.first,
+                                         key.second, std::move(sort_args)));
+  }
+
+  for (const TraceEvent* event : ordered) {
+    Json record{Json::Object{}};
+    record["name"] = event->name;
+    record["cat"] = TraceLaneName(event->lane);
+    record["pid"] = PidOf(*event);
+    record["tid"] = static_cast<std::uint64_t>(event->lane);
+    record["ts"] = event->ts.count();
+    switch (event->phase) {
+      case TraceEvent::Phase::kComplete:
+        record["ph"] = "X";
+        record["dur"] = event->dur.count();
+        break;
+      case TraceEvent::Phase::kInstant:
+        record["ph"] = "i";
+        record["s"] = "t";  // instant scope: thread
+        break;
+      case TraceEvent::Phase::kCounter:
+        record["ph"] = "C";
+        break;
+    }
+    if (event->phase == TraceEvent::Phase::kCounter) {
+      Json args{Json::Object{}};
+      args["value"] = event->value;
+      record["args"] = std::move(args);
+    } else if (!event->args.empty()) {
+      record["args"] = ArgsToJson(event->args);
+    }
+    trace_events.push_back(std::move(record));
+  }
+
+  Json root{Json::Object{}};
+  root["displayTimeUnit"] = "ms";
+  root["traceEvents"] = Json{std::move(trace_events)};
+  return root;
+}
+
+std::string Tracer::DumpChromeTrace(int indent) const {
+  return ToChromeTraceJson().Dump(indent) + "\n";
+}
+
+void Tracer::WriteChromeTrace(std::ostream& out) const {
+  out << DumpChromeTrace();
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    ACCENT_LOG(kError) << "cannot open trace output file " << path;
+    return false;
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out) {
+    ACCENT_LOG(kError) << "failed writing trace output file " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace accent

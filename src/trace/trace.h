@@ -1,0 +1,112 @@
+// Structured tracing for the simulated testbed.
+//
+// A Tracer records spans, instants and counter samples stamped with
+// *simulated* time and exports them as Chrome-trace ("Trace Event Format")
+// JSON, loadable in Perfetto / chrome://tracing. The layout is one process
+// group per simulated host (pid = host id, pid 0 = the simulation kernel)
+// with a named thread lane per subsystem: migration, pager, netmsg, wire,
+// sim.
+//
+// The subsystem is opt-in and zero-overhead when disabled: nothing holds a
+// Tracer by default, and every instrumentation site is guarded by a single
+// `tracer == nullptr` test. A Tracer only observes — it never schedules,
+// never consumes randomness — so enabling it cannot perturb simulated
+// behaviour; tests assert that trial results are byte-identical with and
+// without it.
+//
+// The taxonomy of event names and args is documented in
+// docs/OBSERVABILITY.md; changes here must be reflected there.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+// One named row inside a host's process group in the trace viewer.
+enum class TraceLane : std::uint32_t {
+  kMigration = 1,  // phase spans: excise / transfer / insert, aborts
+  kPager = 2,      // fault-service spans (zero-fill, disk, CoW, imaginary)
+  kNetMsg = 3,     // per-message forwards, fragments, acks, retransmits
+  kWire = 4,       // physical transmissions + fault-injector verdicts
+  kSim = 5,        // event-loop dispatch (verbose only)
+};
+
+const char* TraceLaneName(TraceLane lane);
+
+// A key/value annotation attached to an event ("args" in the Chrome format).
+struct TraceArg {
+  std::string key;
+  Json value;
+};
+using TraceArgs = std::vector<TraceArg>;
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kComplete,  // "X": a span [ts, ts+dur]
+    kInstant,   // "i": a point event
+    kCounter,   // "C": a sampled value
+  };
+
+  Phase phase = Phase::kInstant;
+  HostId host;  // default-constructed (value 0) = the simulation kernel
+  TraceLane lane = TraceLane::kSim;
+  std::string name;
+  SimTime ts{0};
+  SimDuration dur{0};  // kComplete only
+  double value = 0.0;  // kCounter only
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Verbose mode additionally records high-volume events: per-fragment
+  // sends/acks and simulator event dispatches. Off by default — a full
+  // sweep trial dispatches hundreds of thousands of events.
+  void set_verbose(bool v) { verbose_ = v; }
+  bool verbose() const { return verbose_; }
+
+  void Instant(HostId host, TraceLane lane, std::string name, SimTime ts,
+               TraceArgs args = {});
+  void Complete(HostId host, TraceLane lane, std::string name, SimTime start,
+                SimDuration dur, TraceArgs args = {});
+  void Counter(HostId host, std::string name, SimTime ts, double value);
+
+  // Events attributed to the simulation kernel rather than a host.
+  void KernelInstant(std::string name, SimTime ts, TraceArgs args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void Clear() { events_.clear(); }
+
+  // Chrome-trace JSON: {"displayTimeUnit":"ms","traceEvents":[...]} with
+  // metadata records naming each process/thread, then all events sorted by
+  // timestamp (stable — recording order breaks ties). Timestamps and
+  // durations are emitted in microseconds, the Chrome format's native unit
+  // and SimTime's resolution, so values pass through exactly.
+  Json ToChromeTraceJson() const;
+  std::string DumpChromeTrace(int indent = 1) const;
+  void WriteChromeTrace(std::ostream& out) const;
+  // Returns false (and logs) if the file cannot be written.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  bool verbose_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace accent
+
+#endif  // SRC_TRACE_TRACE_H_

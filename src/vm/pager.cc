@@ -7,6 +7,24 @@
 
 namespace accent {
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kFillZero:
+      return "fillzero";
+    case FaultKind::kDisk:
+      return "disk";
+    case FaultKind::kCopyOnWrite:
+      return "cow";
+    case FaultKind::kImaginary:
+      return "imaginary";
+    case FaultKind::kAddressError:
+      return "address-error";
+  }
+  return "?";
+}
+
 Pager::Pager(HostId host, Simulator* sim, const CostTable* costs, IpcFabric* fabric, Disk* disk,
              PhysicalMemory* memory)
     : host_(host), sim_(*sim), costs_(*costs), fabric_(*fabric), disk_(*disk), memory_(*memory) {
@@ -49,6 +67,23 @@ SimDuration Pager::ResolveWriteCopy(AddressSpace* space, PageIndex page,
 
 void Pager::Access(AddressSpace* space, Addr addr, bool write, AccessDone done) {
   ACCENT_EXPECTS(space != nullptr && done != nullptr);
+  // Tracing wraps the completion so the span covers the whole fault service
+  // (request, wire round-trips, installation). Resident hits emit nothing;
+  // the wrapper only observes, so simulated behaviour is unchanged.
+  if (Tracer* tracer = sim_.tracer()) {
+    done = [this, tracer, write, start = sim_.Now(),
+            done = std::move(done)](const AccessOutcome& outcome) {
+      if (outcome.fault != FaultKind::kNone) {
+        tracer->Complete(host_, TraceLane::kPager,
+                         std::string("pager:") + FaultKindName(outcome.fault),
+                         start, sim_.Now() - start,
+                         {{"page", Json(outcome.page)},
+                          {"write", Json(write)},
+                          {"failed", Json(outcome.failed)}});
+      }
+      done(outcome);
+    };
+  }
   const PageIndex page = PageOf(addr);
   const MemClass mem_class = space->ClassOf(addr);
   Cpu* cpu = fabric_.CpuOf(host_);

@@ -41,6 +41,9 @@ enum class FaultKind {
   kAddressError,  // BadMem reference: the debugger would be invoked
 };
 
+// Short lower-case label ("fillzero", "disk", ...) used in traces and logs.
+const char* FaultKindName(FaultKind kind);
+
 struct AccessOutcome {
   FaultKind fault = FaultKind::kNone;
   PageIndex page = 0;

@@ -1,0 +1,168 @@
+// Tracing subsystem: Chrome-trace export shape, determinism, the
+// migration-phase tiling invariant, and the zero-perturbation guarantee
+// (a traced trial must serialise byte-identically to an untraced one).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/experiments/sweep_cache.h"
+#include "src/experiments/trial.h"
+#include "src/trace/trace.h"
+
+namespace accent {
+namespace {
+
+TEST(Tracer, ChromeTraceShape) {
+  Tracer tracer;
+  tracer.Instant(HostId{1}, TraceLane::kMigration, "migrate:request", Us(10),
+                 {{"proc", Json(7)}});
+  tracer.Complete(HostId{1}, TraceLane::kMigration, "migrate:excise", Us(10), Us(25));
+  tracer.Complete(HostId{2}, TraceLane::kWire, "wire:tx", Us(12), Us(3));
+  tracer.Counter(HostId{1}, "queue_depth", Us(15), 4.0);
+  tracer.KernelInstant("sim:dispatch", Us(5));
+
+  const Json root = tracer.ToChromeTraceJson();
+  EXPECT_EQ(root.Get("displayTimeUnit").AsString(), "ms");
+  const Json::Array& events = root.Get("traceEvents").AsArray();
+
+  // Metadata first: process_name for pid 0 (kernel), 1 and 2, then
+  // thread_name per populated (pid, lane) pair.
+  std::size_t metadata = 0;
+  bool saw_kernel = false, saw_host1 = false;
+  for (const Json& event : events) {
+    if (event.Get("ph").AsString() != "M") {
+      break;
+    }
+    ++metadata;
+    if (event.Get("name").AsString() == "process_name") {
+      const std::string& label = event.Get("args").Get("name").AsString();
+      saw_kernel |= label == "simulator" && event.Get("pid").AsUint64() == 0;
+      saw_host1 |= label == "host-1" && event.Get("pid").AsUint64() == 1;
+    }
+  }
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_host1);
+  ASSERT_EQ(events.size(), metadata + 5);
+
+  // Records sorted by timestamp: the kernel instant (ts 5) leads.
+  const Json& first = events[metadata];
+  EXPECT_EQ(first.Get("name").AsString(), "sim:dispatch");
+  EXPECT_EQ(first.Get("ph").AsString(), "i");
+  EXPECT_EQ(first.Get("ts").AsInt64(), 5);
+
+  // The excise span keeps its microsecond duration exactly.
+  bool saw_excise = false;
+  for (std::size_t i = metadata; i < events.size(); ++i) {
+    const Json& event = events[i];
+    if (event.Get("name").AsString() == "migrate:excise") {
+      saw_excise = true;
+      EXPECT_EQ(event.Get("ph").AsString(), "X");
+      EXPECT_EQ(event.Get("ts").AsInt64(), 10);
+      EXPECT_EQ(event.Get("dur").AsInt64(), 25);
+      EXPECT_EQ(event.Get("pid").AsUint64(), 1u);
+    }
+  }
+  EXPECT_TRUE(saw_excise);
+}
+
+TrialConfig TracedConfig(const std::string& workload, TransferStrategy strategy,
+                         Tracer* tracer) {
+  TrialConfig config;
+  config.workload = workload;
+  config.strategy = strategy;
+  config.tracer = tracer;
+  return config;
+}
+
+TEST(Tracer, ExportIsDeterministic) {
+  Tracer first_tracer;
+  RunTrial(TracedConfig("Minprog", TransferStrategy::kPureIou, &first_tracer));
+  Tracer second_tracer;
+  RunTrial(TracedConfig("Minprog", TransferStrategy::kPureIou, &second_tracer));
+
+  ASSERT_GT(first_tracer.size(), 0u);
+  EXPECT_EQ(first_tracer.DumpChromeTrace(), second_tracer.DumpChromeTrace());
+}
+
+// Acceptance check from the issue: a traced pure-IOU Pasmac migration
+// exports Perfetto-loadable JSON whose migration-phase spans tile the
+// request-to-resume interval exactly — excise + transfer + insert sums to
+// the measured end-to-end downtime.
+TEST(Tracer, PhaseSpansTileDowntime) {
+  Tracer tracer;
+  const TrialResult result =
+      RunTrial(TracedConfig("PM-Start", TransferStrategy::kPureIou, &tracer));
+
+  const TraceEvent* excise = nullptr;
+  const TraceEvent* transfer = nullptr;
+  const TraceEvent* insert = nullptr;
+  bool saw_complete = false, saw_resumed = false;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.name == "migrate:excise") excise = &event;
+    if (event.name == "migrate:transfer") transfer = &event;
+    if (event.name == "migrate:insert") insert = &event;
+    saw_complete |= event.name == "migrate:complete";
+    saw_resumed |= event.name == "migrate:resumed";
+  }
+  ASSERT_NE(excise, nullptr);
+  ASSERT_NE(transfer, nullptr);
+  ASSERT_NE(insert, nullptr);
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_resumed);
+
+  // Contiguous tiling: each phase starts where the previous one ended.
+  EXPECT_EQ(excise->ts + excise->dur, transfer->ts);
+  EXPECT_EQ(transfer->ts + transfer->dur, insert->ts);
+  EXPECT_EQ(excise->dur + transfer->dur + insert->dur, result.migration.Downtime());
+
+  // Perfetto-loadable: the export parses back and every record carries the
+  // required Chrome-trace keys.
+  Json parsed;
+  ASSERT_TRUE(Json::TryParse(tracer.DumpChromeTrace(), &parsed));
+  for (const Json& event : parsed.Get("traceEvents").AsArray()) {
+    EXPECT_NE(event.Find("name"), nullptr);
+    EXPECT_NE(event.Find("ph"), nullptr);
+    EXPECT_NE(event.Find("pid"), nullptr);
+    EXPECT_NE(event.Find("tid"), nullptr);
+  }
+}
+
+// The zero-perturbation guarantee behind the byte-identity acceptance
+// criterion: attaching a Tracer (even verbose) must not change a single
+// field of the trial result.
+TEST(Tracer, TracingIsInert) {
+  TrialConfig config;
+  config.workload = "Minprog";
+  config.strategy = TransferStrategy::kResidentSet;
+  const std::string untraced = TrialResultToJson(RunTrial(config)).Dump();
+
+  Tracer tracer;
+  config.tracer = &tracer;
+  const std::string traced = TrialResultToJson(RunTrial(config)).Dump();
+  EXPECT_GT(tracer.size(), 0u);
+  EXPECT_EQ(untraced, traced);
+
+  tracer.Clear();
+  tracer.set_verbose(true);
+  const std::string verbose = TrialResultToJson(RunTrial(config)).Dump();
+  EXPECT_EQ(untraced, verbose);
+}
+
+// Verbose mode strictly adds events (per-fragment, per-dispatch detail).
+TEST(Tracer, VerboseAddsDetail) {
+  Tracer quiet;
+  RunTrial(TracedConfig("Minprog", TransferStrategy::kPureCopy, &quiet));
+  Tracer verbose;
+  verbose.set_verbose(true);
+  RunTrial(TracedConfig("Minprog", TransferStrategy::kPureCopy, &verbose));
+
+  EXPECT_GT(verbose.size(), quiet.size());
+  bool saw_dispatch = false;
+  for (const TraceEvent& event : verbose.events()) {
+    saw_dispatch |= event.name == "sim:dispatch";
+  }
+  EXPECT_TRUE(saw_dispatch);
+}
+
+}  // namespace
+}  // namespace accent

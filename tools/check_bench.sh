@@ -6,11 +6,15 @@
 # Usage:
 #   check_bench.sh <micro_sim-binary> [output.json]
 #   check_bench.sh --failure <failure_sweep-binary> [output.json]
+#   check_bench.sh --sweep <run_all-binary> [output.json]
 set -euo pipefail
 
 MODE=sim
 if [ "${1:-}" = "--failure" ]; then
   MODE=failure
+  shift
+elif [ "${1:-}" = "--sweep" ]; then
+  MODE=sweep
   shift
 fi
 
@@ -24,6 +28,23 @@ if [ "$MODE" = "sim" ]; then
   "$BIN" --events 100000 --reps 2 --out "$OUT"
   KEYS="bench schema_version events inline_events_per_sec legacy_events_per_sec \
         inline_ns_per_event legacy_ns_per_event speedup"
+elif [ "$MODE" = "sweep" ]; then
+  OUT=${2:-BENCH_sweep.json}
+  # Serves the 77-trial grid from the on-disk cache (simulating on a cold
+  # cache), folds it into the metrics registry and emits the summary.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version seed trial_count workloads metrics trials \
+        counters histograms downtime_seconds rimas_transfer_seconds \
+        faults.iou_pulls bytes.total messages.total"
+
+  if ! grep -q '"bench": "sweep"' "$OUT"; then
+    echo "check_bench: $OUT is not a sweep summary" >&2
+    status=1
+  fi
+  if grep -q '"trial_count": 0' "$OUT"; then
+    echo "check_bench: sweep summary carries no trials" >&2
+    status=1
+  fi
 else
   OUT=${2:-BENCH_failure.json}
   # The full matrix (7 workloads x 3 strategies x 4 scenarios). The binary

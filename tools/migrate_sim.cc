@@ -15,6 +15,7 @@
 #include "src/experiments/report.h"
 #include "src/experiments/trial.h"
 #include "src/metrics/table.h"
+#include "src/trace/trace.h"
 
 namespace accent {
 namespace {
@@ -29,6 +30,8 @@ void PrintUsage() {
       "  --seed=N               trial seed (default 42)\n"
       "  --frames=N             destination physical memory frames (default 4096)\n"
       "  --no-iou-caching       disable NetMsgServer IOU substitution\n"
+      "  --trace-out=FILE       write a Chrome-trace JSON of the trial (Perfetto)\n"
+      "  --trace-verbose        also record per-fragment / per-dispatch events\n"
       "  --series               print the byte transfer-rate series\n"
       "  --csv                  emit one machine-readable CSV row\n"
       "  --sweep                run the full strategy x prefetch grid as CSV\n");
@@ -57,6 +60,8 @@ int Run(int argc, char** argv) {
   bool series = false;
   bool csv = false;
   bool sweep = false;
+  std::string trace_out;
+  bool trace_verbose = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -95,6 +100,10 @@ int Run(int argc, char** argv) {
       config.frames_per_host = std::stoul(value);
     } else if (ParseFlag(argv[i], "--no-iou-caching", &value)) {
       config.iou_caching = false;
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      trace_out = value;
+    } else if (ParseFlag(argv[i], "--trace-verbose", &value)) {
+      trace_verbose = true;
     } else if (ParseFlag(argv[i], "--series", &value)) {
       series = true;
     } else if (ParseFlag(argv[i], "--csv", &value)) {
@@ -116,7 +125,21 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
+  Tracer tracer;
+  if (!trace_out.empty()) {
+    tracer.set_verbose(trace_verbose);
+    config.tracer = &tracer;
+  }
+
   const TrialResult r = RunTrial(config);
+  if (!trace_out.empty()) {
+    if (!tracer.WriteChromeTraceFile(trace_out)) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s (open in https://ui.perfetto.dev)\n",
+                 tracer.size(), trace_out.c_str());
+  }
   if (csv) {
     std::printf("%s\n%s\n", TrialCsvHeader().c_str(), TrialCsvRow(r).c_str());
     if (series) {
