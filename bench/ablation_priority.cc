@@ -28,7 +28,7 @@ Outcome Run(bool priority_lane) {
   Testbed bed(config);
 
   // The victim's owed memory: 64 pages cached at host 1.
-  std::vector<std::pair<PageIndex, PageData>> cached;
+  std::vector<std::pair<PageIndex, PageRef>> cached;
   for (PageIndex p = 0; p < 64; ++p) {
     cached.emplace_back(p, MakePatternPage(p + 50));
   }

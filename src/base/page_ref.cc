@@ -1,0 +1,111 @@
+#include "src/base/page_ref.h"
+
+#include <atomic>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace accent {
+namespace {
+
+std::atomic<std::uint64_t> g_payload_allocs{0};
+std::atomic<std::uint64_t> g_page_bytes_copied{0};
+std::atomic<std::uint64_t> g_payload_shares{0};
+std::atomic<std::uint64_t> g_cow_breaks{0};
+std::atomic<bool> g_legacy_deep_copy{false};
+
+const PageData& EmptyPage() {
+  static const PageData empty;
+  return empty;
+}
+
+}  // namespace
+
+PageCounterSnapshot ReadPageCounters() {
+  PageCounterSnapshot snap;
+  snap.payload_allocs = g_payload_allocs.load(std::memory_order_relaxed);
+  snap.page_bytes_copied = g_page_bytes_copied.load(std::memory_order_relaxed);
+  snap.payload_shares = g_payload_shares.load(std::memory_order_relaxed);
+  snap.cow_breaks = g_cow_breaks.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void ResetPageCounters() {
+  g_payload_allocs.store(0, std::memory_order_relaxed);
+  g_page_bytes_copied.store(0, std::memory_order_relaxed);
+  g_payload_shares.store(0, std::memory_order_relaxed);
+  g_cow_breaks.store(0, std::memory_order_relaxed);
+}
+
+void SetLegacyDeepCopyMode(bool enabled) {
+  g_legacy_deep_copy.store(enabled, std::memory_order_relaxed);
+}
+
+bool LegacyDeepCopyMode() {
+  return g_legacy_deep_copy.load(std::memory_order_relaxed);
+}
+
+PageRef::PageRef(PageData bytes) {
+  ACCENT_EXPECTS(bytes.empty() || bytes.size() == kPageSize);
+  if (!bytes.empty()) {
+    data_ = std::make_shared<PageData>(std::move(bytes));
+    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PageRef::PageRef(const PageRef& other) {
+  if (other.data_ == nullptr) {
+    return;  // zero page: nothing to share or copy
+  }
+  if (LegacyDeepCopyMode()) {
+    data_ = std::make_shared<PageData>(*other.data_);
+    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
+  } else {
+    data_ = other.data_;
+    g_payload_shares.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PageRef& PageRef::operator=(const PageRef& other) {
+  if (this != &other) {
+    *this = PageRef(other);  // route through the counting copy constructor
+  }
+  return *this;
+}
+
+const PageData& PageRef::Bytes() const { return data_ ? *data_ : EmptyPage(); }
+
+std::uint8_t PageRef::ByteAt(ByteCount offset) const {
+  ACCENT_EXPECTS(offset < kPageSize);
+  return data_ ? (*data_)[offset] : 0;
+}
+
+void PageRef::WriteByte(ByteCount offset, std::uint8_t value) {
+  ACCENT_EXPECTS(offset < kPageSize);
+  if (data_ == nullptr) {
+    if (value == 0) {
+      return;  // zero write into the zero page: stay interned
+    }
+    data_ = std::make_shared<PageData>(kPageSize, std::uint8_t{0});
+    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+  } else if (data_.use_count() > 1) {
+    // Copy-on-write: another holder shares this payload, clone before the
+    // first diverging write (the old data plane copied eagerly instead).
+    data_ = std::make_shared<PageData>(*data_);
+    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
+    g_cow_breaks.fetch_add(1, std::memory_order_relaxed);
+  }
+  (*data_)[offset] = value;
+}
+
+PageData PageRef::Clone() const {
+  if (data_ == nullptr) {
+    return PageData{};
+  }
+  g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
+  return *data_;
+}
+
+}  // namespace accent

@@ -110,7 +110,7 @@ LifecycleResult RunLifecycle(const LifecycleConfig& config) {
     if (remote->space()->ClassOf(PageBase(p)) == MemClass::kImag) {
       continue;  // untouched owed page
     }
-    const PageData page = remote->space()->ReadPage(p);
+    const PageRef page = remote->space()->ReadPage(p);  // shared lookup, no copy
     const PageData want = MakePatternPage(config.seed * 1000 + p);
     if (p % 4 == 3) {
       ACCENT_CHECK(PageByteAt(page, 9) == static_cast<std::uint8_t>(p));

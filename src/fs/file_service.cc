@@ -196,7 +196,8 @@ void FileClient::WriteBack(const std::string& name, AddressSpace* space, Addr ba
     while (j < file_pages.size() && file_pages[j] == file_pages[j - 1] + 1) {
       ++j;
     }
-    std::vector<PageData> pages;
+    std::vector<PageRef> pages;
+    pages.reserve(j - i);
     for (std::size_t k = i; k < j; ++k) {
       pages.push_back(space->ReadPage(PageOf(base) + file_pages[k]));
     }

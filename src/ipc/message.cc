@@ -17,7 +17,7 @@ const char* MsgOpName(MsgOp op) {
   return "?";
 }
 
-MemoryRegion MemoryRegion::Data(Addr base, std::vector<PageData> pages) {
+MemoryRegion MemoryRegion::Data(Addr base, std::vector<PageRef> pages) {
   ACCENT_EXPECTS(!pages.empty());
   MemoryRegion region;
   region.base = base;
@@ -25,6 +25,15 @@ MemoryRegion MemoryRegion::Data(Addr base, std::vector<PageData> pages) {
   region.mem_class = MemClass::kReal;
   region.pages = std::move(pages);
   return region;
+}
+
+MemoryRegion MemoryRegion::Data(Addr base, std::vector<PageData> pages) {
+  std::vector<PageRef> refs;
+  refs.reserve(pages.size());
+  for (PageData& page : pages) {
+    refs.emplace_back(std::move(page));
+  }
+  return Data(base, std::move(refs));
 }
 
 MemoryRegion MemoryRegion::Iou(Addr base, ByteCount size, IouRef ref) {

@@ -16,6 +16,7 @@
 
 #include "src/base/check.h"
 #include "src/base/page_data.h"
+#include "src/base/page_ref.h"
 #include "src/base/types.h"
 #include "src/host/costs.h"
 #include "src/net/traffic.h"
@@ -56,9 +57,12 @@ struct MemoryRegion {
   Addr base = 0;        // position in the described address-space layout
   ByteCount size = 0;   // bytes covered (page multiple)
   MemClass mem_class = MemClass::kBad;
-  IouRef iou;                   // valid iff mem_class == kImag
-  std::vector<PageData> pages;  // size/kPageSize entries iff mem_class == kReal
+  IouRef iou;                  // valid iff mem_class == kImag
+  std::vector<PageRef> pages;  // size/kPageSize entries iff mem_class == kReal
 
+  static MemoryRegion Data(Addr base, std::vector<PageRef> pages);
+  // Convenience for call sites that build fresh PageData (each page is
+  // moved into a PageRef, no byte copy).
   static MemoryRegion Data(Addr base, std::vector<PageData> pages);
   static MemoryRegion Iou(Addr base, ByteCount size, IouRef ref);
   static MemoryRegion Zero(Addr base, ByteCount size);

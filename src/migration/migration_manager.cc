@@ -77,7 +77,7 @@ void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
   // else to the local NetMsgServer as a single VA-indexed backed object.
   const std::set<PageIndex> resident(resident_pages.begin(), resident_pages.end());
   std::vector<MemoryRegion> kept;
-  std::vector<std::pair<PageIndex, PageData>> owed;
+  std::vector<std::pair<PageIndex, PageRef>> owed;
   Addr owed_lo = kAddressSpaceLimit;
   Addr owed_hi = 0;
 
@@ -91,7 +91,7 @@ void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
     while (i < region.page_count()) {
       if (resident.count(first + i) != 0) {
         // Collect a resident run.
-        std::vector<PageData> pages;
+        std::vector<PageRef> pages;
         const PageIndex run_start = i;
         while (i < region.page_count() && resident.count(first + i) != 0) {
           pages.push_back(std::move(region.pages[i]));
@@ -388,7 +388,7 @@ void MigrationManager::RunPreCopyRound(Process* proc, PortId dest_manager,
     while (j < pages.size() && pages[j] == pages[j - 1] + 1) {
       ++j;
     }
-    std::vector<PageData> data;
+    std::vector<PageRef> data;
     data.reserve(j - i);
     for (std::size_t k = i; k < j; ++k) {
       data.push_back(space->ReadPage(pages[k]));
@@ -448,7 +448,7 @@ void MigrationManager::FreezeAndFinishPreCopy(Process* proc, PortId dest_manager
             continue;
           }
           const PageIndex run_start = i;
-          std::vector<PageData> data;
+          std::vector<PageRef> data;
           while (i < region.page_count() && dirty.count(first + i) != 0) {
             data.push_back(std::move(region.pages[i]));
             ++i;
@@ -582,7 +582,7 @@ void MigrationManager::HandleMessage(Message msg) {
 
 void MigrationManager::HandlePreCopyRound(Message msg) {
   const auto& body = msg.BodyAs<PreCopyRoundBody>();
-  std::map<PageIndex, PageData>& staging = staged_[body.proc.value];
+  std::map<PageIndex, PageRef>& staging = staged_[body.proc.value];
   for (MemoryRegion& region : msg.regions) {
     if (region.mem_class != MemClass::kReal) {
       continue;
@@ -611,7 +611,7 @@ void MigrationManager::MergeStagedPages(Message* rimas, ProcId proc) {
   if (it == staged_.end()) {
     return;
   }
-  std::map<PageIndex, PageData> staging = std::move(it->second);
+  std::map<PageIndex, PageRef> staging = std::move(it->second);
   staged_.erase(it);
 
   // Final-round RIMAS pages are fresher than staged ones.
@@ -632,7 +632,7 @@ void MigrationManager::MergeStagedPages(Message* rimas, ProcId proc) {
       continue;
     }
     // Collect a contiguous staged run.
-    std::vector<PageData> data;
+    std::vector<PageRef> data;
     const PageIndex first = cursor->first;
     PageIndex expect = first;
     while (cursor != staging.end() && cursor->first == expect &&

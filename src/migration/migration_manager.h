@@ -174,7 +174,7 @@ class MigrationManager : public Receiver {
 
   // Pre-copy state. Staging lives at the destination; continuations wait
   // for round acknowledgements at the source.
-  std::map<std::uint64_t, std::map<PageIndex, PageData>> staged_;
+  std::map<std::uint64_t, std::map<PageIndex, PageRef>> staged_;
   std::map<std::uint64_t, std::function<void()>> precopy_ack_waiters_;
 };
 

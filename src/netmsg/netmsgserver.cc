@@ -37,7 +37,7 @@ void NetMsgServer::Start() {
   fabric_.SetTransport(host_, this);
 }
 
-IouRef NetMsgServer::AdoptPages(std::vector<std::pair<PageIndex, PageData>> pages,
+IouRef NetMsgServer::AdoptPages(std::vector<std::pair<PageIndex, PageRef>> pages,
                                 const std::string& name) {
   ACCENT_EXPECTS(!pages.empty());
   ++cached_objects_;
@@ -70,7 +70,7 @@ bool NetMsgServer::SubstituteIous(Message* msg) {
     return false;
   }
 
-  std::vector<std::pair<PageIndex, PageData>> cached;
+  std::vector<std::pair<PageIndex, PageRef>> cached;
   Addr lo = kAddressSpaceLimit;
   Addr hi = 0;
   std::vector<MemoryRegion> kept;

@@ -107,8 +107,9 @@ class NetMsgServer : public RemoteTransport {
 
   // Adopts `pages` (keyed by VA page index) as a VA-indexed backed object
   // and returns its IouRef. Used by the resident-set strategy, which ships
-  // the resident pages physically and leaves IOUs for the rest.
-  IouRef AdoptPages(std::vector<std::pair<PageIndex, PageData>> pages, const std::string& name);
+  // the resident pages physically and leaves IOUs for the rest. Adoption
+  // moves payload references — the cache never duplicates page bytes.
+  IouRef AdoptPages(std::vector<std::pair<PageIndex, PageRef>> pages, const std::string& name);
 
   // RemoteTransport: carries `msg` to the NetMsgServer at `dest_host`.
   void ForwardToRemote(HostId dest_host, Message msg) override;

@@ -14,12 +14,21 @@ namespace {
 // IOU region per contiguous imaginary backer run.
 std::vector<MemoryRegion> BuildRimasRegions(const AddressSpace& space) {
   std::vector<MemoryRegion> regions;
+  // One region per AMap interval; count them up front so the regions vector
+  // is allocated exactly once.
+  std::size_t region_count = 0;
+  space.amap().ForEach([&](const AMap::Interval& iv) {
+    if (iv.value == MemClass::kReal || iv.value == MemClass::kImag) {
+      ++region_count;  // imaginary intervals may still split per backer
+    }
+  });
+  regions.reserve(region_count);
   space.amap().ForEach([&](const AMap::Interval& iv) {
     if (iv.value == MemClass::kReal) {
-      std::vector<PageData> pages;
+      std::vector<PageRef> pages;
       pages.reserve((iv.end - iv.begin) / kPageSize);
       for (PageIndex page = PageOf(iv.begin); page < PageOf(iv.end); ++page) {
-        pages.push_back(space.ReadPage(page));
+        pages.push_back(space.ReadPage(page));  // shares the payload
       }
       regions.push_back(MemoryRegion::Data(iv.begin, std::move(pages)));
       return;
@@ -46,7 +55,7 @@ std::vector<MemoryRegion> BuildRimasRegions(const AddressSpace& space) {
 }
 
 struct InsertPlan {
-  std::map<PageIndex, const PageData*> data_pages;
+  std::map<PageIndex, const PageRef*> data_pages;
   std::vector<const MemoryRegion*> iou_regions;
 };
 
@@ -118,6 +127,7 @@ void ExciseProcess(Process* proc, std::function<void(ExciseResult)> done) {
         result->core.amap = space_taken->amap();
         result->core.has_amap = true;
         result->core.body = std::move(body);
+        result->core.rights.reserve(proc->receive_rights().size());
         for (PortId port : proc->receive_rights()) {
           result->core.rights.push_back(PortRightTransfer{port, /*receive_right=*/true});
           // The caller (migration agent) holds the rights in the interim.

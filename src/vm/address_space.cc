@@ -53,8 +53,7 @@ void AddressSpace::Unmap(Addr begin, Addr end) {
 }
 
 void AddressSpace::DropPrivatePages(Addr begin, Addr end) {
-  private_pages_.erase(private_pages_.lower_bound(PageOf(begin)),
-                       private_pages_.lower_bound(PageOf(end)));
+  private_pages_.EraseRange(PageOf(begin), PageOf(end));
   for (PageIndex page = PageOf(begin); page < PageOf(end); ++page) {
     dirty_since_mark_.erase(page);
   }
@@ -93,10 +92,9 @@ PageIndex AddressSpace::ImagRunLength(PageIndex first, PageIndex max_pages) cons
   return run;
 }
 
-PageData AddressSpace::ReadPage(PageIndex page) const {
-  auto it = private_pages_.find(page);
-  if (it != private_pages_.end()) {
-    return it->second;
+PageRef AddressSpace::ReadPage(PageIndex page) const {
+  if (const PageRef* found = private_pages_.Find(page)) {
+    return *found;
   }
   const Addr addr = PageBase(page);
   const MemClass mem_class = ClassOf(addr);
@@ -104,12 +102,12 @@ PageData AddressSpace::ReadPage(PageIndex page) const {
       << " reading unfetched imaginary page " << page;
   ACCENT_EXPECTS(mem_class != MemClass::kBad) << " reading unmapped page " << page;
   if (mem_class == MemClass::kRealZero) {
-    return PageData{};
+    return PageRef{};
   }
   const MappingValue* mapping = mappings_.Find(addr);
   ACCENT_CHECK(mapping != nullptr);
   if (mapping->segment == nullptr) {
-    return PageData{};  // zero-fill range already reclassified Real by a touch
+    return PageRef{};  // zero-fill range already reclassified Real by a touch
   }
   return mapping->segment->ReadPage(PageOf(SegOffsetOf(*mapping, addr)));
 }
@@ -120,18 +118,17 @@ std::uint8_t AddressSpace::ReadByte(Addr addr) const {
 
 void AddressSpace::WriteByte(Addr addr, std::uint8_t value) {
   const PageIndex page = PageOf(addr);
-  auto it = private_pages_.find(page);
-  ACCENT_EXPECTS(it != private_pages_.end())
+  PageRef* found = private_pages_.FindMutable(page);
+  ACCENT_EXPECTS(found != nullptr)
       << " write to non-private page " << page << " (pager must materialise it first)";
-  PageWriteByte(it->second, addr % kPageSize, value);
+  PageWriteByte(*found, addr % kPageSize, value);
   dirty_since_mark_.insert(page);
 }
 
-void AddressSpace::InstallPage(PageIndex page, PageData data) {
+void AddressSpace::InstallPage(PageIndex page, PageRef data) {
   const Addr addr = PageBase(page);
   ACCENT_EXPECTS(ClassOf(addr) != MemClass::kBad) << " installing into unmapped page " << page;
-  ACCENT_EXPECTS(data.empty() || data.size() == kPageSize);
-  private_pages_[page] = std::move(data);
+  private_pages_.Store(page, std::move(data));
   amap_.Set(addr, addr + kPageSize, MemClass::kReal);
   dirty_since_mark_.insert(page);  // new private contents since the mark
 }

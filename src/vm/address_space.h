@@ -25,6 +25,8 @@
 
 #include "src/base/interval_map.h"
 #include "src/base/page_data.h"
+#include "src/base/page_ref.h"
+#include "src/base/page_store.h"
 #include "src/base/types.h"
 #include "src/ipc/message.h"
 #include "src/vm/amap.h"
@@ -74,20 +76,22 @@ class AddressSpace {
   PageIndex ImagRunLength(PageIndex first, PageIndex max_pages) const;
 
   // --- data plane ------------------------------------------------------------------
-  // Reads the current contents of a page. Precondition: the page is not
-  // ImagMem (fetch it through the pager first).
-  PageData ReadPage(PageIndex page) const;
+  // Reads the current contents of a page as a shared reference (no byte
+  // copy). Precondition: the page is not ImagMem (fetch it through the
+  // pager first).
+  PageRef ReadPage(PageIndex page) const;
   std::uint8_t ReadByte(Addr addr) const;
 
   // Writes a byte into the private store. Precondition: the page is private
-  // (the pager materialises pages before a write completes).
+  // (the pager materialises pages before a write completes). If the page's
+  // payload is shared, the write clones it first (copy-on-write).
   void WriteByte(Addr addr, std::uint8_t value);
 
   // Installs page contents materialised by the pager (zero-fill, COW copy,
   // imaginary fetch, migration insert) and reclassifies the page RealMem.
-  void InstallPage(PageIndex page, PageData data);
+  void InstallPage(PageIndex page, PageRef data);
 
-  bool HasPrivatePage(PageIndex page) const { return private_pages_.count(page) != 0; }
+  bool HasPrivatePage(PageIndex page) const { return private_pages_.Contains(page); }
 
   // True when writes to `page` must copy from an origin segment first.
   bool NeedsCopyOnWrite(PageIndex page) const;
@@ -143,7 +147,9 @@ class AddressSpace {
   HostId host_;
   IntervalMap<MappingValue> mappings_;
   AMap amap_;
-  std::map<PageIndex, PageData> private_pages_;
+  // Zero pages are *present* entries here (a materialised zero-fill page is
+  // distinct from an untouched one), unlike the sparse Segment store.
+  PageStore private_pages_;
   std::set<PageIndex> touched_;
   std::set<PageIndex> dirty_since_mark_;
 };

@@ -46,7 +46,7 @@ std::uint64_t SegmentBacker::RefCount(SegmentId segment) const {
 }
 
 IouRef SegmentBacker::BackPages(ByteCount object_size, ByteCount first_page_offset,
-                                std::vector<PageData> pages, const std::string& name) {
+                                std::vector<PageRef> pages, const std::string& name) {
   ACCENT_EXPECTS(first_page_offset % kPageSize == 0);
   ACCENT_EXPECTS(first_page_offset + pages.size() * kPageSize <= object_size);
   Segment* segment = segments_.CreateReal(object_size, name);
@@ -59,8 +59,18 @@ IouRef SegmentBacker::BackPages(ByteCount object_size, ByteCount first_page_offs
   return iou;
 }
 
+IouRef SegmentBacker::BackPages(ByteCount object_size, ByteCount first_page_offset,
+                                std::vector<PageData> pages, const std::string& name) {
+  std::vector<PageRef> refs;
+  refs.reserve(pages.size());
+  for (PageData& page : pages) {
+    refs.emplace_back(std::move(page));
+  }
+  return BackPages(object_size, first_page_offset, std::move(refs), name);
+}
+
 IouRef SegmentBacker::BackSparsePages(ByteCount object_size,
-                                      std::vector<std::pair<PageIndex, PageData>> pages,
+                                      std::vector<std::pair<PageIndex, PageRef>> pages,
                                       const std::string& name) {
   Segment* segment = segments_.CreateReal(object_size, name);
   for (auto& [page, data] : pages) {
@@ -70,6 +80,17 @@ IouRef SegmentBacker::BackSparsePages(ByteCount object_size,
   const IouRef iou = Back(segment);
   objects_.at(segment->id().value).owns_segment = true;
   return iou;
+}
+
+IouRef SegmentBacker::BackSparsePages(ByteCount object_size,
+                                      std::vector<std::pair<PageIndex, PageData>> pages,
+                                      const std::string& name) {
+  std::vector<std::pair<PageIndex, PageRef>> refs;
+  refs.reserve(pages.size());
+  for (auto& [page, data] : pages) {
+    refs.emplace_back(page, PageRef(std::move(data)));
+  }
+  return BackSparsePages(object_size, std::move(refs), name);
 }
 
 void SegmentBacker::HandleMessage(Message msg) {
@@ -107,10 +128,10 @@ void SegmentBacker::ServeRead(const Message& msg) {
       first >= segment->page_count() ? 0 : segment->page_count() - first;
   const PageIndex count = std::min<PageIndex>(request.page_count, available);
 
-  std::vector<PageData> pages;
+  std::vector<PageRef> pages;
   pages.reserve(count);
   for (PageIndex i = 0; i < count; ++i) {
-    pages.push_back(segment->ReadPage(first + i));
+    pages.push_back(segment->ReadPage(first + i));  // refcount bump, no byte copy
   }
   ++requests_served_;
   pages_served_ += count;

@@ -49,11 +49,17 @@ class SegmentBacker : public Receiver {
   std::uint64_t RefCount(SegmentId segment) const;
 
   // Creates a backed object from raw pages at the given base page offset.
+  // The PageData overload wraps each page into a PageRef (a move, no copy).
+  IouRef BackPages(ByteCount object_size, ByteCount first_page_offset,
+                   std::vector<PageRef> pages, const std::string& name);
   IouRef BackPages(ByteCount object_size, ByteCount first_page_offset,
                    std::vector<PageData> pages, const std::string& name);
 
   // Creates a backed object of `object_size` from sparse pages keyed by
   // page index within the object. Pages absent from `pages` read as zero.
+  IouRef BackSparsePages(ByteCount object_size,
+                         std::vector<std::pair<PageIndex, PageRef>> pages,
+                         const std::string& name);
   IouRef BackSparsePages(ByteCount object_size,
                          std::vector<std::pair<PageIndex, PageData>> pages,
                          const std::string& name);

@@ -51,13 +51,16 @@ SimDuration Pager::ResolveWriteCopy(AddressSpace* space, PageIndex page,
                                     AccessOutcome* outcome) {
   if (!space->NeedsCopyOnWrite(page)) {
     if (!space->HasPrivatePage(page)) {
-      // Zero-fill or already-real page with no origin segment: own it now.
+      // Zero-fill or already-real page with no origin segment: own it now
+      // (a shared reference; the first diverging write clones it).
       space->InstallPage(page, space->ReadPage(page));
     }
     return SimDuration::zero();
   }
   // First write to a shared segment page: the deferred copy (section 2.1)
-  // is carried out for just this 512-byte page.
+  // is carried out for just this 512-byte page. The simulated cost is
+  // charged here; physically the segment's payload is only referenced, and
+  // PageRef clones it lazily when the write lands.
   ++stats_.cow_faults;
   outcome->fault = outcome->fault == FaultKind::kNone ? FaultKind::kCopyOnWrite : outcome->fault;
   space->InstallPage(page, space->ReadPage(page));
@@ -132,7 +135,7 @@ void Pager::Access(AddressSpace* space, Addr addr, bool write, AccessDone done) 
       AccessOutcome outcome;
       outcome.fault = FaultKind::kFillZero;
       outcome.page = page;
-      space->InstallPage(page, PageData{});
+      space->InstallPage(page, PageRef{});  // interned zero page: no allocation
       MakeResident(space, page, /*dirty=*/true);
       if (write) {
         memory_.MarkDirty(space->id(), page);
@@ -276,7 +279,7 @@ void Pager::HandleMessage(Message msg) {
 
   ACCENT_CHECK(msg.regions.size() == 1 && msg.regions[0].mem_class == MemClass::kReal)
       << " malformed imaginary read reply";
-  const std::vector<PageData>& pages = msg.regions[0].pages;
+  const std::vector<PageRef>& pages = msg.regions[0].pages;
   ACCENT_CHECK(pages.size() <= fetch.va_pages.size());
 
   AddressSpace* space = fetch.space;

@@ -4,26 +4,24 @@
 
 namespace accent {
 
-void Segment::StorePage(PageIndex rel_page, PageData data) {
+void Segment::StorePage(PageIndex rel_page, PageRef data) {
   ACCENT_EXPECTS(kind_ == SegmentKind::kReal);
   ACCENT_EXPECTS(rel_page < page_count());
-  ACCENT_EXPECTS(data.empty() || data.size() == kPageSize);
-  if (data.empty()) {
-    pages_.erase(rel_page);  // zero pages stay sparse
+  if (data.IsZero()) {
+    pages_.Erase(rel_page);  // zero pages stay sparse
     return;
   }
-  pages_[rel_page] = std::move(data);
+  pages_.Store(rel_page, std::move(data));
 }
 
-const PageData* Segment::FindPage(PageIndex rel_page) const {
+const PageRef* Segment::FindPage(PageIndex rel_page) const {
   ACCENT_EXPECTS(kind_ == SegmentKind::kReal);
-  auto it = pages_.find(rel_page);
-  return it == pages_.end() ? nullptr : &it->second;
+  return pages_.Find(rel_page);
 }
 
-PageData Segment::ReadPage(PageIndex rel_page) const {
-  const PageData* found = FindPage(rel_page);
-  return found == nullptr ? PageData{} : *found;
+PageRef Segment::ReadPage(PageIndex rel_page) const {
+  const PageRef* found = FindPage(rel_page);
+  return found == nullptr ? PageRef{} : *found;
 }
 
 SegmentTable::SegmentTable(Simulator* sim) : sim_(*sim) { ACCENT_EXPECTS(sim != nullptr); }

@@ -16,6 +16,8 @@
 
 #include "src/base/check.h"
 #include "src/base/page_data.h"
+#include "src/base/page_ref.h"
+#include "src/base/page_store.h"
 #include "src/base/types.h"
 #include "src/ipc/message.h"
 
@@ -41,11 +43,12 @@ class Segment {
 
   // --- Real segments ---------------------------------------------------------
   // Pages are indexed relative to the segment start. Absent pages read as
-  // zero (sparse store).
-  void StorePage(PageIndex rel_page, PageData data);
-  const PageData* FindPage(PageIndex rel_page) const;
-  PageData ReadPage(PageIndex rel_page) const;
-  bool HasPage(PageIndex rel_page) const { return pages_.count(rel_page) != 0; }
+  // zero (sparse store). Payloads are shared PageRefs: storing and reading
+  // move references, never page bytes.
+  void StorePage(PageIndex rel_page, PageRef data);
+  const PageRef* FindPage(PageIndex rel_page) const;
+  PageRef ReadPage(PageIndex rel_page) const;
+  bool HasPage(PageIndex rel_page) const { return pages_.Contains(rel_page); }
   std::size_t stored_pages() const { return pages_.size(); }
   // Bytes of stored (non-zero-page) data.
   ByteCount StoredBytes() const { return pages_.size() * kPageSize; }
@@ -66,8 +69,8 @@ class Segment {
   SegmentKind kind_;
   ByteCount size_;
   std::string name_;
-  std::map<PageIndex, PageData> pages_;  // real segments only
-  IouRef iou_;                           // imaginary segments only
+  PageStore pages_;  // real segments only; zero pages stay absent (sparse)
+  IouRef iou_;       // imaginary segments only
 };
 
 // Owns segments for one simulation; hands out stable pointers.

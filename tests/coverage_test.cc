@@ -22,12 +22,12 @@ TEST(MixedRegions, SubstitutionPreservesNonRealRegions) {
 
   Message msg;
   msg.dest = port;
-  msg.regions.push_back(MemoryRegion::Data(0, {MakePatternPage(1), MakePatternPage(2)}));
+  msg.regions.push_back(MemoryRegion::Data(0, std::vector<PageData>{MakePatternPage(1), MakePatternPage(2)}));
   msg.regions.push_back(MemoryRegion::Zero(2 * kPageSize, 4 * kPageSize));
   msg.regions.push_back(MemoryRegion::Iou(6 * kPageSize, 2 * kPageSize,
                                           IouRef{PortId(99), SegmentId(99), 0}));
   msg.regions.push_back(
-      MemoryRegion::Data(8 * kPageSize, {MakePatternPage(3)}));
+      MemoryRegion::Data(8 * kPageSize, std::vector<PageData>{MakePatternPage(3)}));
   ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(msg)).ok());
   bed.sim().Run();
 

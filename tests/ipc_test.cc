@@ -135,7 +135,7 @@ TEST_F(IpcTest, WireSizeAccounting) {
   msg.inline_bytes = 100;
   EXPECT_EQ(msg.WireSize(costs), kMessageHeaderBytes + 100);
 
-  msg.regions.push_back(MemoryRegion::Data(0, {MakePatternPage(1), MakePatternPage(2)}));
+  msg.regions.push_back(MemoryRegion::Data(0, std::vector<PageData>{MakePatternPage(1), MakePatternPage(2)}));
   EXPECT_EQ(msg.WireSize(costs),
             kMessageHeaderBytes + 100 + 2 * kPageSize + costs.amap_entry_bytes);
   EXPECT_EQ(msg.DataBytes(), 2 * kPageSize);

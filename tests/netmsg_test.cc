@@ -127,7 +127,7 @@ TEST_F(NetMsgTest, SubstitutedDataIsServedOnFault) {
 }
 
 TEST_F(NetMsgTest, AdoptPagesCreatesVaIndexedBackedObject) {
-  std::vector<std::pair<PageIndex, PageData>> pages;
+  std::vector<std::pair<PageIndex, PageRef>> pages;
   pages.emplace_back(7, MakePatternPage(7));
   pages.emplace_back(9000, MakePatternPage(9000));
   const IouRef iou = bed.netmsg(0)->AdoptPages(std::move(pages), "adopted");

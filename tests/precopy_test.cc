@@ -69,7 +69,7 @@ TEST_F(PreCopyTest, MigratesWithIntactData) {
     }
   }
   for (PageIndex p = 0; p < 64; ++p) {
-    const PageData page = remote->space()->ReadPage(p);
+    const PageRef page = remote->space()->ReadPage(p);
     auto it = last_write.find(p);
     if (it != last_write.end()) {
       EXPECT_EQ(PageByteAt(page, 100), it->second) << "page " << p;

@@ -64,7 +64,7 @@ TEST_F(ProcessTest, SuspendDrainsInFlightAccess) {
                                               bed.host(0)->id);
   space->Validate(0, kPageSize);
   // Remote imaginary page backed by host 1's NetMsgServer cache.
-  std::vector<std::pair<PageIndex, PageData>> pages;
+  std::vector<std::pair<PageIndex, PageRef>> pages;
   pages.emplace_back(8, MakePatternPage(8));
   const IouRef iou = bed.netmsg(1)->AdoptPages(std::move(pages), "t");
   Segment* standin = bed.segments().CreateImaginary(kAddressSpaceLimit, iou, "s");
@@ -95,7 +95,7 @@ TEST_F(ProcessTest, TerminationNotifiesBackersAndFreesMemory) {
   auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
                                               bed.host(0)->id);
   space->Validate(0, kPageSize);
-  std::vector<std::pair<PageIndex, PageData>> pages;
+  std::vector<std::pair<PageIndex, PageRef>> pages;
   pages.emplace_back(4, MakePatternPage(4));
   const IouRef iou = bed.netmsg(1)->AdoptPages(std::move(pages), "t");
   Segment* standin = bed.segments().CreateImaginary(kAddressSpaceLimit, iou, "s");

@@ -61,9 +61,9 @@ class BackerTest : public ::testing::Test {
   }
 
   // Sends a raw read request from host 0 and returns the reply pages.
-  std::vector<PageData> Request(IouRef iou, ByteCount offset, std::uint32_t pages) {
+  std::vector<PageRef> Request(IouRef iou, ByteCount offset, std::uint32_t pages) {
     struct Sink : Receiver {
-      std::vector<PageData> pages;
+      std::vector<PageRef> pages;
       bool got = false;
       void HandleMessage(Message msg) override {
         got = true;
@@ -121,7 +121,7 @@ TEST_F(BackerTest, ZeroPagesWithinObjectAreServed) {
 
 TEST_F(BackerTest, BackPagesBuildsObject) {
   const IouRef iou = backer_.BackPages(16 * kPageSize, 4 * kPageSize,
-                                       {MakePatternPage(10), MakePatternPage(11)}, "built");
+                                       std::vector<PageData>{MakePatternPage(10), MakePatternPage(11)}, "built");
   const auto pages = Request(iou, 4 * kPageSize, 2);
   ASSERT_EQ(pages.size(), 2u);
   EXPECT_EQ(pages[0], MakePatternPage(10));
@@ -185,7 +185,7 @@ TEST_F(BackerTest, RefCountedDeathRetiresOnlyAtZero) {
 }
 
 TEST_F(BackerTest, BackerOwnedObjectsAreDestroyedAtZeroRefs) {
-  const IouRef iou = backer_.BackPages(4 * kPageSize, 0, {MakePatternPage(1)}, "owned");
+  const IouRef iou = backer_.BackPages(4 * kPageSize, 0, std::vector<PageData>{MakePatternPage(1)}, "owned");
   Message death;
   death.dest = iou.backing_port;
   death.op = MsgOp::kImagSegmentDeath;

@@ -27,7 +27,21 @@ if [ "$MODE" = "sim" ]; then
   # full measurement run (invoke micro_sim directly for that).
   "$BIN" --events 100000 --reps 2 --out "$OUT"
   KEYS="bench schema_version events inline_events_per_sec legacy_events_per_sec \
-        inline_ns_per_event legacy_ns_per_event speedup"
+        inline_ns_per_event legacy_ns_per_event speedup \
+        copy_trial_legacy_bytes_copied copy_trial_zero_copy_bytes_copied \
+        copy_reduction sweep_trials sweep_legacy_seconds \
+        sweep_zero_copy_seconds sweep_speedup sweep_results_identical"
+
+  # The binary itself asserts result parity and copy_reduction >= 2; re-assert
+  # the headline invariants from the emitted JSON.
+  if ! grep -q '"sweep_results_identical": true' "$OUT"; then
+    echo "check_bench: data-plane modes disagree on simulated results" >&2
+    status=1
+  fi
+  if ! grep -q '"sweep_trials": 77' "$OUT"; then
+    echo "check_bench: data-plane sweep did not cover the 77-trial grid" >&2
+    status=1
+  fi
 elif [ "$MODE" = "sweep" ]; then
   OUT=${2:-BENCH_sweep.json}
   # Serves the 77-trial grid from the on-disk cache (simulating on a cold
