@@ -49,7 +49,14 @@ std::unique_ptr<Process> MakeJob(Testbed* bed, int index) {
   return proc;
 }
 
-SimTime RunCluster(bool balance, std::map<std::string, int>* placement) {
+struct ClusterOutcome {
+  SimTime makespan{0};
+  std::uint64_t migrations = 0;
+  std::uint64_t samples = 0;
+};
+
+ClusterOutcome RunCluster(bool balance, std::map<std::string, int>* placement,
+                          PolicyConfig policy_config = {}) {
   TestbedConfig config;
   config.host_count = 3;
   Testbed bed(config);
@@ -86,9 +93,6 @@ SimTime RunCluster(bool balance, std::map<std::string, int>* placement) {
     job->Start();
   }
 
-  PolicyConfig policy_config;
-  policy_config.sample_period = Sec(3.0);
-  policy_config.strategy = TransferStrategy::kPureIou;
   LoadBalancerPolicy policy(&bed.sim(), policy_config);
   if (balance) {
     for (int h = 0; h < 3; ++h) {
@@ -99,12 +103,7 @@ SimTime RunCluster(bool balance, std::map<std::string, int>* placement) {
 
   bed.sim().Run();
   ACCENT_CHECK(remaining == 0);
-  if (balance) {
-    std::printf("(policy: %llu samples, %llu migrations triggered)\n\n",
-                static_cast<unsigned long long>(policy.samples_taken()),
-                static_cast<unsigned long long>(policy.migrations_triggered()));
-  }
-  return finish;
+  return ClusterOutcome{finish, policy.migrations_triggered(), policy.samples_taken()};
 }
 
 }  // namespace
@@ -113,10 +112,17 @@ int main() {
   std::printf("%d jobs of ~%.0f s CPU each, all born on host 1 of a 3-host cluster\n\n",
               kJobs, kJobSeconds);
 
+  PolicyConfig headline;
+  headline.sample_period = Sec(3.0);
+  headline.strategy = TransferStrategy::kPureIou;
+
   std::map<std::string, int> unbalanced_placement;
-  const SimTime unbalanced = RunCluster(false, &unbalanced_placement);
+  const ClusterOutcome unbalanced = RunCluster(false, &unbalanced_placement);
   std::map<std::string, int> balanced_placement;
-  const SimTime balanced = RunCluster(true, &balanced_placement);
+  const ClusterOutcome balanced = RunCluster(true, &balanced_placement, headline);
+  std::printf("(policy: %llu samples, %llu migrations triggered)\n\n",
+              static_cast<unsigned long long>(balanced.samples),
+              static_cast<unsigned long long>(balanced.migrations));
 
   TextTable table({"Job", "No migration", "With automatic balancing"});
   for (const auto& [name, host] : balanced_placement) {
@@ -124,10 +130,33 @@ int main() {
                   "host " + std::to_string(host)});
   }
   std::printf("%s\n", table.ToString().c_str());
-  std::printf("Makespan without migration: %7.1f s\n", ToSeconds(unbalanced));
-  std::printf("Makespan with balancing:    %7.1f s  (%.2fx faster)\n", ToSeconds(balanced),
-              ToSeconds(unbalanced) / ToSeconds(balanced));
+  std::printf("Makespan without migration: %7.1f s\n", ToSeconds(unbalanced.makespan));
+  std::printf("Makespan with balancing:    %7.1f s  (%.2fx faster)\n",
+              ToSeconds(balanced.makespan),
+              ToSeconds(unbalanced.makespan) / ToSeconds(balanced.makespan));
   std::printf("\nEach relocation cost ~1 s of context transfer; the address spaces\n"
               "followed lazily, page by page, only where actually referenced.\n");
+
+  // Sweep the policy knobs: hysteresis trades reaction time for stability,
+  // the dispersal weight changes which process gets moved.
+  std::printf("\nPolicy configuration sweep (threshold 2, 3 s sample period):\n\n");
+  TextTable sweep({"Hysteresis", "Dispersal wt", "Migrations", "Makespan", "vs none"});
+  for (int hysteresis : {0, 2}) {
+    for (double weight : {0.0, 1.0, 8.0}) {
+      PolicyConfig config = headline;
+      config.hysteresis = hysteresis;
+      config.dispersal_weight = weight;
+      std::map<std::string, int> placement;
+      const ClusterOutcome outcome = RunCluster(true, &placement, config);
+      sweep.AddRow({std::to_string(hysteresis), FormatDouble(weight, 1),
+                    std::to_string(outcome.migrations),
+                    FormatSeconds(ToSeconds(outcome.makespan)),
+                    FormatDouble(ToSeconds(unbalanced.makespan) /
+                                     ToSeconds(outcome.makespan),
+                                 2) +
+                        "x"});
+    }
+  }
+  std::printf("%s\n", sweep.ToString().c_str());
   return 0;
 }

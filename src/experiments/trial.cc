@@ -14,6 +14,7 @@ TrialResult RunTrial(const TrialConfig& config) {
   testbed_config.iou_caching = config.iou_caching;
   testbed_config.frames_per_host = config.frames_per_host;
   testbed_config.traffic_bucket = config.traffic_bucket;
+  testbed_config.costs.rs_zero_scan_per_mb = config.rs_zero_scan_per_mb;
   testbed_config.tracer = config.tracer;
   Testbed bed(testbed_config);
 

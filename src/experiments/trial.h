@@ -27,6 +27,12 @@ struct TrialConfig {
   std::size_t frames_per_host = 4096;
   SimDuration traffic_bucket = Ms(500);  // Figure 4-5 series resolution
 
+  // Resident-set calibration knob (costs.rs_zero_scan_per_mb): extra RIMAS
+  // packaging charge per megabyte of zero-fill footprint. Zero by default
+  // and deliberately NOT part of the serialised trial configuration
+  // (sweep_cache.cc) — the headline sweep's cache keys must not change.
+  SimDuration rs_zero_scan_per_mb{0};
+
   // Optional observability hook (not owned, may be null). Deliberately NOT
   // part of the serialised trial configuration (sweep_cache.cc) — tracing
   // never changes results, so a traced run must hash to the same cache key.

@@ -96,6 +96,13 @@ struct CostTable {
   SimDuration rimas_per_resident_page = Us(933);
   // Excision work outside those two (port-right extraction, PCB, microstate).
   SimDuration excise_other = Ms(90);
+  // Resident-set packaging: partitioning the RIMAS walks the whole
+  // validated map, including untouched zero-fill expanses (Lisp validates
+  // its entire 4 GB heap at birth) — per megabyte of RealZero memory.
+  // Zero by default so the headline sweep is untouched; the calibrated
+  // Table 4-5 resident-set column sets it (~3 ms/MB lands Lisp at the
+  // paper's 25.8 s).
+  SimDuration rs_zero_scan_per_mb = SimDuration{0};
   // Insertion: address-space reconstruction dominates. Fitted to §4.3.1:
   // 263 ms (Minprog) .. 853 ms (Lisp-Del), a 3.3x spread.
   SimDuration insert_base = Ms(200);

@@ -13,6 +13,10 @@ const char* MsgOpName(MsgOp op) {
     case MsgOp::kMigrateRimas: return "MigrateRimas";
     case MsgOp::kMigrateComplete: return "MigrateComplete";
     case MsgOp::kAck: return "Ack";
+    case MsgOp::kBackingHandoff: return "BackingHandoff";
+    case MsgOp::kBackingHandoffAck: return "BackingHandoffAck";
+    case MsgOp::kRebindIou: return "RebindIou";
+    case MsgOp::kRebindAck: return "RebindAck";
   }
   return "?";
 }

@@ -38,6 +38,13 @@ enum class MsgOp : int {
   kMigrateRimas,
   kMigrateComplete,
   kAck,
+  // Backing-ownership handoff (multi-hop re-migration): an intermediate
+  // host evacuates a backed object to the chain origin, then tells the
+  // destination to rebind its IouRefs to the collapsed owner.
+  kBackingHandoff,
+  kBackingHandoffAck,
+  kRebindIou,
+  kRebindAck,
 };
 
 const char* MsgOpName(MsgOp op);
@@ -48,6 +55,11 @@ struct IouRef {
   PortId backing_port;
   SegmentId segment;
   ByteCount offset = 0;
+  // Set when the backed object is a migration cache (NetMsgServer IOU
+  // cache or resident-set owed pages) rather than a long-lived server.
+  // Such objects are VA-indexed and follow the process: a re-migrating
+  // source uses this to collapse the chain back to the origin owner.
+  bool migration_cache = false;
 
   bool valid() const { return backing_port.valid() && segment.valid(); }
 };
@@ -90,6 +102,12 @@ struct Message {
 
   // How the wire accounts this message's bytes.
   TrafficKind traffic = TrafficKind::kControl;
+
+  // Process whose memory this message carries (set on migration RIMAS
+  // messages). Lets an intermediary that caches regions out of the message
+  // record which process owns the cache object, so the cache can be handed
+  // off when that process departs. Metadata only — zero wire bytes.
+  ProcId cache_owner;
 
   // Declared size of the typed body on the wire.
   ByteCount inline_bytes = 0;

@@ -58,7 +58,7 @@ std::unique_ptr<Process> MigrationManager::ReleaseAdopted(ProcId proc) {
 
 void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
                                      const std::vector<PageIndex>& resident_pages,
-                                     MigrationRecord* record) {
+                                     ByteCount zero_bytes, MigrationRecord* record) {
   switch (strategy) {
     case TransferStrategy::kPureCopy:
       // Guarantee physical delivery of every RealMem page (section 2.4).
@@ -108,7 +108,8 @@ void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
   }
 
   if (!owed.empty()) {
-    IouRef iou = env_->netmsg->AdoptPages(std::move(owed), "rs-owed:" + record->name);
+    IouRef iou =
+        env_->netmsg->AdoptPages(std::move(owed), "rs-owed:" + record->name, record->proc);
     // The backed object is VA-indexed; the region offset convention is
     // relative to the region base, so anchor it there.
     iou.offset = owed_lo;
@@ -121,6 +122,13 @@ void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
       record->resident_bytes_shipped += region.size;
     }
   }
+  // Partitioning the RIMAS means walking the whole validated map, including
+  // the untouched zero-fill expanses Lisp processes validate at birth — the
+  // cost Table 4-5's measured resident-set column carries but a pure page
+  // walk misses. Zero by default (costs.rs_zero_scan_per_mb).
+  record->rs_packaging_extra =
+      SimDuration(env_->costs->rs_zero_scan_per_mb.count() *
+                  static_cast<std::int64_t>(zero_bytes / (1024 * 1024)));
 }
 
 void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrategy strategy,
@@ -147,10 +155,12 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
   }
 
   proc->RequestSuspend([this, proc, dest_manager, strategy]() {
-    // Sample the resident set now: excision destroys residency.
+    // Sample the resident set and the zero-fill footprint now: excision
+    // destroys residency and takes the space away.
     std::vector<PageIndex> resident = env_->memory->PagesOf(proc->space()->id());
+    const ByteCount zero_bytes = proc->space()->RealZeroBytes();
 
-    ExciseProcess(proc, [this, proc, dest_manager, strategy,
+    ExciseProcess(proc, [this, proc, dest_manager, strategy, zero_bytes,
                          resident = std::move(resident)](ExciseResult excised) {
       MigrationRecord& record = outbound_.at(proc->id().value);
       record.excise_amap = excised.amap_time;
@@ -158,7 +168,8 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
       record.excise_overall = excised.overall_time;
       record.excise_done = env_->sim->Now();
 
-      ApplyStrategy(&excised.rimas, strategy, resident, &record);
+      ApplyStrategy(&excised.rimas, strategy, resident, zero_bytes, &record);
+      RecordChainOrigin(proc->id(), dest_manager, excised.rimas);
 
       SendExcisedContext(proc->id(), dest_manager, std::move(excised));
     });
@@ -208,6 +219,9 @@ void MigrationManager::AbortMigration(ProcId proc, const std::string& reason) {
   record.abort_reason = reason;
   outbound_.erase(record_it);
   precopy_ack_waiters_.erase(proc.value);
+  // An aborted re-migration never collapses: the rollback reinstates the
+  // process here and this host legitimately remains its backer.
+  chain_.erase(proc.value);
   ACCENT_LOG(kInfo) << "aborting migration of " << proc << ": " << reason;
   if (Tracer* tracer = env_->sim->tracer()) {
     tracer->Instant(env_->id, TraceLane::kMigration, "migrate:abort",
@@ -315,13 +329,19 @@ void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
     }
   }
   outbound_.at(proc.value).rimas_sent = env_->sim->Now();
+  // Tag the RIMAS with its process so any cache objects the NetMsgServer
+  // path adopts en route (IOU substitution) are recorded against it — the
+  // handle a later chain collapse evacuates them by. Metadata only.
+  excised.rimas.cache_owner = proc;
   if (failure_handling_enabled()) {
     // Keep the authoritative copy until the transfer-complete handshake:
     // rollback re-inserts these exact messages. Deep copies (page data and
     // all) — made only on fault-injection testbeds.
     outbound_context_[proc.value] = OutboundContext{excised.core, excised.rimas};
   }
-  env_->cpu->Submit(CpuWork::kMigration, env_->costs->migration_rimas_handling,
+  const SimDuration rimas_handling = env_->costs->migration_rimas_handling +
+                                     outbound_.at(proc.value).rs_packaging_extra;
+  env_->cpu->Submit(CpuWork::kMigration, rimas_handling,
                     [this, proc, dest_manager, excised = std::move(excised)]() mutable {
     MigrationRecord& rec = outbound_.at(proc.value);
     excised.rimas.dest = dest_manager;
@@ -337,6 +357,133 @@ void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
 
     local_.erase(proc.value);
   });
+}
+
+void MigrationManager::RecordChainOrigin(ProcId proc, PortId dest_manager,
+                                         const Message& rimas) {
+  // A re-excised space folds its imaginary segments into the new RIMAS as
+  // IOU regions. Those backed by a *remote* migration cache identify the
+  // chain origin this host's own cache must collapse into once the process
+  // resumes at the destination. First-hop migrations carry no such regions
+  // and never enter the map — the lossless single-hop schedule is untouched.
+  // A space can reference several remote caches (a ping-pong leaves one on
+  // each side); the lowest-addressed one is chosen as the collapse target —
+  // an origin that refuses the handoff just leaves ownership here.
+  IouRef origin;
+  for (const MemoryRegion& region : rimas.regions) {
+    if (region.mem_class != MemClass::kImag || !region.iou.migration_cache) {
+      continue;
+    }
+    if (region.iou.backing_port == env_->netmsg->backing_port()) {
+      continue;  // our own cache (e.g. the rs-owed object just adopted)
+    }
+    if (!origin.backing_port.valid()) {
+      origin = region.iou;
+      origin.offset = 0;  // both objects are VA-indexed; anchor at zero
+    }
+  }
+  if (!origin.backing_port.valid()) {
+    return;
+  }
+  ChainState state;
+  state.origin = origin;
+  state.dest_manager = dest_manager;
+  state.stats.proc = proc;
+  chain_[proc.value] = state;
+  if (Tracer* tracer = env_->sim->tracer()) {
+    tracer->Instant(env_->id, TraceLane::kMigration, "chain:detected",
+                    env_->sim->Now(),
+                    {{"proc", Json(proc.value)},
+                     {"origin_segment", Json(origin.segment.value)}});
+  }
+}
+
+void MigrationManager::StartChainCollapse(ProcId proc) {
+  auto it = chain_.find(proc.value);
+  if (it == chain_.end()) {
+    return;
+  }
+  ChainState& state = it->second;
+  std::vector<IouRef> objects = env_->netmsg->TakeCacheObjectsFor(proc);
+  if (Tracer* tracer = env_->sim->tracer()) {
+    tracer->Instant(env_->id, TraceLane::kMigration, "chain:collapse-start",
+                    env_->sim->Now(),
+                    {{"proc", Json(proc.value)},
+                     {"objects", Json(static_cast<std::uint64_t>(objects.size()))}});
+  }
+  if (objects.empty()) {
+    // Nothing was cached here (e.g. a pure-copy second hop): the
+    // destination already faults straight at the origin.
+    FinishCollapseIfDone(proc);
+    return;
+  }
+  state.pending_handoffs += static_cast<int>(objects.size());
+  SegmentBacker& backer = env_->netmsg->backer();
+  for (const IouRef& object : objects) {
+    IouRef from = object;
+    from.offset = 0;
+    backer.ExportObject(object.segment, state.origin,
+                        [this, proc, from](bool accepted) {
+                          FinishHandoff(proc, from, accepted);
+                        });
+  }
+}
+
+void MigrationManager::FinishHandoff(ProcId proc, const IouRef& from, bool export_accepted) {
+  auto it = chain_.find(proc.value);
+  ACCENT_CHECK(it != chain_.end()) << " handoff ack for unknown chain " << proc;
+  ChainState& state = it->second;
+  --state.pending_handoffs;
+  if (!export_accepted) {
+    // The origin refused (object retired, or itself evacuating): ownership
+    // stays here and the destination keeps faulting at this host — the
+    // §2.2 default. No rebind, no stub.
+    FinishCollapseIfDone(proc);
+    return;
+  }
+  ++state.stats.objects_handed_off;
+  // The origin holds the pages now; the destination must stop referencing
+  // this host: rebind its IouRefs at the collapsed owner.
+  ++state.pending_rebinds;
+  RebindIouBody body;
+  body.proc = proc;
+  body.from = from;
+  body.to = state.origin;
+  body.reply_port = port_;
+  Message msg;
+  msg.dest = state.dest_manager;
+  msg.op = MsgOp::kRebindIou;
+  msg.traffic = TrafficKind::kControl;
+  msg.inline_bytes = kRebindIouBodyBytes;
+  msg.body = body;
+  Result<void> sent = env_->fabric->Send(env_->id, std::move(msg));
+  ACCENT_CHECK(sent.ok()) << sent.error().message;
+}
+
+void MigrationManager::FinishCollapseIfDone(ProcId proc) {
+  auto it = chain_.find(proc.value);
+  if (it == chain_.end()) {
+    return;
+  }
+  ChainState& state = it->second;
+  if (state.pending_handoffs > 0 || state.pending_rebinds > 0) {
+    return;
+  }
+  state.stats.collapsed_at = env_->sim->Now();
+  ChainCollapseStats stats = state.stats;
+  chain_.erase(it);
+  ++chains_collapsed_;
+  if (Tracer* tracer = env_->sim->tracer()) {
+    tracer->Instant(env_->id, TraceLane::kMigration, "chain:collapsed",
+                    stats.collapsed_at,
+                    {{"proc", Json(stats.proc.value)},
+                     {"objects", Json(stats.objects_handed_off)},
+                     {"rebinds", Json(stats.rebinds_acked)},
+                     {"segments", Json(stats.segments_rebound)}});
+  }
+  if (on_collapse_ != nullptr) {
+    on_collapse_(stats);
+  }
 }
 
 void MigrationManager::MigratePreCopy(Process* proc, PortId dest_manager,
@@ -459,6 +606,7 @@ void MigrationManager::FreezeAndFinishPreCopy(Process* proc, PortId dest_manager
       }
       excised.rimas.regions = std::move(kept);
       excised.rimas.no_ious = true;
+      RecordChainOrigin(proc->id(), dest_manager, excised.rimas);
 
       SendExcisedContext(proc->id(), dest_manager, std::move(excised));
     });
@@ -549,7 +697,54 @@ void MigrationManager::HandleMessage(Message msg) {
       ACCENT_CHECK(done_it != done_.end());
       MigrateDone done = std::move(done_it->second);
       done_.erase(done_it);
+      // The process runs at the destination; if this excise found a remote
+      // chain origin, evacuate our cached backing now (section 2.2's "until
+      // all references die out" shortened to "until the chain collapses").
+      StartChainCollapse(body.proc);
       done(record);
+      return;
+    }
+    case MsgOp::kRebindIou: {
+      // Destination side of a chain collapse: repoint the process's
+      // stand-in segments from the evacuating intermediary at the origin.
+      const auto& body = msg.BodyAs<RebindIouBody>();
+      RebindAckBody ack;
+      ack.proc = body.proc;
+      ack.from = body.from;
+      auto it = local_.find(body.proc.value);
+      if (it != local_.end()) {
+        ack.rebound = true;
+        ack.segments_rebound = it->second->space()->RebindBackers(body.from, body.to);
+        if (Tracer* tracer = env_->sim->tracer()) {
+          tracer->Instant(env_->id, TraceLane::kMigration, "chain:rebound",
+                          env_->sim->Now(),
+                          {{"proc", Json(body.proc.value)},
+                           {"segments", Json(ack.segments_rebound)},
+                           {"to_segment", Json(body.to.segment.value)}});
+        }
+      }
+      Message reply;
+      reply.dest = body.reply_port;
+      reply.op = MsgOp::kRebindAck;
+      reply.traffic = TrafficKind::kControl;
+      reply.inline_bytes = kRebindAckBodyBytes;
+      reply.body = ack;
+      Result<void> sent = env_->fabric->Send(env_->id, std::move(reply));
+      ACCENT_CHECK(sent.ok()) << sent.error().message;
+      return;
+    }
+    case MsgOp::kRebindAck: {
+      // Intermediary side: the destination no longer references our cache
+      // object — replace it with a forwarding stub and finish the collapse.
+      const auto& body = msg.BodyAs<RebindAckBody>();
+      auto it = chain_.find(body.proc.value);
+      ACCENT_CHECK(it != chain_.end()) << " rebind ack for unknown chain " << body.proc;
+      ChainState& state = it->second;
+      --state.pending_rebinds;
+      ++state.stats.rebinds_acked;
+      state.stats.segments_rebound += body.segments_rebound;
+      env_->netmsg->backer().RetireToStub(body.from.segment, state.origin);
+      FinishCollapseIfDone(body.proc);
       return;
     }
     case MsgOp::kMigrateRequest: {

@@ -66,6 +66,35 @@ struct MigrateCompleteBody {
   SimTime resumed{0};
 };
 
+// Chain collapse (multi-hop re-migration): after a re-migrated process
+// resumes at the new destination, the intermediate host hands its cached
+// backing objects to the chain origin and asks the destination to rebind
+// its IouRefs so the intermediary drops off the fault path.
+struct RebindIouBody {
+  ProcId proc;
+  IouRef from;  // the intermediary's (now exported) cache object
+  IouRef to;    // the collapsed owner at the chain origin
+  PortId reply_port;
+};
+struct RebindAckBody {
+  ProcId proc;
+  IouRef from;
+  bool rebound = false;  // false: process unknown here (died or moved on)
+  std::uint64_t segments_rebound = 0;
+};
+
+inline constexpr ByteCount kRebindIouBodyBytes = 56;
+inline constexpr ByteCount kRebindAckBodyBytes = 40;
+
+// Result of collapsing one process's backing chain at the intermediary.
+struct ChainCollapseStats {
+  ProcId proc;
+  std::uint64_t objects_handed_off = 0;  // cache objects exported to origin
+  std::uint64_t rebinds_acked = 0;       // destination rebind confirmations
+  std::uint64_t segments_rebound = 0;    // stand-in segments repointed there
+  SimTime collapsed_at{0};
+};
+
 class MigrationManager : public Receiver {
  public:
   using MigrateDone = std::function<void(const MigrationRecord&)>;
@@ -98,6 +127,16 @@ class MigrationManager : public Receiver {
 
   // Fires whenever a process is inserted (arrives) at this host.
   void set_on_insert(std::function<void(Process*)> fn) { on_insert_ = std::move(fn); }
+
+  // Fires on this host (the intermediary) when a re-migrated process's
+  // backing chain has fully collapsed: every cache object exported to the
+  // chain origin, every destination IouRef rebound, forwarding stubs
+  // installed. Also fires (with zero counts) when a re-migration completes
+  // with nothing to hand off (e.g. a pure-copy second hop).
+  using CollapseDone = std::function<void(const ChainCollapseStats&)>;
+  void set_on_collapse(CollapseDone fn) { on_collapse_ = std::move(fn); }
+
+  std::uint64_t chains_collapsed() const { return chains_collapsed_; }
 
   // Aborts an outbound migration that can no longer complete (dead-lettered
   // context, transfer-complete handshake timeout). If the process was
@@ -147,9 +186,20 @@ class MigrationManager : public Receiver {
   void ArmPendingTimeout(ProcId proc, PendingInsert* pending);
 
   // Applies the strategy to the excised RIMAS message. `resident_pages` is
-  // the resident set sampled at suspension time.
+  // the resident set sampled at suspension time; `zero_bytes` the space's
+  // RealZero footprint (resident-set packaging walks those fill-zero maps,
+  // costs.rs_zero_scan_per_mb per megabyte).
   void ApplyStrategy(Message* rimas, TransferStrategy strategy,
-                     const std::vector<PageIndex>& resident_pages, MigrationRecord* record);
+                     const std::vector<PageIndex>& resident_pages, ByteCount zero_bytes,
+                     MigrationRecord* record);
+
+  // Chain-collapse internals (see RebindIouBody). RecordChainOrigin scans a
+  // freshly-excised RIMAS for remote migration-cache backers; StartChainCollapse
+  // runs at kMigrateComplete for re-migrations.
+  void RecordChainOrigin(ProcId proc, PortId dest_manager, const Message& rimas);
+  void StartChainCollapse(ProcId proc);
+  void FinishHandoff(ProcId proc, const IouRef& from, bool export_accepted);
+  void FinishCollapseIfDone(ProcId proc);
 
   void MaybeInsert(ProcId proc);
 
@@ -162,9 +212,22 @@ class MigrationManager : public Receiver {
   void HandlePreCopyRound(Message msg);
   void MergeStagedPages(Message* rimas, ProcId proc);
 
+  // Per-process chain state at the intermediary, recorded when a re-excise
+  // finds imaginary segments backed by a remote migration cache.
+  struct ChainState {
+    IouRef origin;        // the collapsed owner (offset-normalised)
+    PortId dest_manager;  // where the process went (rebind target)
+    int pending_handoffs = 0;
+    int pending_rebinds = 0;
+    ChainCollapseStats stats;
+  };
+
   HostEnv* env_;
   PortId port_;
   std::function<void(Process*)> on_insert_;
+  CollapseDone on_collapse_;
+  std::map<std::uint64_t, ChainState> chain_;  // keyed by ProcId
+  std::uint64_t chains_collapsed_ = 0;
   std::map<std::uint64_t, Process*> local_;          // registered local processes
   std::map<std::uint64_t, PendingInsert> pending_;   // keyed by ProcId
   std::map<std::uint64_t, MigrationRecord> outbound_;  // awaiting completion

@@ -38,6 +38,10 @@ struct MigrationRecord {
 
   // Resident-set strategy bookkeeping.
   ByteCount resident_bytes_shipped = 0;
+  // Extra RIMAS-handling charge from walking zero-fill maps during
+  // resident-set packaging (costs.rs_zero_scan_per_mb; zero by default and
+  // deliberately NOT serialised into the sweep cache).
+  SimDuration rs_packaging_extra{0};
 
   // Pre-copy baseline bookkeeping (Theimer's V system, §5). Zero for the
   // paper's three strategies.

@@ -38,12 +38,35 @@ void NetMsgServer::Start() {
 }
 
 IouRef NetMsgServer::AdoptPages(std::vector<std::pair<PageIndex, PageRef>> pages,
-                                const std::string& name) {
+                                const std::string& name, ProcId owner) {
   ACCENT_EXPECTS(!pages.empty());
   ++cached_objects_;
   // Migration cache objects are indexed by virtual address, so the object
   // spans the whole 4 GB space; only the adopted pages consume storage.
-  return backer_.BackSparsePages(kAddressSpaceLimit, std::move(pages), name);
+  IouRef iou = backer_.BackSparsePages(kAddressSpaceLimit, std::move(pages), name);
+  iou.migration_cache = true;
+  if (owner.valid()) {
+    cache_objects_by_proc_[owner.value].push_back(iou);
+  }
+  return iou;
+}
+
+std::vector<IouRef> NetMsgServer::TakeCacheObjectsFor(ProcId owner) {
+  auto it = cache_objects_by_proc_.find(owner.value);
+  if (it == cache_objects_by_proc_.end()) {
+    return {};
+  }
+  std::vector<IouRef> objects = std::move(it->second);
+  cache_objects_by_proc_.erase(it);
+  // Drop objects the backer already retired (the process died or its
+  // references were balanced before any re-migration).
+  std::vector<IouRef> live;
+  for (const IouRef& iou : objects) {
+    if (backer_.Owns(iou.segment)) {
+      live.push_back(iou);
+    }
+  }
+  return live;
 }
 
 bool NetMsgServer::EligibleForSubstitution(const Message& msg) {
@@ -89,7 +112,7 @@ bool NetMsgServer::SubstituteIous(Message* msg) {
   }
   ACCENT_CHECK(!cached.empty());
 
-  IouRef iou = AdoptPages(std::move(cached), "iou-cache");
+  IouRef iou = AdoptPages(std::move(cached), "iou-cache", msg->cache_owner);
   // One consolidated IOU spans the cached ranges; receivers needing the
   // precise layout intersect it with the AMap from the Core message. The
   // cache object is VA-indexed and region offsets are base-relative, so the

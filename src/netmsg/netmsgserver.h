@@ -106,10 +106,19 @@ class NetMsgServer : public RemoteTransport {
   }
 
   // Adopts `pages` (keyed by VA page index) as a VA-indexed backed object
-  // and returns its IouRef. Used by the resident-set strategy, which ships
-  // the resident pages physically and leaves IOUs for the rest. Adoption
-  // moves payload references — the cache never duplicates page bytes.
-  IouRef AdoptPages(std::vector<std::pair<PageIndex, PageRef>> pages, const std::string& name);
+  // and returns its IouRef (marked migration_cache). Used by the
+  // resident-set strategy, which ships the resident pages physically and
+  // leaves IOUs for the rest, and by SubstituteIous. Adoption moves payload
+  // references — the cache never duplicates page bytes. When `owner` is
+  // valid the object is recorded against that process so it can be handed
+  // off if the process re-migrates (TakeCacheObjectsFor).
+  IouRef AdoptPages(std::vector<std::pair<PageIndex, PageRef>> pages, const std::string& name,
+                    ProcId owner = ProcId{});
+
+  // Returns (and forgets) the cache objects adopted for `owner`. The caller
+  // — the migration manager collapsing a chain — takes responsibility for
+  // exporting or retiring them through the embedded backer.
+  std::vector<IouRef> TakeCacheObjectsFor(ProcId owner);
 
   // RemoteTransport: carries `msg` to the NetMsgServer at `dest_host`.
   void ForwardToRemote(HostId dest_host, Message msg) override;
@@ -172,6 +181,10 @@ class NetMsgServer : public RemoteTransport {
   SegmentBacker backer_;
   bool iou_caching_ = true;
   std::uint64_t cached_objects_ = 0;
+  // Cache objects adopted on behalf of a migrating process, keyed by
+  // ProcId: the chain-collapse handoff evacuates these when the process
+  // re-migrates away from this host.
+  std::map<std::uint64_t, std::vector<IouRef>> cache_objects_by_proc_;
   std::uint64_t next_transfer_id_ = 1;
   struct Reassembly {
     ByteCount bytes = 0;

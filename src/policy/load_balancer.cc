@@ -11,6 +11,8 @@ LoadBalancerPolicy::LoadBalancerPolicy(Simulator* sim, const PolicyConfig& confi
   ACCENT_EXPECTS(sim != nullptr);
   ACCENT_EXPECTS(config.sample_period > SimDuration::zero());
   ACCENT_EXPECTS(config.imbalance_threshold >= 1);
+  ACCENT_EXPECTS(config.hysteresis >= 0);
+  ACCENT_EXPECTS(config.dispersal_weight >= 0.0);
 }
 
 void LoadBalancerPolicy::AddHost(HostEnv* env, MigrationManager* manager) {
@@ -62,21 +64,25 @@ std::vector<HostLoad> LoadBalancerPolicy::SampleLoads() const {
   return loads;
 }
 
-ByteCount LoadBalancerPolicy::LocalAnchorBytes(const Process& process) {
+ByteCount LoadBalancerPolicy::LocalAnchorBytes(const Process& process,
+                                               double dispersal_weight) {
   const AddressSpace& space = *process.space();
   // RealMem is served locally (memory or disk); ImagMem is owed elsewhere
-  // and moves for free. Resident frames weigh double: they are the hot set
-  // that pure-IOU would re-fault remotely.
+  // and moves for free. Resident frames are the hot set that pure-IOU would
+  // re-fault remotely; dispersal_weight sets how heavily they count on top
+  // of their RealMem contribution (1.0 = double, the historical default).
   const ByteCount resident =
       process.env()->memory->ResidentCount(space.id()) * kPageSize;
-  return space.RealBytes() + resident;
+  return space.RealBytes() +
+         static_cast<ByteCount>(dispersal_weight * static_cast<double>(resident));
 }
 
-Process* LoadBalancerPolicy::PickCandidate(const MigrationManager& manager) {
+Process* LoadBalancerPolicy::PickCandidate(const MigrationManager& manager,
+                                           double dispersal_weight) {
   Process* best = nullptr;
   ByteCount best_anchor = 0;
   for (Process* proc : manager.RunnableLocalProcesses()) {
-    const ByteCount anchor = LocalAnchorBytes(*proc);
+    const ByteCount anchor = LocalAnchorBytes(*proc, dispersal_weight);
     if (best == nullptr || anchor < best_anchor) {
       best = proc;
       best_anchor = anchor;
@@ -100,7 +106,11 @@ void LoadBalancerPolicy::Sample() {
                                    return a.runnable < b.runnable;
                                  });
   if (busiest->runnable - idlest->runnable < config_.imbalance_threshold) {
+    imbalanced_streak_ = 0;  // pressure relieved: re-arm the hysteresis
     return;
+  }
+  if (++imbalanced_streak_ <= config_.hysteresis) {
+    return;  // transient so far; act only under sustained pressure
   }
 
   Node* source = nullptr;
@@ -115,7 +125,7 @@ void LoadBalancerPolicy::Sample() {
   }
   ACCENT_CHECK(source != nullptr && target != nullptr);
 
-  Process* candidate = PickCandidate(*source->manager);
+  Process* candidate = PickCandidate(*source->manager, config_.dispersal_weight);
   if (candidate == nullptr) {
     return;
   }
@@ -123,6 +133,7 @@ void LoadBalancerPolicy::Sample() {
                     << " to " << target->env->id;
   ++migrations_triggered_;
   migration_in_flight_ = true;
+  imbalanced_streak_ = 0;  // each migration must re-earn its hysteresis
   source->manager->Migrate(candidate, target->manager->port(), config_.strategy,
                            [this](const MigrationRecord&) { migration_in_flight_ = false; });
 }

@@ -37,6 +37,16 @@ struct PolicyConfig {
   SimDuration sample_period = Sec(5.0);
   // Trigger when (busiest.runnable - idlest.runnable) >= this.
   int imbalance_threshold = 2;
+  // Consecutive over-threshold samples to sit out before acting: 0 reacts
+  // to the first imbalanced sample, 2 waits out imbalances shorter than
+  // two periods. The streak resets whenever a sample is balanced (or a
+  // migration fires), so sustained pressure is required each time.
+  int hysteresis = 0;
+  // Weight of resident frames in the dispersal-aware anchor metric
+  // (LocalAnchorBytes = RealBytes + weight x resident bytes). 0 ranks
+  // candidates purely by locally-materialised memory; larger values
+  // increasingly avoid relocating processes with a hot working set.
+  double dispersal_weight = 1.0;
   TransferStrategy strategy = TransferStrategy::kPureIou;
   // At most one migration per sample (avoids thrashing herds).
   bool one_migration_per_sample = true;
@@ -60,12 +70,14 @@ class LoadBalancerPolicy {
   std::uint64_t samples_taken() const { return samples_; }
 
   // Dispersal-aware relocation cost of a process on its current host:
-  // bytes of memory anchored locally (smaller = cheaper to move).
-  static ByteCount LocalAnchorBytes(const Process& process);
+  // bytes of memory anchored locally (smaller = cheaper to move), with the
+  // resident-frame term scaled by `dispersal_weight`.
+  static ByteCount LocalAnchorBytes(const Process& process, double dispersal_weight = 1.0);
 
   // Picks the cheapest-to-move runnable process of `manager`'s host, or
   // null when none is eligible.
-  static Process* PickCandidate(const MigrationManager& manager);
+  static Process* PickCandidate(const MigrationManager& manager,
+                                double dispersal_weight = 1.0);
 
  private:
   struct Node {
@@ -82,6 +94,7 @@ class LoadBalancerPolicy {
   std::vector<Node> nodes_;
   bool running_ = false;
   bool migration_in_flight_ = false;
+  int imbalanced_streak_ = 0;
   std::uint64_t migrations_triggered_ = 0;
   std::uint64_t samples_ = 0;
 };

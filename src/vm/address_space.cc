@@ -160,6 +160,29 @@ std::vector<IouRef> AddressSpace::ImaginaryBackers() const {
   return backers;
 }
 
+std::size_t AddressSpace::RebindBackers(const IouRef& from, const IouRef& to) {
+  ACCENT_EXPECTS(to.valid());
+  std::vector<Segment*> rebound;
+  mappings_.ForEach([&](const IntervalMap<MappingValue>::Interval& iv) {
+    Segment* segment = iv.value.segment;
+    if (segment == nullptr || segment->kind() != SegmentKind::kImaginary) {
+      return;
+    }
+    const IouRef& backing = segment->backing();
+    if (backing.backing_port != from.backing_port || backing.segment != from.segment) {
+      return;
+    }
+    if (std::find(rebound.begin(), rebound.end(), segment) != rebound.end()) {
+      return;  // several mappings can share one stand-in segment
+    }
+    IouRef updated = to;
+    updated.offset = backing.offset;  // VA-indexed on both ends
+    segment->SetBacking(updated);
+    rebound.push_back(segment);
+  });
+  return rebound.size();
+}
+
 std::vector<PageIndex> AddressSpace::RealPages() const {
   std::vector<PageIndex> pages;
   amap_.ForEach([&](const AMap::Interval& iv) {

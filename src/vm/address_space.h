@@ -119,6 +119,12 @@ class AddressSpace {
   // Distinct imaginary backers still referenced (for death notification).
   std::vector<IouRef> ImaginaryBackers() const;
 
+  // Chain collapse: repoints every mapped imaginary segment backed by
+  // `from` (matched on port + segment) at `to`, keeping each segment's
+  // original offset — both objects are VA-indexed, so offsets carry over.
+  // Returns the number of distinct segments rebound.
+  std::size_t RebindBackers(const IouRef& from, const IouRef& to);
+
   // All RealMem pages in ascending order (excision walks these).
   std::vector<PageIndex> RealPages() const;
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/trace/trace.h"
 #include "src/vm/imag_protocol.h"
 
 namespace accent {
@@ -31,6 +32,7 @@ IouRef SegmentBacker::Back(Segment* segment) {
   BackedObject& object = objects_[segment->id().value];
   object.segment = segment;
   ++object.refs;
+  retired_.erase(segment->id().value);  // a re-backed id is live again
   return IouRef{port_, segment->id(), 0};
 }
 
@@ -93,20 +95,251 @@ IouRef SegmentBacker::BackSparsePages(ByteCount object_size,
   return BackSparsePages(object_size, std::move(refs), name);
 }
 
+void SegmentBacker::ExportObject(SegmentId segment, const IouRef& target,
+                                 std::function<void(bool accepted)> on_ack) {
+  ACCENT_EXPECTS(port_.valid()) << " backer not started";
+  ACCENT_EXPECTS(target.valid());
+  auto it = objects_.find(segment.value);
+  ACCENT_CHECK(it != objects_.end()) << " exporting unknown object " << segment;
+  ACCENT_CHECK(pending_exports_.count(segment.value) == 0)
+      << " object " << segment << " already mid-export";
+  Segment* source = it->second.segment;
+
+  BackingHandoff body;
+  body.source_segment = segment;
+  body.target_segment = target.segment;
+
+  Message msg;
+  msg.dest = target.backing_port;
+  msg.reply_port = port_;
+  msg.op = MsgOp::kBackingHandoff;
+  msg.no_ious = true;  // ownership moves physically, never as fresh IOUs
+  msg.traffic = TrafficKind::kBulkData;
+  msg.inline_bytes = kBackingHandoffBodyBytes;
+  msg.body = body;
+
+  // Package the stored pages as VA-indexed runs (both ends of a handoff
+  // index objects by virtual page, so indices carry over unchanged).
+  std::vector<PageRef> run;
+  PageIndex run_first = 0;
+  auto flush = [&]() {
+    if (!run.empty()) {
+      msg.regions.push_back(MemoryRegion::Data(PageBase(run_first), std::move(run)));
+      run.clear();
+    }
+  };
+  source->ForEachPage([&](PageIndex page, const PageRef& ref) {
+    if (!run.empty() && page != run_first + run.size()) {
+      flush();
+    }
+    if (run.empty()) {
+      run_first = page;
+    }
+    run.push_back(ref);  // refcount bump, no byte copy
+  });
+  flush();
+
+  ++handoffs_sent_;
+  handoff_pages_sent_ += source->stored_pages();
+  pending_exports_[segment.value] = std::move(on_ack);
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Instant(host_, TraceLane::kMigration, "handoff:export", sim_.Now(),
+                     {{"segment", Json(static_cast<double>(segment.value))},
+                      {"pages", Json(static_cast<double>(source->stored_pages()))}});
+  }
+  const CpuPriority priority =
+      costs_.fault_priority_lane ? CpuPriority::kHigh : CpuPriority::kNormal;
+  fabric_.CpuOf(host_)->Submit(work_category_, costs_.backer_service,
+                               [this, msg = std::move(msg)]() mutable {
+                                 Result<void> sent = fabric_.Send(host_, std::move(msg));
+                                 if (!sent.ok()) {
+                                   ACCENT_LOG(kDebug)
+                                       << "backing handoff dropped: " << sent.error().message;
+                                 }
+                               },
+                               priority);
+}
+
+void SegmentBacker::MergeHandoff(Message msg) {
+  const auto& handoff = msg.BodyAs<BackingHandoff>();
+  auto it = objects_.find(handoff.target_segment.value);
+  // Refuse when the target is unknown (already retired) or itself
+  // mid-export: two hosts evacuating towards each other must not both
+  // succeed, or their forwarding stubs would form a cycle. The rejected
+  // side simply keeps its object and stays on the fault path.
+  const bool accepted =
+      it != objects_.end() && pending_exports_.count(handoff.target_segment.value) == 0;
+  if (accepted) {
+    // The handoff moves the exporter's outstanding reference along with the
+    // pages: the client whose IouRefs are being rebound here now counts
+    // against this object, and its (eventual) Imaginary Segment Death
+    // arrives addressed to it. Without this the object retires as soon as
+    // the pre-existing references drain, stranding the rebound client.
+    ++it->second.refs;
+    Segment* target = it->second.segment;
+    std::uint64_t merged = 0;
+    for (MemoryRegion& region : msg.regions) {
+      ACCENT_CHECK(region.mem_class == MemClass::kReal);
+      const PageIndex first = PageOf(region.base);
+      for (std::size_t i = 0; i < region.pages.size(); ++i) {
+        // The evacuating host's copy is newer (the process ran there), so
+        // it overwrites whatever this object still holds for the page.
+        target->StorePage(first + i, std::move(region.pages[i]));
+        ++merged;
+      }
+    }
+    ++handoffs_received_;
+    handoff_pages_merged_ += merged;
+    if (Tracer* tracer = sim_.tracer()) {
+      tracer->Instant(host_, TraceLane::kMigration, "handoff:merge", sim_.Now(),
+                       {{"segment", Json(static_cast<double>(handoff.target_segment.value))},
+                        {"pages", Json(static_cast<double>(merged))}});
+    }
+  } else {
+    ACCENT_LOG(kDebug) << name_ << ": handoff for unknown target object "
+                       << handoff.target_segment;
+  }
+
+  BackingHandoffAck ack;
+  ack.source_segment = handoff.source_segment;
+  ack.accepted = accepted;
+
+  Message response;
+  response.dest = msg.reply_port;
+  response.op = MsgOp::kBackingHandoffAck;
+  response.traffic = TrafficKind::kControl;
+  response.inline_bytes = kBackingHandoffAckBodyBytes;
+  response.body = ack;
+  const CpuPriority priority =
+      costs_.fault_priority_lane ? CpuPriority::kHigh : CpuPriority::kNormal;
+  fabric_.CpuOf(host_)->Submit(work_category_, costs_.backer_service,
+                               [this, response = std::move(response)]() mutable {
+                                 Result<void> sent = fabric_.Send(host_, std::move(response));
+                                 if (!sent.ok()) {
+                                   ACCENT_LOG(kDebug)
+                                       << "handoff ack dropped: " << sent.error().message;
+                                 }
+                               },
+                               priority);
+}
+
+void SegmentBacker::RetireToStub(SegmentId segment, const IouRef& target) {
+  ACCENT_EXPECTS(target.valid());
+  ACCENT_CHECK(!(target.backing_port == port_ && target.segment == segment))
+      << " stub cannot forward to itself";
+  auto it = objects_.find(segment.value);
+  if (it != objects_.end()) {
+    // Ownership moved wholesale: the single outstanding reference now
+    // belongs to the new owner's object, so no death notice is owed here.
+    ACCENT_CHECK(it->second.refs == 1)
+        << " retiring object " << segment << " with " << it->second.refs << " refs";
+    if (it->second.owns_segment) {
+      segments_.Destroy(it->second.segment->id());
+    }
+    objects_.erase(it);
+  }
+  // else: a racing death notice already retired it (client died before the
+  // rebind); the stub still goes in so late requests find the new owner.
+  stubs_[segment.value] = target;
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Instant(host_, TraceLane::kMigration, "handoff:stub", sim_.Now(),
+                     {{"segment", Json(static_cast<double>(segment.value))}});
+  }
+}
+
+bool SegmentBacker::ForwardThroughStub(const Message& msg) {
+  SegmentId addressed;
+  if (msg.op == MsgOp::kImagReadRequest) {
+    addressed = msg.BodyAs<ImagReadRequest>().segment;
+  } else {
+    addressed = msg.BodyAs<ImagSegmentDeath>().segment;
+  }
+  auto stub = stubs_.find(addressed.value);
+  if (stub == stubs_.end()) {
+    return false;
+  }
+  const IouRef& target = stub->second;
+
+  Message forward = msg;
+  forward.id = MsgId{};  // fresh message on the wire
+  forward.dest = target.backing_port;
+  if (msg.op == MsgOp::kImagReadRequest) {
+    ImagReadRequest request = msg.BodyAs<ImagReadRequest>();
+    request.segment = target.segment;  // both objects are VA-indexed
+    forward.body = request;
+    ++requests_forwarded_;
+  } else {
+    forward.body = ImagSegmentDeath{target.segment};
+    ++deaths_forwarded_;
+  }
+  if (Tracer* tracer = sim_.tracer()) {
+    tracer->Instant(host_, TraceLane::kMigration, "handoff:forward", sim_.Now(),
+                     {{"op", Json(std::string(MsgOpName(msg.op)))},
+                      {"segment", Json(static_cast<double>(addressed.value))}});
+  }
+  Result<void> sent = fabric_.Send(host_, std::move(forward));
+  if (!sent.ok()) {
+    ACCENT_LOG(kDebug) << "stub forward dropped: " << sent.error().message;
+  }
+  return true;
+}
+
 void SegmentBacker::HandleMessage(Message msg) {
   switch (msg.op) {
     case MsgOp::kImagReadRequest:
+      if (objects_.count(msg.BodyAs<ImagReadRequest>().segment.value) == 0 &&
+          ForwardThroughStub(msg)) {
+        return;
+      }
       ServeRead(msg);
       return;
+    case MsgOp::kBackingHandoff:
+      MergeHandoff(std::move(msg));
+      return;
+    case MsgOp::kBackingHandoffAck: {
+      const auto& ack = msg.BodyAs<BackingHandoffAck>();
+      auto pending = pending_exports_.find(ack.source_segment.value);
+      ACCENT_CHECK(pending != pending_exports_.end())
+          << " handoff ack for unknown export " << ack.source_segment;
+      auto on_ack = std::move(pending->second);
+      pending_exports_.erase(pending);
+      if (on_ack) {
+        on_ack(ack.accepted);
+      }
+      return;
+    }
     case MsgOp::kImagSegmentDeath: {
       const auto& death = msg.BodyAs<ImagSegmentDeath>();
       ++deaths_received_;
       auto it = objects_.find(death.segment.value);
-      if (it != objects_.end() && --it->second.refs == 0) {
+      if (it == objects_.end()) {
+        if (ForwardThroughStub(msg)) {
+          return;
+        }
+        if (retired_.count(death.segment.value) != 0) {
+          // A lossy wire can re-deliver the final death; the first one
+          // already retired the object.
+          ++duplicate_deaths_;
+          return;
+        }
+        ACCENT_CHECK(false) << " unbalanced imaginary segment death for " << death.segment
+                            << " at " << name_ << " (object never known or over-killed)";
+      }
+      ACCENT_CHECK(it->second.refs > 0)
+          << " refcount underflow on " << death.segment << " at " << name_;
+      if (--it->second.refs == 0) {
+        if (pending_exports_.count(death.segment.value) != 0) {
+          // The sole client died while this object was mid-export (its
+          // death raced the handoff). Retire normally; the ack still
+          // resolves through pending_exports_, and RetireToStub tolerates
+          // the object being gone.
+          ++deaths_during_export_;
+        }
         if (it->second.owns_segment) {
           segments_.Destroy(it->second.segment->id());
         }
         objects_.erase(it);
+        retired_.insert(death.segment.value);
       }
       return;
     }

@@ -7,11 +7,21 @@
 // and answers Imaginary Read Requests against them, retiring objects when
 // their Imaginary Segment Death notices arrive. The NetMsgServer's IOU
 // cache and the examples' lazy file server both build on it.
+//
+// Backing ownership is itself transferable (multi-hop re-migration): a
+// backer can export one of its objects — page store contents and the
+// outstanding reference — to a peer backer with ExportObject, then retire
+// the local object into a forwarding stub with RetireToStub. The stub
+// redirects Imaginary Read Requests (and Segment Death notices) that were
+// already in flight when ownership moved, so no client ever observes the
+// handoff.
 #ifndef SRC_VM_BACKER_H_
 #define SRC_VM_BACKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "src/base/types.h"
@@ -21,6 +31,8 @@
 #include "src/vm/segment.h"
 
 namespace accent {
+
+class Tracer;
 
 class SegmentBacker : public Receiver {
  public:
@@ -64,11 +76,39 @@ class SegmentBacker : public Receiver {
                          std::vector<std::pair<PageIndex, PageData>> pages,
                          const std::string& name);
 
+  // --- backing-ownership transfer ----------------------------------------
+  // Ships `segment`'s stored pages to the peer backer named by `target`
+  // (a kBackingHandoff message; the peer merges them into its own object
+  // `target.segment`, newer pages overwriting stale ones). `on_ack` fires
+  // when the peer acknowledges the merge. The local object keeps serving
+  // reads until RetireToStub — requests that race the handoff see the
+  // still-live copy.
+  void ExportObject(SegmentId segment, const IouRef& target,
+                    std::function<void(bool accepted)> on_ack);
+
+  // Drops the local object (destroying its segment if backer-owned) and
+  // installs a forwarding stub: Imaginary Read Requests and Segment Death
+  // notices still addressed to `segment` are redirected to `target`.
+  // Tolerates the object having already been retired by a racing death
+  // notice (the client died before learning of the new owner) — the stub
+  // is installed regardless.
+  void RetireToStub(SegmentId segment, const IouRef& target);
+
   bool Owns(SegmentId segment) const { return objects_.count(segment.value) != 0; }
+  bool IsStub(SegmentId segment) const { return stubs_.count(segment.value) != 0; }
   std::size_t object_count() const { return objects_.size(); }
+  std::size_t stub_count() const { return stubs_.size(); }
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t pages_served() const { return pages_served_; }
   std::uint64_t deaths_received() const { return deaths_received_; }
+  std::uint64_t duplicate_deaths() const { return duplicate_deaths_; }
+  std::uint64_t deaths_during_export() const { return deaths_during_export_; }
+  std::uint64_t handoffs_sent() const { return handoffs_sent_; }
+  std::uint64_t handoffs_received() const { return handoffs_received_; }
+  std::uint64_t handoff_pages_sent() const { return handoff_pages_sent_; }
+  std::uint64_t handoff_pages_merged() const { return handoff_pages_merged_; }
+  std::uint64_t requests_forwarded() const { return requests_forwarded_; }
+  std::uint64_t deaths_forwarded() const { return deaths_forwarded_; }
 
   // Receiver.
   void HandleMessage(Message msg) override;
@@ -76,6 +116,10 @@ class SegmentBacker : public Receiver {
 
  private:
   void ServeRead(const Message& msg);
+  void MergeHandoff(Message msg);
+  // Re-sends a stub-hit message to the stub's target (rewriting the
+  // addressed segment). Returns true if a stub matched.
+  bool ForwardThroughStub(const Message& msg);
 
   HostId host_;
   Simulator& sim_;
@@ -94,9 +138,26 @@ class SegmentBacker : public Receiver {
     bool owns_segment = false;
   };
   std::map<std::uint64_t, BackedObject> objects_;
+  // Forwarding stubs left behind by RetireToStub: old object id -> new
+  // owner. Kept for the life of the backer (a stub is a few words).
+  std::map<std::uint64_t, IouRef> stubs_;
+  // Objects fully retired through the normal death path. Distinguishes a
+  // benign duplicate death (lossy wire re-delivery) from a genuinely
+  // unbalanced one, which is a protocol error and CHECK-fails.
+  std::set<std::uint64_t> retired_;
+  // Exports awaiting their kBackingHandoffAck, keyed by source segment.
+  std::map<std::uint64_t, std::function<void(bool)>> pending_exports_;
   std::uint64_t requests_served_ = 0;
   std::uint64_t pages_served_ = 0;
   std::uint64_t deaths_received_ = 0;
+  std::uint64_t duplicate_deaths_ = 0;
+  std::uint64_t deaths_during_export_ = 0;
+  std::uint64_t handoffs_sent_ = 0;
+  std::uint64_t handoffs_received_ = 0;
+  std::uint64_t handoff_pages_sent_ = 0;
+  std::uint64_t handoff_pages_merged_ = 0;
+  std::uint64_t requests_forwarded_ = 0;
+  std::uint64_t deaths_forwarded_ = 0;
 };
 
 }  // namespace accent

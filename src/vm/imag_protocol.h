@@ -38,9 +38,27 @@ struct ImagSegmentDeath {
   SegmentId segment;
 };
 
+// Backing-ownership handoff (multi-hop re-migration). When a process
+// re-migrates off the host whose NetMsgServer cached pages for it, that
+// host evacuates the cached object back to the chain origin's backer
+// instead of leaving itself on the fault path forever. The handoff carries
+// the object's sparse pages as VA-indexed kReal regions; the origin merges
+// them into its own VA-indexed object for the same process.
+struct BackingHandoff {
+  SegmentId source_segment;  // the evacuating backer's name for the object
+  SegmentId target_segment;  // the origin backer's object to merge into
+};
+
+struct BackingHandoffAck {
+  SegmentId source_segment;  // echo, so the sender can match the export
+  bool accepted = false;
+};
+
 inline constexpr ByteCount kImagRequestBodyBytes = 40;
 inline constexpr ByteCount kImagReplyBodyBytes = 32;
 inline constexpr ByteCount kImagDeathBodyBytes = 16;
+inline constexpr ByteCount kBackingHandoffBodyBytes = 32;
+inline constexpr ByteCount kBackingHandoffAckBodyBytes = 24;
 
 }  // namespace accent
 

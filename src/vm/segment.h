@@ -52,6 +52,11 @@ class Segment {
   std::size_t stored_pages() const { return pages_.size(); }
   // Bytes of stored (non-zero-page) data.
   ByteCount StoredBytes() const { return pages_.size() * kPageSize; }
+  // Visits stored pages in ascending order: fn(PageIndex, const PageRef&).
+  template <typename Fn>
+  void ForEachPage(Fn&& fn) const {
+    pages_.ForEach(fn);
+  }
 
   // --- Imaginary segments -------------------------------------------------------
   void SetBacking(IouRef iou) {

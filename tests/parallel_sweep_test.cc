@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/thread_pool.h"
+#include "src/experiments/chain.h"
 #include "src/experiments/failure_sweep.h"
 #include "src/experiments/sweep.h"
 #include "src/experiments/sweep_cache.h"
@@ -146,6 +147,17 @@ TEST(ParallelSweep, FailureMatrixIsByteIdenticalAcross1And2And8Threads) {
     }
   }
   ASSERT_EQ(unsetenv("ACCENT_SWEEP_THREADS"), 0);
+}
+
+TEST(ParallelSweep, ChainSweepIsByteIdenticalAcross1And2And8Threads) {
+  // The A -> B -> C chain grid runs three-host testbeds with a mid-trace
+  // re-migration and an IOU-chain collapse per trial; the same determinism
+  // contract holds: thread count cannot reach any result.
+  const std::vector<ChainTrialConfig> configs = ChainSweepConfigs("Minprog", 42);
+  const std::string serial = ChainSweepToJson(RunChainTrials(configs, 1), {}).Dump(2);
+  EXPECT_NE(serial.find("\"hung\": 0"), std::string::npos);
+  EXPECT_EQ(ChainSweepToJson(RunChainTrials(configs, 2), {}).Dump(2), serial);
+  EXPECT_EQ(ChainSweepToJson(RunChainTrials(configs, 8), {}).Dump(2), serial);
 }
 
 TEST(SweepThreads, EnvVarOverridesAndClamps) {

@@ -18,8 +18,10 @@ class PolicyTest : public ::testing::Test {
     return config;
   }
 
+  // `touch_pages` limits the pages the trace cycles through (0 = all of the
+  // image), so tests can shape the resident set independently of RealMem.
   std::unique_ptr<Process> MakeJob(const std::string& name, SimDuration compute,
-                                   PageIndex image_pages) {
+                                   PageIndex image_pages, PageIndex touch_pages = 0) {
     auto space = std::make_unique<AddressSpace>(SpaceId(bed.sim().AllocateId()),
                                                 bed.host(0)->id);
     Segment* image = bed.segments().CreateReal(image_pages * kPageSize, "img");
@@ -30,10 +32,11 @@ class PolicyTest : public ::testing::Test {
     auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), name, bed.host(0),
                                           std::move(space), 1);
     TraceBuilder trace;
+    const PageIndex cycle = touch_pages == 0 ? image_pages : touch_pages;
     const auto slices = std::max<std::int64_t>(1, compute / Sec(1.0));
     for (std::int64_t i = 0; i < slices; ++i) {
       trace.Compute(compute / slices);
-      trace.Read(PageBase(static_cast<PageIndex>(i) % image_pages));
+      trace.Read(PageBase(static_cast<PageIndex>(i) % cycle));
     }
     trace.Terminate();
     proc->SetTrace(trace.Build(), 0);
@@ -134,6 +137,116 @@ TEST_F(PolicyTest, NoMigrationBelowThreshold) {
   bed.sim().Run();
   EXPECT_EQ(policy.migrations_triggered(), 0u);
   EXPECT_TRUE(a->done());
+}
+
+TEST_F(PolicyTest, HysteresisWaitsOutTransientImbalance) {
+  std::vector<std::unique_ptr<Process>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(MakeJob("job-" + std::to_string(i), Sec(60.0), 16));
+    bed.manager(0)->RegisterLocal(jobs.back().get());
+    jobs.back()->Start();
+  }
+
+  PolicyConfig config;
+  config.sample_period = Sec(3.0);
+  config.hysteresis = 2;  // act on the third consecutive imbalanced sample
+  LoadBalancerPolicy policy = MakePolicy(config);
+  policy.Start();
+
+  // Probe just after each of the first three samples: the imbalance is
+  // present from the start, but the policy must sit out two full periods.
+  std::uint64_t after_first = 99, after_second = 99, after_third = 99;
+  bed.sim().ScheduleAt(Sec(3.0) + Ms(1), [&]() { after_first = policy.migrations_triggered(); });
+  bed.sim().ScheduleAt(Sec(6.0) + Ms(1), [&]() { after_second = policy.migrations_triggered(); });
+  bed.sim().ScheduleAt(Sec(9.0) + Ms(1), [&]() { after_third = policy.migrations_triggered(); });
+  bed.sim().Run();
+
+  EXPECT_EQ(after_first, 0u);
+  EXPECT_EQ(after_second, 0u);
+  EXPECT_EQ(after_third, 1u);
+  EXPECT_GE(policy.migrations_triggered(), 1u);
+  for (const HostLoad& load : policy.SampleLoads()) {
+    EXPECT_EQ(load.runnable, 0);  // still converges, just later
+  }
+}
+
+TEST_F(PolicyTest, DispersalWeightReordersCandidates) {
+  // "cold": big image, touches a single page — lots of RealMem, tiny hot
+  // set. "hot": small image, cycles its whole footprint — little RealMem,
+  // everything resident.
+  auto cold = MakeJob("cold", Sec(30.0), 64, 1);
+  auto hot = MakeJob("hot", Sec(30.0), 8);
+  bed.manager(0)->RegisterLocal(cold.get());
+  bed.manager(0)->RegisterLocal(hot.get());
+  cold->Start();
+  hot->Start();
+  bed.sim().RunUntil(Sec(20.0));  // let residency build up
+
+  const ByteCount cold_resident =
+      bed.host(0)->memory->ResidentCount(cold->space()->id()) * kPageSize;
+  const ByteCount hot_resident =
+      bed.host(0)->memory->ResidentCount(hot->space()->id()) * kPageSize;
+  ASSERT_GT(hot_resident, cold_resident);
+
+  // Ignoring residency, the small-image job is the cheaper move; once
+  // resident frames dominate the metric, the cold job is.
+  EXPECT_EQ(LoadBalancerPolicy::PickCandidate(*bed.manager(0), 0.0), hot.get());
+  const double heavy = static_cast<double>(cold->space()->RealBytes()) /
+                       static_cast<double>(hot_resident - cold_resident) * 2.0;
+  EXPECT_EQ(LoadBalancerPolicy::PickCandidate(*bed.manager(0), heavy), cold.get());
+}
+
+TEST_F(PolicyTest, ConfigurationSweepConverges) {
+  // The knobs compose: every (threshold, hysteresis, weight) cell balances
+  // the same overloaded host and drains all work.
+  for (int threshold : {2, 3}) {
+    for (int hysteresis : {0, 1}) {
+      for (double weight : {0.0, 4.0}) {
+        Testbed local_bed(MakeConfig());
+        std::vector<std::unique_ptr<Process>> jobs;
+        for (int i = 0; i < 4; ++i) {
+          auto space = std::make_unique<AddressSpace>(SpaceId(local_bed.sim().AllocateId()),
+                                                      local_bed.host(0)->id);
+          Segment* image = local_bed.segments().CreateReal(16 * kPageSize, "img");
+          space->MapReal(0, 16 * kPageSize, image, 0, false);
+          auto proc = std::make_unique<Process>(ProcId(local_bed.sim().AllocateId()),
+                                                "job-" + std::to_string(i),
+                                                local_bed.host(0), std::move(space), 1);
+          TraceBuilder trace;
+          for (int s = 0; s < 20; ++s) {
+            trace.Compute(Sec(1.0));
+            trace.Read(PageBase(static_cast<PageIndex>(s) % 16));
+          }
+          trace.Terminate();
+          proc->SetTrace(trace.Build(), 0);
+          local_bed.manager(0)->RegisterLocal(proc.get());
+          proc->Start();
+          jobs.push_back(std::move(proc));
+        }
+
+        PolicyConfig config;
+        config.sample_period = Sec(2.0);
+        config.imbalance_threshold = threshold;
+        config.hysteresis = hysteresis;
+        config.dispersal_weight = weight;
+        LoadBalancerPolicy policy(&local_bed.sim(), config);
+        for (int h = 0; h < local_bed.host_count(); ++h) {
+          policy.AddHost(local_bed.host(h), local_bed.manager(h));
+        }
+        policy.Start();
+        local_bed.sim().Run();
+
+        EXPECT_GE(policy.migrations_triggered(), 1u)
+            << "threshold=" << threshold << " hysteresis=" << hysteresis
+            << " weight=" << weight;
+        for (const HostLoad& load : policy.SampleLoads()) {
+          EXPECT_EQ(load.runnable, 0)
+              << "threshold=" << threshold << " hysteresis=" << hysteresis
+              << " weight=" << weight;
+        }
+      }
+    }
+  }
 }
 
 TEST_F(PolicyTest, PolicyStopsWhenWorkDrains) {

@@ -206,5 +206,136 @@ TEST_F(BackerTest, MultipleObjectsIndependentlyAddressed) {
   EXPECT_EQ(Request(iou_b, 0, 1)[0], MakePatternPage(2));
 }
 
+// --- Handoff protocol guards (backing-ownership transfer) -----------------
+
+// Two backers on different hosts, as in a chain collapse: `peer_` plays the
+// evacuating intermediary (B), `backer_` the origin owner (A).
+class HandoffTest : public BackerTest {
+ protected:
+  HandoffTest()
+      : peer_(bed.host(0)->id, &bed.sim(), &bed.costs(), &bed.fabric(), &bed.segments(),
+              CpuWork::kProcess, "peer") {
+    peer_.Start();
+  }
+
+  void SendDeath(const IouRef& iou) {
+    Message death;
+    death.dest = iou.backing_port;
+    death.op = MsgOp::kImagSegmentDeath;
+    death.body = ImagSegmentDeath{iou.segment};
+    ASSERT_TRUE(bed.fabric().Send(bed.host(0)->id, std::move(death)).ok());
+    bed.sim().Run();
+  }
+
+  SegmentBacker peer_;
+};
+
+// Regression: the handoff moves the exporter's outstanding reference, not
+// just the pages. Without it the target object retires as soon as its
+// pre-existing references drain, stranding every rebound client on a
+// destroyed segment (observed as pages touched only at B resolving to
+// nothing at C after the chain collapse).
+TEST_F(HandoffTest, MergeTransfersTheOutstandingReference) {
+  const IouRef origin = backer_.BackPages(4 * kPageSize, 0,
+                                          std::vector<PageData>{MakePatternPage(1)}, "origin");
+  const IouRef moving = peer_.BackPages(4 * kPageSize, kPageSize,
+                                        std::vector<PageData>{MakePatternPage(9)}, "moving");
+  ASSERT_EQ(backer_.RefCount(origin.segment), 1u);
+
+  bool accepted = false;
+  peer_.ExportObject(moving.segment, origin, [&](bool ok) { accepted = ok; });
+  bed.sim().Run();
+  ASSERT_TRUE(accepted);
+  EXPECT_EQ(backer_.handoffs_received(), 1u);
+  EXPECT_EQ(backer_.handoff_pages_merged(), 1u);
+  // The rebound client now counts against the merged object.
+  EXPECT_EQ(backer_.RefCount(origin.segment), 2u);
+
+  // The original client's death leaves the object serving the rebound one...
+  SendDeath(origin);
+  EXPECT_EQ(backer_.object_count(), 1u);
+  EXPECT_EQ(Request(origin, kPageSize, 1)[0], MakePatternPage(9));  // merged page
+  // ...and only the rebound client's death retires it.
+  SendDeath(origin);
+  EXPECT_EQ(backer_.object_count(), 0u);
+}
+
+// A lossy wire can re-deliver the final death notice; the tombstone absorbs
+// it instead of tripping the unbalanced-death CHECK.
+TEST_F(HandoffTest, DuplicateFinalDeathIsAbsorbed) {
+  const IouRef iou =
+      backer_.BackPages(kPageSize, 0, std::vector<PageData>{MakePatternPage(1)}, "once");
+  SendDeath(iou);
+  EXPECT_EQ(backer_.object_count(), 0u);
+  SendDeath(iou);
+  EXPECT_EQ(backer_.duplicate_deaths(), 1u);
+}
+
+// A death for an object this backer never knew is a protocol violation
+// (over-kill / misrouted notice) and must fail loudly, not underflow.
+TEST_F(HandoffTest, UnbalancedDeathForUnknownObjectAborts) {
+  const IouRef bogus{backer_.port(), SegmentId{9999}, 0};
+  EXPECT_DEATH(
+      {
+        Message death;
+        death.dest = bogus.backing_port;
+        death.op = MsgOp::kImagSegmentDeath;
+        death.body = ImagSegmentDeath{bogus.segment};
+        (void)bed.fabric().Send(bed.host(0)->id, std::move(death));
+        bed.sim().Run();
+      },
+      "unbalanced imaginary segment death");
+}
+
+// The sole client dies while its object is mid-export (death races the
+// handoff): the object retires normally, the counter records the race, and
+// the ack still resolves so the exporter's state machine unwinds.
+TEST_F(HandoffTest, DeathDuringExportRetiresAndStillAcks) {
+  const IouRef origin = backer_.BackPages(4 * kPageSize, 0,
+                                          std::vector<PageData>{MakePatternPage(1)}, "origin");
+  const IouRef moving = peer_.BackPages(4 * kPageSize, kPageSize,
+                                        std::vector<PageData>{MakePatternPage(9)}, "moving");
+  bool acked = false;
+  peer_.ExportObject(moving.segment, origin, [&](bool) { acked = true; });
+  // The death overtakes the handoff: it is handled before the peer's ack
+  // round-trip completes.
+  Message death;
+  death.dest = moving.backing_port;
+  death.op = MsgOp::kImagSegmentDeath;
+  death.body = ImagSegmentDeath{moving.segment};
+  ASSERT_TRUE(bed.fabric().Send(bed.host(1)->id, std::move(death)).ok());
+  bed.sim().Run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(peer_.deaths_during_export(), 1u);
+  EXPECT_EQ(peer_.object_count(), 0u);
+}
+
+// After RetireToStub, requests and deaths addressed to the old object are
+// forwarded to the new owner — and the forwarded death balances the
+// reference the handoff transferred.
+TEST_F(HandoffTest, StubForwardsRequestsAndDeathsToNewOwner) {
+  const IouRef origin = backer_.BackPages(4 * kPageSize, 0,
+                                          std::vector<PageData>{MakePatternPage(1)}, "origin");
+  const IouRef moving = peer_.BackPages(4 * kPageSize, kPageSize,
+                                        std::vector<PageData>{MakePatternPage(9)}, "moving");
+  bool accepted = false;
+  peer_.ExportObject(moving.segment, origin, [&](bool ok) { accepted = ok; });
+  bed.sim().Run();
+  ASSERT_TRUE(accepted);
+  peer_.RetireToStub(moving.segment, origin);
+  EXPECT_EQ(peer_.object_count(), 0u);
+  EXPECT_EQ(peer_.stub_count(), 1u);
+
+  // A read that raced the collapse still resolves, via the stub.
+  EXPECT_EQ(Request(moving, kPageSize, 1)[0], MakePatternPage(9));
+  EXPECT_EQ(peer_.requests_forwarded(), 1u);
+
+  // The straggler's death is forwarded too and lands on the merged object.
+  ASSERT_EQ(backer_.RefCount(origin.segment), 2u);
+  SendDeath(moving);
+  EXPECT_EQ(peer_.deaths_forwarded(), 1u);
+  EXPECT_EQ(backer_.RefCount(origin.segment), 1u);
+}
+
 }  // namespace
 }  // namespace accent

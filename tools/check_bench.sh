@@ -7,6 +7,7 @@
 #   check_bench.sh <micro_sim-binary> [output.json]
 #   check_bench.sh --failure <failure_sweep-binary> [output.json]
 #   check_bench.sh --sweep <run_all-binary> [output.json]
+#   check_bench.sh --chain <chain_sweep-binary> [output.json]
 set -euo pipefail
 
 MODE=sim
@@ -15,6 +16,9 @@ if [ "${1:-}" = "--failure" ]; then
   shift
 elif [ "${1:-}" = "--sweep" ]; then
   MODE=sweep
+  shift
+elif [ "${1:-}" = "--chain" ]; then
+  MODE=chain
   shift
 fi
 
@@ -49,7 +53,8 @@ elif [ "$MODE" = "sweep" ]; then
   "$BIN" --out "$OUT"
   KEYS="bench schema_version seed trial_count workloads metrics trials \
         counters histograms downtime_seconds rimas_transfer_seconds \
-        faults.iou_pulls bytes.total messages.total"
+        faults.iou_pulls bytes.total messages.total \
+        rs_calibrated rs_zero_scan_per_mb_us"
 
   if ! grep -q '"bench": "sweep"' "$OUT"; then
     echo "check_bench: $OUT is not a sweep summary" >&2
@@ -57,6 +62,39 @@ elif [ "$MODE" = "sweep" ]; then
   fi
   if grep -q '"trial_count": 0' "$OUT"; then
     echo "check_bench: sweep summary carries no trials" >&2
+    status=1
+  fi
+elif [ "$MODE" = "chain" ]; then
+  OUT=${2:-BENCH_chain.json}
+  # The A -> B -> C grid (7 workloads x 11 strategy/prefetch cells) plus the
+  # B-crash-after-collapse trials. The binary exits non-zero if any
+  # post-collapse request touched the evacuated intermediary, any trial hung
+  # or finished corrupted, or the crash trial lost the process.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version trial_count collapses \
+        b_requests_after_collapse_total b_forwards_after_collapse_total \
+        b_objects_after_collapse_total integrity_failures hung \
+        crash_trial_count b_crash_survived trials crash_trials"
+
+  # Belt and braces: re-assert the evacuation + survival invariants.
+  if ! grep -q '"b_requests_after_collapse_total": 0' "$OUT"; then
+    echo "check_bench: post-collapse requests hit the intermediary in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"b_forwards_after_collapse_total": 0' "$OUT"; then
+    echo "check_bench: post-collapse requests were forwarded through the intermediary in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"integrity_failures": 0' "$OUT"; then
+    echo "check_bench: chain sweep reports corrupted completions in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"hung": 0' "$OUT"; then
+    echo "check_bench: chain sweep reports hung trials in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"b_crash_survived": true' "$OUT"; then
+    echo "check_bench: process did not survive the intermediary crash in $OUT" >&2
     status=1
   fi
 else
