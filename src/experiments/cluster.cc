@@ -1,0 +1,685 @@
+#include "src/experiments/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/host/costs.h"
+#include "src/migration/cost_model.h"
+#include "src/net/network.h"
+#include "src/netmsg/netmsgserver.h"
+#include "src/sim/simulator.h"
+
+namespace accent {
+namespace {
+
+int EnvInt(const char* name, int fallback, int lo, int hi) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const long parsed = std::strtol(value, nullptr, 10);
+  return static_cast<int>(std::clamp<long>(parsed, lo, hi));
+}
+
+// One fleet-granularity process: a CPU demand plus the footprint the
+// migration cost formulas consume. Owned (touched) exclusively by the
+// shard of whichever host it currently resides on; ownership moves with
+// the Core/RIMAS handoff, which orders the two shards through the
+// cross-shard inbox.
+struct ClusterProc {
+  std::uint64_t pid = 0;
+  SimTime arrive{0};
+  SimDuration demand{0};
+  SimDuration consumed{0};
+  SimDuration slice_len{0};  // length of the currently pending slice
+  MigrationCostModel::Footprint fp;
+  // Copy-on-reference debt. `backing` is the host index serving the owed
+  // pages; re-migration collapses onto the original backer (the chain
+  // semantics of the mechanistic testbed) so one backer always suffices.
+  std::int64_t owed_pages = 0;
+  int backing = -1;
+  bool pull_outstanding = false;
+  bool done = false;
+  // Bumped when the process freezes for a migration; a pending slice
+  // event whose epoch no longer matches is stale and must not fire.
+  std::uint64_t epoch = 0;
+};
+
+struct ActiveEntry {
+  ClusterProc* proc = nullptr;
+  std::uint64_t epoch = 0;
+};
+
+struct Host {
+  int index = 0;
+  HostId id;
+  Rng rng{0};
+  std::deque<ClusterProc> arena;  // every proc born here; stable addresses
+  // Resident, unfrozen processes keyed by pid. std::map so victim scans
+  // iterate in a platform-independent, shard-count-independent order.
+  std::map<std::uint64_t, ActiveEntry> active;
+  int runnable = 0;
+  std::uint64_t next_local_pid = 0;
+
+  // Census + data-plane counters (merged in index order after the run).
+  std::uint64_t arrived = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t outbound_started = 0;
+  std::uint64_t inbound_landed = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t directives_unfilled = 0;
+  std::uint64_t pull_batches = 0;
+  std::uint64_t pages_pulled = 0;
+  std::vector<SimDuration> queueing;   // per completion
+  std::vector<SimDuration> downtimes;  // per landed migration
+};
+
+// Balancer state, owned by host 0's shard. Every mutation happens inside
+// an event executing on that shard (load-report deliveries, sample ticks,
+// completion notices), so no locking is needed and the decision sequence
+// is identical at any shard count.
+struct Coordinator {
+  ImbalanceGovernor governor{1, 0};
+  std::vector<int> last_runnable;  // freshest report per host
+  std::vector<bool> busy;          // host currently tasked with a migration
+  std::uint64_t samples = 0;
+  std::uint64_t completions_seen = 0;
+
+  // Steady-state detection over total-runnable window means.
+  std::vector<double> window_means;
+  bool steady = false;
+  SimTime steady_at{0};
+  std::uint64_t completions_at_steady = 0;
+
+  bool hung = false;
+};
+
+struct Trial {
+  const ClusterConfig& config;
+  const CostTable& costs;
+  Simulator& sim;
+  Network& net;
+  std::vector<std::unique_ptr<Host>>& hosts;
+  Coordinator& coord;
+  std::uint64_t event_budget = 0;
+
+  Host& coord_host() const { return *hosts[0]; }
+
+  // ---- processor-sharing slices -----------------------------------------
+
+  void ScheduleSlice(Host& host, ClusterProc* p, bool at_setup) {
+    const SimDuration remaining = p->demand - p->consumed;
+    p->slice_len = std::min(config.quantum, remaining);
+    // PS approximation: a slice of CPU `slice_len` finishes after
+    // slice_len x (runnable at schedule time) of wall-clock. Later load
+    // changes do not reshuffle the pending event; the stretch re-evaluates
+    // every quantum, which is plenty at fleet granularity.
+    const SimDuration stretch = p->slice_len * std::max(1, host.runnable);
+    Host* h = &host;
+    ClusterProc* proc = p;
+    const std::uint64_t epoch = p->epoch;
+    auto fire = [this, h, proc, epoch]() { OnSlice(*h, proc, epoch); };
+    if (at_setup) {
+      sim.ScheduleAtHost(host.id, sim.Now() + stretch, std::move(fire));
+    } else {
+      sim.ScheduleAfter(stretch, std::move(fire));
+    }
+  }
+
+  void OnSlice(Host& host, ClusterProc* p, std::uint64_t epoch) {
+    auto it = host.active.find(p->pid);
+    if (it == host.active.end() || it->second.epoch != epoch) {
+      return;  // frozen or completed since this slice was scheduled
+    }
+    p->consumed += p->slice_len;
+    if (p->consumed >= p->demand) {
+      host.active.erase(it);
+      --host.runnable;
+      ++host.completed;
+      p->done = true;
+      const SimDuration sojourn = sim.Now() - p->arrive;
+      host.queueing.push_back(sojourn > p->demand ? sojourn - p->demand
+                                                  : SimDuration{0});
+      return;
+    }
+    MaybePull(host, p);
+    ScheduleSlice(host, p, /*at_setup=*/false);
+  }
+
+  // ---- copy-on-reference page pulls --------------------------------------
+
+  void MaybePull(Host& host, ClusterProc* p) {
+    if (p->owed_pages <= 0 || p->pull_outstanding || p->backing < 0) {
+      return;
+    }
+    if (p->backing == host.index) {
+      // Re-migrated back onto its own backer: the debt is local again.
+      p->owed_pages = 0;
+      p->backing = -1;
+      return;
+    }
+    const std::int64_t batch = std::min(config.pull_batch_pages, p->owed_pages);
+    p->pull_outstanding = true;
+    Host* dest = &host;
+    Host* backer = hosts[static_cast<std::size_t>(p->backing)].get();
+    ClusterProc* proc = p;
+    const ByteCount req_bytes = MigrationCostModel::PullRequestBytes(costs);
+    net.Transmit(host.id, backer->id, req_bytes, TrafficKind::kFaultData,
+                 [this, dest, backer, proc, batch]() {
+                   ServePull(*backer, *dest, proc, batch);
+                 });
+  }
+
+  // Runs on the backer's shard: charge request handling + backer service,
+  // then ship the batch back.
+  void ServePull(Host& backer, Host& dest, ClusterProc* p, std::int64_t batch) {
+    const ByteCount req_bytes = MigrationCostModel::PullRequestBytes(costs);
+    const ByteCount reply_bytes = MigrationCostModel::PullReplyBytes(costs, batch);
+    const SimDuration serve =
+        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, req_bytes), req_bytes) +
+        costs.backer_service;
+    Host* d = &dest;
+    Host* b = &backer;
+    sim.ScheduleAfter(serve, [this, b, d, p, batch, reply_bytes]() {
+      net.Transmit(b->id, d->id, reply_bytes, TrafficKind::kFaultData,
+                   [this, d, p, batch, reply_bytes]() {
+                     const SimDuration handle = NetMsgDeliveryCost(
+                         costs, NetMsgFragmentCount(costs, reply_bytes), reply_bytes);
+                     sim.ScheduleAfter(handle, [this, d, p, batch]() {
+                       p->pull_outstanding = false;
+                       p->owed_pages -= batch;
+                       ++d->pull_batches;
+                       d->pages_pulled += static_cast<std::uint64_t>(batch);
+                       if (p->owed_pages <= 0) {
+                         p->owed_pages = 0;
+                         p->backing = -1;
+                       }
+                     });
+                   });
+    });
+  }
+
+  // ---- arrivals -----------------------------------------------------------
+
+  ClusterProc* SpawnProc(Host& host) {
+    ClusterProc proc;
+    proc.pid = static_cast<std::uint64_t>(host.index) * 10'000'000ull +
+               ++host.next_local_pid;
+    proc.arrive = sim.Now();
+    const double u = host.rng.NextDouble();
+    proc.demand = std::max<SimDuration>(
+        config.quantum,
+        SimDuration(static_cast<std::int64_t>(
+            -std::log(1.0 - u) * config.mean_service_sec * 1e6)));
+    proc.fp.map_entries = static_cast<std::int64_t>(host.rng.NextInRange(
+        static_cast<std::uint64_t>(config.min_map_entries),
+        static_cast<std::uint64_t>(config.max_map_entries)));
+    proc.fp.real_pages = static_cast<std::int64_t>(host.rng.NextInRange(
+        static_cast<std::uint64_t>(config.min_real_pages),
+        static_cast<std::uint64_t>(config.max_real_pages)));
+    // Resident working set: 25% .. 75% of RealMem.
+    proc.fp.resident_pages = static_cast<std::int64_t>(host.rng.NextInRange(
+        static_cast<std::uint64_t>(proc.fp.real_pages / 4),
+        static_cast<std::uint64_t>(proc.fp.real_pages * 3 / 4)));
+    host.arena.push_back(proc);
+    ClusterProc* p = &host.arena.back();
+    host.active[p->pid] = ActiveEntry{p, p->epoch};
+    ++host.runnable;
+    ++host.arrived;
+    return p;
+  }
+
+  void OnArrival(Host& host) {
+    ClusterProc* p = SpawnProc(host);
+    ScheduleSlice(host, p, /*at_setup=*/false);
+  }
+
+  // ---- load reports + balancing ------------------------------------------
+
+  void ApplyReport(int host_index, int runnable) {
+    coord.last_runnable[static_cast<std::size_t>(host_index)] = runnable;
+  }
+
+  void OnReportTick(Host& host) {
+    const int runnable = host.runnable;
+    if (host.index == 0) {
+      ApplyReport(0, runnable);
+      return;
+    }
+    const int index = host.index;
+    net.Transmit(host.id, coord_host().id, 32, TrafficKind::kControl,
+                 [this, index, runnable]() { ApplyReport(index, runnable); });
+  }
+
+  void OnSampleTick() {
+    ++coord.samples;
+    if (coord.hung) {
+      return;
+    }
+    if (event_budget != 0 && sim.events_executed() > event_budget) {
+      coord.hung = true;
+      sim.Stop();
+      return;
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(coord.last_runnable.begin(), coord.last_runnable.end());
+    if (!coord.governor.Observe(*max_it - *min_it)) {
+      return;
+    }
+    // Pick the busiest source and idlest target not already tasked; first
+    // index wins ties so the choice is canonical.
+    int src = -1;
+    int dst = -1;
+    for (std::size_t i = 0; i < coord.last_runnable.size(); ++i) {
+      if (coord.busy[i]) {
+        continue;
+      }
+      if (src < 0 || coord.last_runnable[i] > coord.last_runnable[static_cast<std::size_t>(src)]) {
+        src = static_cast<int>(i);
+      }
+      if (dst < 0 || coord.last_runnable[i] < coord.last_runnable[static_cast<std::size_t>(dst)]) {
+        dst = static_cast<int>(i);
+      }
+    }
+    if (src < 0 || dst < 0 || src == dst ||
+        coord.last_runnable[static_cast<std::size_t>(src)] -
+                coord.last_runnable[static_cast<std::size_t>(dst)] <
+            coord.governor.threshold()) {
+      return;  // pressure sits on already-tasked hosts; keep the streak
+    }
+    coord.busy[static_cast<std::size_t>(src)] = true;
+    coord.busy[static_cast<std::size_t>(dst)] = true;
+    coord.governor.OnMigrationFired();
+    Host* source = hosts[static_cast<std::size_t>(src)].get();
+    Host* target = hosts[static_cast<std::size_t>(dst)].get();
+    if (src == 0) {
+      OnDirective(*source, *target);
+      return;
+    }
+    net.Transmit(coord_host().id, source->id, 48, TrafficKind::kControl,
+                 [this, source, target]() { OnDirective(*source, *target); });
+  }
+
+  void NotifyMigrationDone(int src_index, int dst_index, bool migrated,
+                           Host& reporter) {
+    auto apply = [this, src_index, dst_index, migrated]() {
+      coord.busy[static_cast<std::size_t>(src_index)] = false;
+      coord.busy[static_cast<std::size_t>(dst_index)] = false;
+      if (migrated) {
+        ++coord.completions_seen;
+      }
+    };
+    if (reporter.index == 0) {
+      apply();
+      return;
+    }
+    net.Transmit(reporter.id, coord_host().id, 32, TrafficKind::kControl,
+                 std::move(apply));
+  }
+
+  // ---- migration data plane ----------------------------------------------
+
+  // Runs on the source's shard: pick the cheapest victim by the
+  // dispersal-aware anchor metric and start the transfer.
+  void OnDirective(Host& source, Host& target) {
+    ClusterProc* victim = nullptr;
+    ByteCount best_anchor = 0;
+    for (const auto& [pid, entry] : source.active) {
+      ClusterProc* p = entry.proc;
+      if (p->pull_outstanding) {
+        continue;  // a pull reply is already in flight to this host
+      }
+      const ByteCount anchor =
+          AnchorBytes(static_cast<ByteCount>(p->fp.real_pages) * kPageSize,
+                      static_cast<ByteCount>(p->fp.resident_pages) * kPageSize,
+                      config.policy.dispersal_weight);
+      if (victim == nullptr || anchor < best_anchor) {
+        victim = p;
+        best_anchor = anchor;
+      }
+    }
+    if (victim == nullptr) {
+      ++source.directives_unfilled;
+      NotifyMigrationDone(source.index, target.index, /*migrated=*/false, source);
+      return;
+    }
+    StartMigration(source, target, victim);
+  }
+
+  void StartMigration(Host& source, Host& target, ClusterProc* p) {
+    const SimTime freeze_at = sim.Now();
+    source.active.erase(p->pid);
+    --source.runnable;
+    ++p->epoch;
+    ++source.outbound_started;
+
+    const TransferStrategy strategy = config.policy.strategy;
+    const ByteCount core_bytes =
+        MigrationCostModel::CorePayloadBytes(costs, p->fp.map_entries);
+    const ByteCount rimas_bytes =
+        MigrationCostModel::RimasPayloadBytes(costs, strategy, p->fp);
+    const std::int64_t shipped = MigrationCostModel::ShippedPages(strategy, p->fp);
+    // Chain collapse: debt left from an earlier hop stays owed to the
+    // original backer; a fresh hop owes the new source. One backer always
+    // serves, and the debt never exceeds the address space.
+    const std::int64_t new_owed = MigrationCostModel::OwedPages(strategy, p->fp);
+    const int backing = p->owed_pages > 0 ? p->backing : source.index;
+    const std::int64_t owed = std::max(p->owed_pages, new_owed);
+
+    const SimDuration excise =
+        MigrationCostModel::ExciseCost(costs, p->fp) + costs.migration_control;
+    const SimDuration send_handle =
+        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, core_bytes), core_bytes) +
+        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, rimas_bytes), rimas_bytes);
+
+    Host* src = &source;
+    Host* dst = &target;
+    sim.ScheduleAfter(excise + send_handle, [this, src, dst, p, core_bytes,
+                                             rimas_bytes, shipped, owed, backing,
+                                             freeze_at]() {
+      // Core then RIMAS; the per-source egress port serialises them, so the
+      // RIMAS arrival (which triggers insertion) is always the later one.
+      net.Transmit(src->id, dst->id, core_bytes, TrafficKind::kCoreContext, []() {});
+      net.Transmit(src->id, dst->id, rimas_bytes, TrafficKind::kBulkData,
+                   [this, src, dst, p, core_bytes, rimas_bytes, shipped, owed,
+                    backing, freeze_at]() {
+                     FinishMigration(*src, *dst, p, core_bytes, rimas_bytes,
+                                     shipped, owed, backing, freeze_at);
+                   });
+    });
+  }
+
+  // Runs on the destination's shard once the RIMAS has fully arrived.
+  void FinishMigration(Host& source, Host& target, ClusterProc* p,
+                       ByteCount core_bytes, ByteCount rimas_bytes,
+                       std::int64_t shipped, std::int64_t owed, int backing,
+                       SimTime freeze_at) {
+    const SimDuration recv_handle =
+        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, core_bytes), core_bytes) +
+        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, rimas_bytes), rimas_bytes) +
+        costs.migration_rimas_handling;
+    const SimDuration insert =
+        MigrationCostModel::InsertCost(costs, p->fp.map_entries, shipped);
+    Host* src = &source;
+    Host* dst = &target;
+    sim.ScheduleAfter(recv_handle + insert, [this, src, dst, p, owed, backing,
+                                             freeze_at]() {
+      p->owed_pages = owed;
+      p->backing = owed > 0 ? backing : -1;
+      dst->active[p->pid] = ActiveEntry{p, p->epoch};
+      ++dst->runnable;
+      ++dst->inbound_landed;
+      ++dst->migrations_completed;
+      dst->downtimes.push_back(sim.Now() - freeze_at);
+      NotifyMigrationDone(src->index, dst->index, /*migrated=*/true, *dst);
+      MaybePull(*dst, p);
+      ScheduleSlice(*dst, p, /*at_setup=*/false);
+    });
+  }
+
+  // ---- steady-state detection --------------------------------------------
+
+  void OnSteadyTick() {
+    double total = 0.0;
+    for (int runnable : coord.last_runnable) {
+      total += runnable;
+    }
+    coord.window_means.push_back(total);
+    if (coord.steady ||
+        coord.window_means.size() < static_cast<std::size_t>(config.steady_windows)) {
+      return;
+    }
+    const std::size_t n = coord.window_means.size();
+    for (std::size_t i = n - static_cast<std::size_t>(config.steady_windows) + 1;
+         i < n; ++i) {
+      const double prev = coord.window_means[i - 1];
+      const double cur = coord.window_means[i];
+      if (std::abs(cur - prev) > config.steady_tolerance * std::max(1.0, prev)) {
+        return;
+      }
+    }
+    coord.steady = true;
+    coord.steady_at = sim.Now();
+    coord.completions_at_steady = coord.completions_seen;
+  }
+};
+
+SimDuration Percentile(std::vector<SimDuration>& values, double q) {
+  if (values.empty()) {
+    return SimDuration{0};
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t index = static_cast<std::size_t>(pos + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+std::uint64_t AutoEventBudget(const ClusterConfig& config) {
+  // Generous ceiling: slices (one per quantum of demanded CPU), arrivals,
+  // reports, samples, pulls and migration control traffic all together stay
+  // well under (expected slice count) x safety factor.
+  const double procs = static_cast<double>(config.host_count) *
+                       (static_cast<double>(config.initial_processes_per_host) +
+                        config.arrivals_per_host_per_sec * ToSeconds(config.duration));
+  const double slices = static_cast<double>(config.host_count) *
+                        ToSeconds(config.duration) / ToSeconds(config.quantum);
+  const double ticks = static_cast<double>(config.host_count) *
+                       ToSeconds(config.duration) / ToSeconds(config.report_period);
+  const double budget = 64.0 * (procs + slices + ticks) + 1e6;
+  return static_cast<std::uint64_t>(budget);
+}
+
+}  // namespace
+
+int SimShardCount() { return EnvInt("ACCENT_SIM_SHARDS", 1, 1, 64); }
+
+int SimShardThreadCount() { return EnvInt("ACCENT_SIM_SHARD_THREADS", 1, 0, 64); }
+
+ClusterResult RunClusterTrial(const ClusterConfig& config) {
+  ACCENT_EXPECTS(config.host_count >= 2);
+  ACCENT_EXPECTS(config.duration > SimDuration::zero());
+  ACCENT_EXPECTS(config.quantum > SimDuration::zero());
+  ACCENT_EXPECTS(config.pull_batch_pages >= 1);
+
+  ClusterResult result;
+  result.config = config;
+  const int shards = config.shards > 0 ? config.shards : SimShardCount();
+
+  const CostTable& costs = PerqCosts();
+  Simulator sim;
+  // Every cluster trial runs the windowed engine — shards == 1 included —
+  // so cross-host arrivals always merge in the canonical inbox order and
+  // results never depend on the shard count.
+  sim.ConfigureShards(shards, costs.wire_latency);
+  sim.set_shard_threads(config.shard_threads);
+  Network net(&sim, &costs, /*recorder=*/nullptr);
+  net.ConfigureSwitched(config.host_count);
+
+  std::vector<std::unique_ptr<Host>> hosts;
+  hosts.reserve(static_cast<std::size_t>(config.host_count));
+  Rng root(config.seed);
+  for (int i = 0; i < config.host_count; ++i) {
+    auto host = std::make_unique<Host>();
+    host->index = i;
+    host->id = HostId(static_cast<std::uint64_t>(i + 1));
+    host->rng = root.Fork(static_cast<std::uint64_t>(i + 1));
+    sim.AssignHostShard(host->id, i % shards);
+    hosts.push_back(std::move(host));
+  }
+
+  Coordinator coord;
+  coord.governor = ImbalanceGovernor(config.policy.imbalance_threshold,
+                                     config.policy.hysteresis);
+  coord.last_runnable.assign(static_cast<std::size_t>(config.host_count), 0);
+  coord.busy.assign(static_cast<std::size_t>(config.host_count), false);
+
+  Trial trial{config, costs, sim, net, hosts, coord};
+  trial.event_budget = config.max_events != 0 ? config.max_events : AutoEventBudget(config);
+
+  // --- setup (serial; every schedule goes through ScheduleAtHost) ---------
+  for (auto& host_ptr : hosts) {
+    Host& host = *host_ptr;
+    // Poisson arrival times for the whole run, pre-scheduled. Besides being
+    // simple, this keeps thousands of future events resident in the heaps,
+    // which is exactly the load the sharded engine is built to split.
+    std::vector<SimTime> arrivals;
+    SimTime t{0};
+    while (true) {
+      const double u = host.rng.NextDouble();
+      t += SimDuration(static_cast<std::int64_t>(
+          -std::log(1.0 - u) / config.arrivals_per_host_per_sec * 1e6));
+      if (t >= config.duration) {
+        break;
+      }
+      arrivals.push_back(t);
+    }
+    Host* h = &host;
+    for (SimTime when : arrivals) {
+      sim.ScheduleAtHost(host.id, when, [&trial, h]() { trial.OnArrival(*h); });
+    }
+    for (SimTime when = config.report_period; when < config.duration;
+         when += config.report_period) {
+      sim.ScheduleAtHost(host.id, when, [&trial, h]() { trial.OnReportTick(*h); });
+    }
+    for (int i = 0; i < config.initial_processes_per_host; ++i) {
+      trial.SpawnProc(host);
+    }
+  }
+  // Initial slices are scheduled only once every initial process is
+  // resident, so the first PS stretch sees the true initial load.
+  for (auto& host_ptr : hosts) {
+    Host& host = *host_ptr;
+    for (auto& [pid, entry] : host.active) {
+      trial.ScheduleSlice(host, entry.proc, /*at_setup=*/true);
+    }
+  }
+  for (SimTime when = config.policy.sample_period; when < config.duration;
+       when += config.policy.sample_period) {
+    sim.ScheduleAtHost(hosts[0]->id, when, [&trial]() { trial.OnSampleTick(); });
+  }
+  for (SimTime when = config.steady_window; when < config.duration;
+       when += config.steady_window) {
+    sim.ScheduleAtHost(hosts[0]->id, when, [&trial]() { trial.OnSteadyTick(); });
+  }
+
+  // --- run -----------------------------------------------------------------
+  sim.RunUntil(config.duration);
+  result.hung = coord.hung;
+  if (result.hung) {
+    ACCENT_LOG(kError) << "cluster: watchdog tripped after " << sim.events_executed()
+                      << " events (budget " << trial.event_budget << ")";
+    const std::vector<std::size_t> by_shard = sim.PendingEventsByShard();
+    for (std::size_t i = 0; i < by_shard.size(); ++i) {
+      ACCENT_LOG(kError) << "cluster:   shard " << i << " pending " << by_shard[i];
+    }
+    for (SimTime when : sim.PendingEventTimes(8)) {
+      ACCENT_LOG(kError) << "cluster:   next pending event at " << when.count() << "us";
+    }
+  }
+
+  // --- aggregate (hosts in index order: canonical) -------------------------
+  std::vector<SimDuration> queueing;
+  std::vector<SimDuration> downtimes;
+  for (const auto& host_ptr : hosts) {
+    const Host& host = *host_ptr;
+    result.arrived += host.arrived;
+    result.completed += host.completed;
+    result.resident_end += host.active.size();
+    result.outbound_started += host.outbound_started;
+    result.inbound_landed += host.inbound_landed;
+    result.migrations_started += host.outbound_started;
+    result.migrations_completed += host.migrations_completed;
+    result.directives_unfilled += host.directives_unfilled;
+    result.pull_batches += host.pull_batches;
+    result.pages_pulled += host.pages_pulled;
+    queueing.insert(queueing.end(), host.queueing.begin(), host.queueing.end());
+    downtimes.insert(downtimes.end(), host.downtimes.begin(), host.downtimes.end());
+  }
+  result.census_ok =
+      result.arrived == result.completed + result.resident_end +
+                            (result.outbound_started - result.inbound_landed);
+  result.queueing_p50 = Percentile(queueing, 0.50);
+  result.queueing_p99 = Percentile(queueing, 0.99);
+  result.downtime_p50 = Percentile(downtimes, 0.50);
+  result.downtime_p99 = Percentile(downtimes, 0.99);
+
+  result.steady_detected = coord.steady;
+  // Fallback measurement window when steadiness was never declared: the
+  // back half of the run.
+  const SimTime steady_from =
+      coord.steady ? coord.steady_at : SimTime(config.duration.count() / 2);
+  result.steady_at = steady_from;
+  const std::uint64_t completions_from =
+      coord.steady ? coord.completions_at_steady
+                   : coord.completions_seen - std::min(coord.completions_seen,
+                                                       coord.completions_seen / 2);
+  const double window_sec = ToSeconds(config.duration - steady_from);
+  result.steady_migrations_per_sec =
+      window_sec > 0.0
+          ? static_cast<double>(coord.completions_seen - completions_from) / window_sec
+          : 0.0;
+
+  result.events_executed = sim.events_executed();
+  result.transmissions = net.transmissions();
+  result.wire_bytes = net.bytes_carried();
+  result.samples_taken = coord.samples;
+  return result;
+}
+
+Json ClusterResultToJson(const ClusterResult& result) {
+  const ClusterConfig& config = result.config;
+  Json policy = Json::Object{};
+  policy["sample_period_us"] = Json(static_cast<std::int64_t>(config.policy.sample_period.count()));
+  policy["imbalance_threshold"] = Json(config.policy.imbalance_threshold);
+  policy["hysteresis"] = Json(config.policy.hysteresis);
+  policy["dispersal_weight"] = Json(config.policy.dispersal_weight);
+  policy["strategy"] = Json(StrategyName(config.policy.strategy));
+
+  Json json = Json::Object{};
+  json["hosts"] = Json(config.host_count);
+  json["seed"] = Json(config.seed);
+  json["duration_us"] = Json(static_cast<std::int64_t>(config.duration.count()));
+  json["initial_processes_per_host"] = Json(config.initial_processes_per_host);
+  json["arrivals_per_host_per_sec"] = Json(config.arrivals_per_host_per_sec);
+  json["mean_service_sec"] = Json(config.mean_service_sec);
+  json["policy"] = std::move(policy);
+
+  json["arrived"] = Json(result.arrived);
+  json["completed"] = Json(result.completed);
+  json["resident_end"] = Json(result.resident_end);
+  json["outbound_started"] = Json(result.outbound_started);
+  json["inbound_landed"] = Json(result.inbound_landed);
+  json["census_ok"] = Json(result.census_ok);
+
+  json["migrations_started"] = Json(result.migrations_started);
+  json["migrations_completed"] = Json(result.migrations_completed);
+  json["directives_unfilled"] = Json(result.directives_unfilled);
+  json["pull_batches"] = Json(result.pull_batches);
+  json["pages_pulled"] = Json(result.pages_pulled);
+
+  json["queueing_p50_us"] = Json(static_cast<std::int64_t>(result.queueing_p50.count()));
+  json["queueing_p99_us"] = Json(static_cast<std::int64_t>(result.queueing_p99.count()));
+  json["downtime_p50_us"] = Json(static_cast<std::int64_t>(result.downtime_p50.count()));
+  json["downtime_p99_us"] = Json(static_cast<std::int64_t>(result.downtime_p99.count()));
+
+  json["steady_detected"] = Json(result.steady_detected);
+  json["steady_at_us"] = Json(static_cast<std::int64_t>(result.steady_at.count()));
+  json["steady_migrations_per_sec"] = Json(result.steady_migrations_per_sec);
+
+  json["events_executed"] = Json(result.events_executed);
+  json["transmissions"] = Json(result.transmissions);
+  json["wire_bytes"] = Json(result.wire_bytes);
+  json["samples_taken"] = Json(result.samples_taken);
+  json["hung"] = Json(result.hung);
+  return json;
+}
+
+}  // namespace accent

@@ -1,0 +1,148 @@
+// Fleet-scale cluster trials: the ROADMAP's datacenter-row north star.
+//
+// The paper migrates one process between two Perqs; this layer simulates
+// N hosts (a switched row, Network::ConfigureSwitched) under continuous
+// churn — Poisson process arrivals with exponential service demands — and
+// lets a balancer drive migrations for the whole run instead of firing one
+// and stopping. Hosts are modelled at fleet granularity: a process is a
+// CPU demand plus a MigrationCostModel::Footprint, scheduled by a
+// processor-sharing approximation (each resident process holds one pending
+// quantum-slice event whose length stretches with the host's runnable
+// count). Migration costs, payload sizes and the copy-on-reference debt
+// all come from the same calibrated formulas the two-Perq testbed charges
+// (src/migration/cost_model.h), so the fleet inherits the paper's numbers.
+//
+// Control plane: host index 0 doubles as the balancer coordinator. Every
+// host ships periodic load reports over the wire (kControl); the
+// coordinator applies the shared ImbalanceGovernor (threshold +
+// hysteresis) to the freshest spread, picks the busiest source and idlest
+// target it has not already tasked, and sends the source a migration
+// directive. The source picks its cheapest victim by the dispersal-aware
+// AnchorBytes metric, freezes it, excises, ships Core + RIMAS, and the
+// destination inserts and reports completion. IOU strategies leave owed
+// pages behind, repaid lazily in fixed page-pull batches (kFaultData
+// request/reply) while the process runs at its new home.
+//
+// Determinism: every stochastic draw flows through per-host Rng streams,
+// all cross-host interaction rides Network::Transmit (and therefore the
+// canonical cross-shard merge order), per-host state is touched only by
+// the owning shard, and end-of-run aggregation walks hosts in index
+// order. A trial's ClusterResult — and its canonical JSON — is therefore
+// byte-identical for any shard count and any worker-thread count; the
+// shard knobs are deliberately excluded from the JSON so the equality can
+// be asserted literally (tests/parallel_sweep_test.cc does).
+#ifndef SRC_EXPERIMENTS_CLUSTER_H_
+#define SRC_EXPERIMENTS_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/types.h"
+#include "src/migration/strategy.h"
+#include "src/policy/load_balancer.h"
+
+namespace accent {
+
+struct ClusterConfig {
+  int host_count = 24;
+  std::uint64_t seed = 42;
+  SimDuration duration = Sec(120.0);
+
+  // Sharding knobs. They select the execution engine, never the result:
+  // trial output is byte-identical across both. shards <= 0 reads
+  // ACCENT_SIM_SHARDS (default 1); shard_threads 0 = auto.
+  int shards = 0;
+  int shard_threads = 1;
+
+  // Workload churn. Each host starts with `initial_processes_per_host`
+  // and receives a Poisson stream of arrivals; demands are exponential.
+  int initial_processes_per_host = 4;
+  double arrivals_per_host_per_sec = 0.25;
+  double mean_service_sec = 20.0;
+  SimDuration quantum = Ms(40);
+
+  // Footprint distribution (uniform draws per process).
+  std::int64_t min_real_pages = 64;
+  std::int64_t max_real_pages = 1024;
+  std::int64_t min_map_entries = 8;
+  std::int64_t max_map_entries = 40;
+
+  // Control plane.
+  SimDuration report_period = Sec(1.0);
+  PolicyConfig policy;
+  std::int64_t pull_batch_pages = 16;
+
+  // Steady-state detection: consecutive `steady_windows` windows of
+  // `steady_window` whose mean total-runnable drifts by <= steady_tolerance
+  // (relative) mark the fleet steady; throughput is measured from there.
+  SimDuration steady_window = Sec(10.0);
+  int steady_windows = 3;
+  double steady_tolerance = 0.15;
+
+  // Hang watchdog: the trial aborts (hung = true) once this many events
+  // execute. 0 derives a generous budget from the configuration.
+  std::uint64_t max_events = 0;
+};
+
+struct ClusterResult {
+  ClusterConfig config;
+
+  // Census. arrived = initial + churn arrivals; the books balance when
+  // arrived == completed + resident_end + migrations still in flight
+  // (outbound_started - inbound_landed).
+  std::uint64_t arrived = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t resident_end = 0;
+  std::uint64_t outbound_started = 0;
+  std::uint64_t inbound_landed = 0;
+  bool census_ok = false;
+
+  // Migration data plane.
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t directives_unfilled = 0;  // source had no eligible victim
+  std::uint64_t pull_batches = 0;
+  std::uint64_t pages_pulled = 0;
+
+  // Latency tails (microseconds of simulated time).
+  SimDuration queueing_p50{0};  // completion sojourn minus CPU demand
+  SimDuration queueing_p99{0};
+  SimDuration downtime_p50{0};  // migration freeze -> resume window
+  SimDuration downtime_p99{0};
+
+  // Steady state + throughput.
+  bool steady_detected = false;
+  SimTime steady_at{0};
+  double steady_migrations_per_sec = 0.0;
+
+  // Engine counters — identical across shard counts by construction, so
+  // they double as determinism checks.
+  std::uint64_t events_executed = 0;
+  std::uint64_t transmissions = 0;
+  ByteCount wire_bytes = 0;
+  std::uint64_t samples_taken = 0;
+
+  bool hung = false;
+};
+
+// Shard count for cluster trials: ACCENT_SIM_SHARDS if set (clamped to
+// [1, 64]), else 1.
+int SimShardCount();
+
+// Worker threads for shard windows: ACCENT_SIM_SHARD_THREADS if set,
+// else 1 (single-core boxes win via smaller per-shard heaps, not threads).
+int SimShardThreadCount();
+
+// Runs one fleet trial to completion (or its watchdog budget).
+ClusterResult RunClusterTrial(const ClusterConfig& config);
+
+// Canonical JSON for one trial. Excludes the shard/thread knobs and any
+// wall-clock quantity on purpose: two runs of the same config at different
+// shard counts must serialise byte-identically.
+Json ClusterResultToJson(const ClusterResult& result);
+
+}  // namespace accent
+
+#endif  // SRC_EXPERIMENTS_CLUSTER_H_

@@ -1,0 +1,101 @@
+// Analytic mirror of the migration cost formulas.
+//
+// The mechanistic testbed (src/proc/excise.cc, migration_manager.cc)
+// charges excision, insertion and payload costs event by event against a
+// fully-materialised AddressSpace. The fleet-scale cluster layer
+// (src/experiments/cluster.cc) simulates hundreds of hosts and thousands
+// of processes, where materialising every address space would drown the
+// point of the experiment; it instead describes each process by a small
+// Footprint and charges the *same formulas* through these helpers. Keeping
+// the arithmetic in one place ties the fleet model to the calibrated
+// two-Perq one: a constant retuned in costs.h moves both.
+#ifndef SRC_MIGRATION_COST_MODEL_H_
+#define SRC_MIGRATION_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/host/costs.h"
+#include "src/migration/strategy.h"
+
+namespace accent {
+
+struct MigrationCostModel {
+  // What the formulas need to know about one process's address space.
+  struct Footprint {
+    std::int64_t map_entries = 0;     // validated regions
+    std::int64_t real_pages = 0;      // RealMem pages (memory or disk)
+    std::int64_t resident_pages = 0;  // the in-core working set
+  };
+
+  // Excision: AMap construction + RIMAS collapse + port/PCB packaging
+  // (the three phases of ExciseProcess, summed).
+  static SimDuration ExciseCost(const CostTable& costs, const Footprint& fp) {
+    const SimDuration amap = costs.amap_base +
+                             costs.amap_per_map_entry * fp.map_entries +
+                             costs.amap_per_real_page * fp.real_pages;
+    const SimDuration rimas = costs.rimas_base +
+                              costs.rimas_per_map_entry * fp.map_entries +
+                              costs.rimas_per_resident_page * fp.resident_pages;
+    return amap + rimas + costs.excise_other;
+  }
+
+  // Insertion at the destination; `data_pages` is the count shipped
+  // physically in the RIMAS (InsertProcess charges only those).
+  static SimDuration InsertCost(const CostTable& costs, std::int64_t map_entries,
+                                std::int64_t data_pages) {
+    return costs.insert_base + costs.insert_per_map_entry * map_entries +
+           costs.insert_per_resident_page * data_pages;
+  }
+
+  // Pages a strategy ships physically in the RIMAS; the rest ride as IOUs.
+  static std::int64_t ShippedPages(TransferStrategy strategy, const Footprint& fp) {
+    switch (strategy) {
+      case TransferStrategy::kPureCopy:
+        return fp.real_pages;
+      case TransferStrategy::kPureIou:
+        return 0;
+      case TransferStrategy::kResidentSet:
+        return fp.resident_pages < fp.real_pages ? fp.resident_pages : fp.real_pages;
+    }
+    return 0;
+  }
+
+  // Pages owed after the transfer — the copy-on-reference debt repaid by
+  // later page pulls.
+  static std::int64_t OwedPages(TransferStrategy strategy, const Footprint& fp) {
+    return fp.real_pages - ShippedPages(strategy, fp);
+  }
+
+  // Wire size of the Core message: microstate/PCB context plus the eagerly
+  // shipped AMap.
+  static ByteCount CorePayloadBytes(const CostTable& costs, std::int64_t map_entries) {
+    return costs.core_context_bytes +
+           costs.amap_entry_bytes * static_cast<ByteCount>(map_entries);
+  }
+
+  // Wire size of the RIMAS message: shipped page bytes plus one
+  // consolidated IOU descriptor whenever any memory is owed.
+  static ByteCount RimasPayloadBytes(const CostTable& costs, TransferStrategy strategy,
+                                     const Footprint& fp) {
+    const std::int64_t shipped = ShippedPages(strategy, fp);
+    ByteCount bytes = static_cast<ByteCount>(shipped) * kPageSize;
+    if (OwedPages(strategy, fp) > 0) {
+      bytes += costs.iou_descriptor_bytes;
+    }
+    return bytes;
+  }
+
+  // Page-pull protocol sizes (the kFaultData request/reply pair a batch of
+  // owed pages rides on).
+  static ByteCount PullRequestBytes(const CostTable& costs) {
+    return costs.fault_request_bytes;
+  }
+  static ByteCount PullReplyBytes(const CostTable& costs, std::int64_t pages) {
+    return costs.fault_reply_header_bytes + static_cast<ByteCount>(pages) * kPageSize;
+  }
+};
+
+}  // namespace accent
+
+#endif  // SRC_MIGRATION_COST_MODEL_H_

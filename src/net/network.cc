@@ -6,19 +6,50 @@
 
 namespace accent {
 
+void Network::ConfigureSwitched(int host_count) {
+  ACCENT_EXPECTS(host_count >= 1);
+  ACCENT_CHECK(fault_ == nullptr)
+      << " the switched fabric models a reliable datacenter row";
+  ACCENT_CHECK(transmissions() == 0) << " switch wire models before traffic";
+  model_ = WireModel::kSwitched;
+  egress_busy_until_.assign(static_cast<std::size_t>(host_count), SimTime{0});
+}
+
 void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind,
                        std::function<void()> deliver) {
   ACCENT_EXPECTS(from != to) << " loopback transmissions never touch the wire";
   ACCENT_EXPECTS(deliver != nullptr);
 
-  ++transmissions_;
-  bytes_carried_ += bytes;
+  transmissions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_carried_.fetch_add(bytes, std::memory_order_relaxed);
   if (recorder_ != nullptr) {
     recorder_->Record(kind, bytes);
   }
 
   const auto serialize = SimDuration(static_cast<std::int64_t>(
       static_cast<double>(bytes) / costs_.wire_bytes_per_sec * 1e6));
+
+  if (model_ == WireModel::kSwitched) {
+    // Private egress port: only the transmitting host's shard reaches this
+    // slot, so the read-modify-write below is single-threaded by design.
+    ACCENT_CHECK(from.value >= 1 && from.value <= egress_busy_until_.size())
+        << " host " << from << " has no egress port";
+    SimTime& busy = egress_busy_until_[static_cast<std::size_t>(from.value - 1)];
+    const SimTime start = std::max(sim_.Now(), busy);
+    busy = start + serialize;
+    const SimTime arrival = busy + costs_.wire_latency;
+    if (Tracer* tracer = sim_.tracer()) {
+      tracer->Complete(from, TraceLane::kWire, "wire:tx", start, arrival - start,
+                       {{"to", Json(to.value)},
+                        {"bytes", Json(bytes)},
+                        {"kind", Json(TrafficKindName(kind))}});
+    }
+    // The only cross-shard edge in a sharded run; falls back to a plain
+    // ScheduleAt under the serial loop.
+    sim_.ScheduleCross(from, to, arrival, std::move(deliver));
+    return;
+  }
+
   const SimTime start = std::max(sim_.Now(), wire_busy_until_);
   wire_busy_until_ = start + serialize;
   const SimTime arrival = wire_busy_until_ + costs_.wire_latency;
@@ -56,7 +87,7 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
     }
   }
   if (verdict.lost) {
-    ++deliveries_lost_;
+    deliveries_lost_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   auto shared_deliver =
@@ -71,7 +102,7 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
     if (shared_deliver != nullptr) {
       sim_.ScheduleAt(when, [this, fault, to, when, shared_deliver]() {
         if (fault->HostDown(to, when)) {
-          ++deliveries_lost_;
+          deliveries_lost_.fetch_add(1, std::memory_order_relaxed);
           if (Tracer* tracer = sim_.tracer()) {
             tracer->Instant(to, TraceLane::kWire, "fault:dead-receiver", when);
           }
@@ -82,7 +113,7 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
     } else {
       sim_.ScheduleAt(when, [this, fault, to, when, deliver = std::move(deliver)]() {
         if (fault->HostDown(to, when)) {
-          ++deliveries_lost_;
+          deliveries_lost_.fetch_add(1, std::memory_order_relaxed);
           if (Tracer* tracer = sim_.tracer()) {
             tracer->Instant(to, TraceLane::kWire, "fault:dead-receiver", when);
           }

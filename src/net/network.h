@@ -1,15 +1,28 @@
-// Shared-medium network fabric (the testbed's 10 Mbit Ethernet).
+// Network fabric, in two wire models.
 //
-// The wire serialises transmissions FCFS at `wire_bytes_per_sec` and adds a
-// fixed propagation+driver latency. CPU costs of handling messages belong to
-// the NetMsgServers (src/netmsg) — the wire itself is fast; the paper's
-// bottleneck is software, and the model keeps those costs separate on
-// purpose so ablations can vary them independently.
+//  * kSharedBus (default): the testbed's 10 Mbit Ethernet. One shared
+//    medium serialises transmissions FCFS at `wire_bytes_per_sec` and adds
+//    a fixed propagation+driver latency. Exactly the paper's environment;
+//    every two-Perq trial and the golden digest run through this path.
+//
+//  * kSwitched: a datacenter-row switch. Each host owns a private egress
+//    port serialising its own transmissions; ports never contend with each
+//    other. Because egress state is touched only by the transmitting
+//    host's shard and deliveries ride Simulator::ScheduleCross, this model
+//    is safe (and deterministic) under the sharded event loop — it is the
+//    only cross-shard edge a fleet-scale cluster trial has.
+//
+// CPU costs of handling messages belong to the NetMsgServers (src/netmsg)
+// — the wire itself is fast; the paper's bottleneck is software, and the
+// model keeps those costs separate on purpose so ablations can vary them
+// independently.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/base/types.h"
 #include "src/host/costs.h"
@@ -18,6 +31,11 @@
 #include "src/sim/simulator.h"
 
 namespace accent {
+
+enum class WireModel : int {
+  kSharedBus = 0,  // one medium, FCFS — the paper's Ethernet
+  kSwitched = 1,   // per-host egress ports — the datacenter row
+};
 
 class Network {
  public:
@@ -35,27 +53,53 @@ class Network {
   void Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind,
                 std::function<void()> deliver);
 
+  // Switches to the kSwitched wire model with `host_count` egress ports.
+  // Hosts must carry the dense ids 1..host_count (the Testbed/cluster
+  // convention). Call before any transmission; incompatible with fault
+  // injection (the switched fabric models a reliable datacenter row), and
+  // a sharded multi-worker run additionally requires a null recorder —
+  // TrafficRecorder is not thread-safe; fleet trials do their own
+  // per-host byte accounting instead.
+  void ConfigureSwitched(int host_count);
+  WireModel wire_model() const { return model_; }
+
   // Attaches a fault injector consulted once per transmission. Null (the
   // default) keeps the wire perfectly reliable and the event schedule
   // bit-identical to the injector-free build; deliveries to a host inside a
   // crash window are additionally discarded at arrival time.
-  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  void set_fault_injector(FaultInjector* injector) {
+    ACCENT_EXPECTS(injector == nullptr || model_ == WireModel::kSharedBus);
+    fault_ = injector;
+  }
   FaultInjector* fault_injector() const { return fault_; }
 
-  std::uint64_t transmissions() const { return transmissions_; }
-  ByteCount bytes_carried() const { return bytes_carried_; }
-  std::uint64_t deliveries_lost() const { return deliveries_lost_; }
+  std::uint64_t transmissions() const {
+    return transmissions_.load(std::memory_order_relaxed);
+  }
+  ByteCount bytes_carried() const {
+    return bytes_carried_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deliveries_lost() const {
+    return deliveries_lost_.load(std::memory_order_relaxed);
+  }
   TrafficRecorder* recorder() const { return recorder_; }
 
  private:
   Simulator& sim_;
   const CostTable& costs_;
-  TrafficRecorder* recorder_;  // may be null (micro tests)
+  TrafficRecorder* recorder_;  // may be null (micro tests, fleet trials)
   FaultInjector* fault_ = nullptr;  // may be null (reliable wire)
+  WireModel model_ = WireModel::kSharedBus;
   SimTime wire_busy_until_{0};
-  std::uint64_t transmissions_ = 0;
-  ByteCount bytes_carried_ = 0;
-  std::uint64_t deliveries_lost_ = 0;  // dropped, blocked, or dead on arrival
+  // kSwitched: per-host egress availability, indexed by host id - 1. Each
+  // slot is written only by the owning host's shard, so the vector needs
+  // no lock under the sharded loop (it is sized once, up front).
+  std::vector<SimTime> egress_busy_until_;
+  // Totals are relaxed atomics so switched-mode shards can share them; the
+  // sums are order-independent, keeping results deterministic.
+  std::atomic<std::uint64_t> transmissions_{0};
+  std::atomic<ByteCount> bytes_carried_{0};
+  std::atomic<std::uint64_t> deliveries_lost_{0};  // dropped, blocked, dead on arrival
 };
 
 }  // namespace accent

@@ -7,6 +7,18 @@
 
 namespace accent {
 
+std::uint64_t NetMsgFragmentCount(const CostTable& costs, ByteCount wire_bytes) {
+  const ByteCount frag_payload = costs.netmsg_fragment_bytes;
+  return std::max<std::uint64_t>(1, (wire_bytes + frag_payload - 1) / frag_payload);
+}
+
+SimDuration NetMsgDeliveryCost(const CostTable& costs, std::uint64_t fragments,
+                               ByteCount bytes) {
+  return costs.netmsg_per_message +
+         costs.netmsg_per_fragment * static_cast<std::int64_t>(fragments) +
+         costs.netmsg_per_byte * static_cast<std::int64_t>(bytes);
+}
+
 void NetMsgDirectory::Register(HostId host, NetMsgServer* server) {
   ACCENT_EXPECTS(server != nullptr);
   ACCENT_EXPECTS(servers_.count(host.value) == 0) << " duplicate NetMsgServer on " << host;
@@ -133,7 +145,7 @@ void NetMsgServer::ForwardToRemote(HostId dest_host, Message msg) {
 
   const ByteCount wire = msg.WireSize(costs_);
   const ByteCount frag_payload = costs_.netmsg_fragment_bytes;
-  const std::uint64_t fragments = std::max<std::uint64_t>(1, (wire + frag_payload - 1) / frag_payload);
+  const std::uint64_t fragments = NetMsgFragmentCount(costs_, wire);
 
   if (Tracer* tracer = sim_.tracer()) {
     tracer->Instant(host_, TraceLane::kNetMsg, "netmsg:forward", sim_.Now(),
@@ -220,9 +232,7 @@ void NetMsgServer::OnFragmentArrived(std::uint64_t transfer, ByteCount bytes,
   // The whole message has arrived: charge this node's handling in one piece
   // and deliver.
   const SimDuration handle =
-      costs_.netmsg_per_message +
-      costs_.netmsg_per_fragment * static_cast<std::int64_t>(assembly.fragments) +
-      costs_.netmsg_per_byte * static_cast<std::int64_t>(assembly.bytes);
+      NetMsgDeliveryCost(costs_, assembly.fragments, assembly.bytes);
   reassembly_.erase(transfer);
   ++stats_.messages_delivered;
   const CpuPriority priority =
@@ -241,8 +251,7 @@ void NetMsgServer::OnFragmentArrived(std::uint64_t transfer, ByteCount bytes,
 void NetMsgServer::ForwardReliable(NetMsgServer* peer, Message msg, CpuPriority priority) {
   const ByteCount wire = msg.WireSize(costs_);
   const ByteCount frag_payload = costs_.netmsg_fragment_bytes;
-  const std::uint64_t fragments =
-      std::max<std::uint64_t>(1, (wire + frag_payload - 1) / frag_payload);
+  const std::uint64_t fragments = NetMsgFragmentCount(costs_, wire);
 
   auto transfer = std::make_shared<OutboundTransfer>();
   transfer->kind = msg.traffic;
@@ -362,10 +371,7 @@ void NetMsgServer::OnReliableFragment(NetMsgServer* sender,
   transfer->delivered = true;
   Message msg = std::move(transfer->msg);
   ++stats_.messages_delivered;
-  const SimDuration handle =
-      costs_.netmsg_per_message +
-      costs_.netmsg_per_fragment * static_cast<std::int64_t>(fragments) +
-      costs_.netmsg_per_byte * static_cast<std::int64_t>(total_bytes);
+  const SimDuration handle = NetMsgDeliveryCost(costs_, fragments, total_bytes);
   const CpuPriority priority =
       costs_.fault_priority_lane && msg.traffic == TrafficKind::kFaultData
           ? CpuPriority::kHigh

@@ -53,6 +53,18 @@ class NetMsgDirectory {
   std::map<std::uint64_t, NetMsgServer*> servers_;
 };
 
+// Number of wire fragments a message of `wire_bytes` is carved into —
+// ceil(wire / netmsg_fragment_bytes), never zero (headers ride a fragment
+// even for empty messages).
+std::uint64_t NetMsgFragmentCount(const CostTable& costs, ByteCount wire_bytes);
+
+// CPU charged for handling a complete message of `fragments` fragments
+// totalling `bytes`: the per-message protocol work plus per-fragment and
+// per-byte costs. Both delivery paths (fire-and-forget and reliable) and
+// the cluster model's analytic delivery charge use this one formula.
+SimDuration NetMsgDeliveryCost(const CostTable& costs, std::uint64_t fragments,
+                               ByteCount bytes);
+
 struct NetMsgStats {
   std::uint64_t messages_forwarded = 0;
   std::uint64_t fragments_sent = 0;

@@ -6,12 +6,18 @@
 
 namespace accent {
 
+ByteCount AnchorBytes(ByteCount real_bytes, ByteCount resident_bytes,
+                      double dispersal_weight) {
+  return real_bytes +
+         static_cast<ByteCount>(dispersal_weight * static_cast<double>(resident_bytes));
+}
+
 LoadBalancerPolicy::LoadBalancerPolicy(Simulator* sim, const PolicyConfig& config)
-    : sim_(*sim), config_(config) {
+    : sim_(*sim),
+      config_(config),
+      governor_(config.imbalance_threshold, config.hysteresis) {
   ACCENT_EXPECTS(sim != nullptr);
   ACCENT_EXPECTS(config.sample_period > SimDuration::zero());
-  ACCENT_EXPECTS(config.imbalance_threshold >= 1);
-  ACCENT_EXPECTS(config.hysteresis >= 0);
   ACCENT_EXPECTS(config.dispersal_weight >= 0.0);
 }
 
@@ -73,8 +79,7 @@ ByteCount LoadBalancerPolicy::LocalAnchorBytes(const Process& process,
   // of their RealMem contribution (1.0 = double, the historical default).
   const ByteCount resident =
       process.env()->memory->ResidentCount(space.id()) * kPageSize;
-  return space.RealBytes() +
-         static_cast<ByteCount>(dispersal_weight * static_cast<double>(resident));
+  return AnchorBytes(space.RealBytes(), resident, dispersal_weight);
 }
 
 Process* LoadBalancerPolicy::PickCandidate(const MigrationManager& manager,
@@ -105,12 +110,8 @@ void LoadBalancerPolicy::Sample() {
                                  [](const HostLoad& a, const HostLoad& b) {
                                    return a.runnable < b.runnable;
                                  });
-  if (busiest->runnable - idlest->runnable < config_.imbalance_threshold) {
-    imbalanced_streak_ = 0;  // pressure relieved: re-arm the hysteresis
-    return;
-  }
-  if (++imbalanced_streak_ <= config_.hysteresis) {
-    return;  // transient so far; act only under sustained pressure
+  if (!governor_.Observe(busiest->runnable - idlest->runnable)) {
+    return;  // balanced, or a transient imbalance still inside hysteresis
   }
 
   Node* source = nullptr;
@@ -133,7 +134,7 @@ void LoadBalancerPolicy::Sample() {
                     << " to " << target->env->id;
   ++migrations_triggered_;
   migration_in_flight_ = true;
-  imbalanced_streak_ = 0;  // each migration must re-earn its hysteresis
+  governor_.OnMigrationFired();
   source->manager->Migrate(candidate, target->manager->port(), config_.strategy,
                            [this](const MigrationRecord&) { migration_in_flight_ = false; });
 }

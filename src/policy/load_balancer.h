@@ -52,6 +52,50 @@ struct PolicyConfig {
   bool one_migration_per_sample = true;
 };
 
+// Threshold + hysteresis trigger, factored out so the two-host testbed
+// policy and the fleet-scale cluster coordinator share one set of firing
+// semantics (and one set of tests). Feed each sample's spread; fire when
+// pressure exceeds the threshold for more than `hysteresis` consecutive
+// samples. The streak re-arms when a sample is balanced or when a
+// migration actually fires — a fire-able verdict that finds no eligible
+// candidate keeps the streak, because the pressure persists.
+class ImbalanceGovernor {
+ public:
+  ImbalanceGovernor(int threshold, int hysteresis)
+      : threshold_(threshold), hysteresis_(hysteresis) {
+    ACCENT_EXPECTS(threshold >= 1);
+    ACCENT_EXPECTS(hysteresis >= 0);
+  }
+
+  // Observes one sample's spread (busiest minus idlest load). Returns true
+  // when a migration should fire now.
+  bool Observe(int spread) {
+    if (spread < threshold_) {
+      streak_ = 0;  // pressure relieved: re-arm the hysteresis
+      return false;
+    }
+    return ++streak_ > hysteresis_;
+  }
+
+  // Each migration must re-earn its hysteresis.
+  void OnMigrationFired() { streak_ = 0; }
+
+  int threshold() const { return threshold_; }
+  int hysteresis() const { return hysteresis_; }
+  int streak() const { return streak_; }
+
+ private:
+  int threshold_;
+  int hysteresis_;
+  int streak_ = 0;
+};
+
+// The dispersal-aware anchor metric on raw byte counts: locally-served
+// RealMem plus the resident hot set scaled by `dispersal_weight`. Smaller
+// means cheaper to relocate under copy-on-reference.
+ByteCount AnchorBytes(ByteCount real_bytes, ByteCount resident_bytes,
+                      double dispersal_weight);
+
 class LoadBalancerPolicy {
  public:
   LoadBalancerPolicy(Simulator* sim, const PolicyConfig& config);
@@ -94,7 +138,7 @@ class LoadBalancerPolicy {
   std::vector<Node> nodes_;
   bool running_ = false;
   bool migration_in_flight_ = false;
-  int imbalanced_streak_ = 0;
+  ImbalanceGovernor governor_;
   std::uint64_t migrations_triggered_ = 0;
   std::uint64_t samples_ = 0;
 };

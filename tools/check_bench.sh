@@ -8,6 +8,7 @@
 #   check_bench.sh --failure <failure_sweep-binary> [output.json]
 #   check_bench.sh --sweep <run_all-binary> [output.json]
 #   check_bench.sh --chain <chain_sweep-binary> [output.json]
+#   check_bench.sh --cluster <cluster_sweep-binary> [output.json]
 set -euo pipefail
 
 MODE=sim
@@ -19,6 +20,9 @@ elif [ "${1:-}" = "--sweep" ]; then
   shift
 elif [ "${1:-}" = "--chain" ]; then
   MODE=chain
+  shift
+elif [ "${1:-}" = "--cluster" ]; then
+  MODE=cluster
   shift
 fi
 
@@ -95,6 +99,37 @@ elif [ "$MODE" = "chain" ]; then
   fi
   if ! grep -q '"b_crash_survived": true' "$OUT"; then
     echo "check_bench: process did not survive the intermediary crash in $OUT" >&2
+    status=1
+  fi
+elif [ "$MODE" = "cluster" ]; then
+  OUT=${2:-BENCH_cluster.json}
+  # The 480-host churn trial at 1/2/8 shards (byte-compared, best-of-reps
+  # walls) plus the 16-point balancer policy grid. The binary exits non-zero
+  # if any trial hung, any census failed to balance, the shard counts
+  # disagreed on results, or 8 shards failed to beat 1.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version seed reps hosts processes_arrived trial_count \
+        hung integrity_failures identical_across_shards \
+        wall_seconds_shards_1 wall_seconds_shards_2 wall_seconds_shards_8 \
+        speedup_shards_2 speedup_shards_8 big_trial policy_sweep \
+        steady_migrations_per_sec queueing_p99_us downtime_p99_us"
+
+  # Belt and braces: re-assert the headline invariants from the JSON.
+  if ! grep -q '"hung": 0' "$OUT"; then
+    echo "check_bench: cluster sweep reports hung trials in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"integrity_failures": 0' "$OUT"; then
+    echo "check_bench: cluster sweep reports census failures in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"identical_across_shards": true' "$OUT"; then
+    echo "check_bench: shard counts disagree on trial results in $OUT" >&2
+    status=1
+  fi
+  SPEEDUP=$(grep -o '"speedup_shards_8": [0-9.eE+-]*' "$OUT" | head -n1 | awk '{print $2}')
+  if [ -z "$SPEEDUP" ] || ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s > 1.0) }'; then
+    echo "check_bench: 8-shard speedup '$SPEEDUP' is not > 1 in $OUT" >&2
     status=1
   fi
 else

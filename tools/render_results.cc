@@ -25,7 +25,7 @@ namespace {
 
 // Bump when the set of tables or their columns change, so a committed
 // docs/RESULTS.md rendered by an older binary fails docs_check.
-constexpr int kTemplateVersion = 3;
+constexpr int kTemplateVersion = 4;
 
 // -------------------------------------------------------------------------
 // Paper constants (Zayas, SOSP 1987). Mirrors the kPaper arrays in
@@ -419,6 +419,51 @@ void RenderMicroSim(const Json& sim, std::ostream& out) {
   out << plane.ToString() << '\n';
 }
 
+void RenderCluster(const Json& cluster, std::ostream& out) {
+  out << "## Fleet-scale cluster sweep\n\n"
+      << "`cluster_sweep` runs a switched row of hosts under continuous "
+         "Poisson churn with balancer-driven migrations (costs from the "
+         "calibrated two-Perq formulas), once per shard count on the sharded "
+         "event loop. Results are byte-identical across shard counts; the "
+         "speedups are wall-clock only.\n\n";
+
+  const Json& big = cluster.Get("big_trial");
+  MdTable headline({"Hosts", "Arrived", "Migrations", "Steady thr (mig/s)",
+                    "Queueing p50/p99 (s)", "Downtime p50/p99 (s)",
+                    "Speedup 2sh", "Speedup 8sh"});
+  auto secs = [](const Json& trial, const char* key) {
+    return FormatDouble(trial.Get(key).AsDouble() / 1e6, 2);
+  };
+  headline.AddRow(
+      {FormatWithCommas(big.Get("hosts").AsUint64()),
+       FormatWithCommas(big.Get("arrived").AsUint64()),
+       FormatWithCommas(big.Get("migrations_completed").AsUint64()),
+       FormatDouble(big.Get("steady_migrations_per_sec").AsDouble(), 3),
+       secs(big, "queueing_p50_us") + " / " + secs(big, "queueing_p99_us"),
+       secs(big, "downtime_p50_us") + " / " + secs(big, "downtime_p99_us"),
+       FormatDouble(cluster.Get("speedup_shards_2").AsDouble(), 2) + "x",
+       FormatDouble(cluster.Get("speedup_shards_8").AsDouble(), 2) + "x"});
+  out << headline.ToString() << '\n';
+
+  out << "Policy grid (imbalance threshold x hysteresis x dispersal weight, "
+         "per cluster size):\n\n";
+  MdTable grid({"Hosts", "Threshold", "Hysteresis", "Dispersal", "Migrations",
+                "Unfilled", "Steady thr (mig/s)", "Queueing p99 (s)",
+                "Downtime p99 (s)"});
+  for (const Json& row : cluster.Get("policy_sweep").AsArray()) {
+    const Json& policy = row.Get("policy");
+    grid.AddRow({FormatWithCommas(row.Get("hosts").AsUint64()),
+                 FormatWithCommas(policy.Get("imbalance_threshold").AsUint64()),
+                 FormatWithCommas(policy.Get("hysteresis").AsUint64()),
+                 FormatDouble(policy.Get("dispersal_weight").AsDouble(), 1),
+                 FormatWithCommas(row.Get("migrations_completed").AsUint64()),
+                 FormatWithCommas(row.Get("directives_unfilled").AsUint64()),
+                 FormatDouble(row.Get("steady_migrations_per_sec").AsDouble(), 3),
+                 secs(row, "queueing_p99_us"), secs(row, "downtime_p99_us")});
+  }
+  out << grid.ToString() << '\n';
+}
+
 bool LoadJson(const std::string& path, Json* out) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -433,6 +478,7 @@ int Main(int argc, char** argv) {
   std::string sweep_path = "BENCH_sweep.json";
   std::string sim_path;
   std::string failure_path;
+  std::string cluster_path;
   std::string out_path = "docs/RESULTS.md";
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -451,12 +497,15 @@ int Main(int argc, char** argv) {
       sim_path = next("--sim");
     } else if (std::strcmp(argv[i], "--failure") == 0) {
       failure_path = next("--failure");
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster_path = next("--cluster");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next("--out");
     } else {
       std::fprintf(stderr,
                    "usage: render_results [--sweep BENCH_sweep.json] [--sim BENCH_sim.json]\n"
-                   "                      [--failure BENCH_failure.json] [--out RESULTS.md]\n"
+                   "                      [--failure BENCH_failure.json]\n"
+                   "                      [--cluster BENCH_cluster.json] [--out RESULTS.md]\n"
                    "                      [--print-template-version]\n");
       return 2;
     }
@@ -481,10 +530,11 @@ int Main(int argc, char** argv) {
       << "Regenerate with:\n\n"
       << "```sh\n"
       << "cmake --build build -j\n"
-      << "(cd build && ./bench/run_all && ./bench/micro_sim && ./bench/failure_sweep)\n"
+      << "(cd build && ./bench/run_all && ./bench/micro_sim && ./bench/failure_sweep \\\n"
+      << "    && ./bench/cluster_sweep)\n"
       << "./build/tools/render_results --sweep build/BENCH_sweep.json \\\n"
       << "    --sim build/BENCH_sim.json --failure build/BENCH_failure.json \\\n"
-      << "    --out docs/RESULTS.md\n"
+      << "    --cluster build/BENCH_cluster.json --out docs/RESULTS.md\n"
       << "```\n\n"
       << "Sweep grid: " << sweep.Get("trial_count").AsUint64() << " trials, seed "
       << sweep.Get("seed").AsUint64() << ".\n\n";
@@ -509,6 +559,14 @@ int Main(int argc, char** argv) {
   } else if (!sim_path.empty()) {
     std::fprintf(stderr, "render_results: skipping micro bench (cannot read %s)\n",
                  sim_path.c_str());
+  }
+
+  Json cluster;
+  if (!cluster_path.empty() && LoadJson(cluster_path, &cluster)) {
+    RenderCluster(cluster, out);
+  } else if (!cluster_path.empty()) {
+    std::fprintf(stderr, "render_results: skipping cluster sweep (cannot read %s)\n",
+                 cluster_path.c_str());
   }
 
   RenderMetrics(sweep, out);
