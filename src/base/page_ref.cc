@@ -9,6 +9,7 @@ namespace accent {
 namespace {
 
 std::atomic<std::uint64_t> g_payload_allocs{0};
+std::atomic<std::uint64_t> g_payload_frees{0};
 std::atomic<std::uint64_t> g_page_bytes_copied{0};
 std::atomic<std::uint64_t> g_payload_shares{0};
 std::atomic<std::uint64_t> g_cow_breaks{0};
@@ -19,11 +20,23 @@ const PageData& EmptyPage() {
   return empty;
 }
 
+// Every payload allocation routes through here so the matching release is
+// counted by the deleter — allocs minus frees is the live-payload gauge the
+// leak oracles read.
+std::shared_ptr<PageData> MakePayload(PageData bytes) {
+  g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<PageData>(new PageData(std::move(bytes)), [](PageData* payload) {
+    g_payload_frees.fetch_add(1, std::memory_order_relaxed);
+    delete payload;
+  });
+}
+
 }  // namespace
 
 PageCounterSnapshot ReadPageCounters() {
   PageCounterSnapshot snap;
   snap.payload_allocs = g_payload_allocs.load(std::memory_order_relaxed);
+  snap.payload_frees = g_payload_frees.load(std::memory_order_relaxed);
   snap.page_bytes_copied = g_page_bytes_copied.load(std::memory_order_relaxed);
   snap.payload_shares = g_payload_shares.load(std::memory_order_relaxed);
   snap.cow_breaks = g_cow_breaks.load(std::memory_order_relaxed);
@@ -32,6 +45,7 @@ PageCounterSnapshot ReadPageCounters() {
 
 void ResetPageCounters() {
   g_payload_allocs.store(0, std::memory_order_relaxed);
+  g_payload_frees.store(0, std::memory_order_relaxed);
   g_page_bytes_copied.store(0, std::memory_order_relaxed);
   g_payload_shares.store(0, std::memory_order_relaxed);
   g_cow_breaks.store(0, std::memory_order_relaxed);
@@ -48,8 +62,7 @@ bool LegacyDeepCopyMode() {
 PageRef::PageRef(PageData bytes) {
   ACCENT_EXPECTS(bytes.empty() || bytes.size() == kPageSize);
   if (!bytes.empty()) {
-    data_ = std::make_shared<PageData>(std::move(bytes));
-    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+    data_ = MakePayload(std::move(bytes));
   }
 }
 
@@ -58,8 +71,7 @@ PageRef::PageRef(const PageRef& other) {
     return;  // zero page: nothing to share or copy
   }
   if (LegacyDeepCopyMode()) {
-    data_ = std::make_shared<PageData>(*other.data_);
-    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+    data_ = MakePayload(*other.data_);
     g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
   } else {
     data_ = other.data_;
@@ -87,13 +99,11 @@ void PageRef::WriteByte(ByteCount offset, std::uint8_t value) {
     if (value == 0) {
       return;  // zero write into the zero page: stay interned
     }
-    data_ = std::make_shared<PageData>(kPageSize, std::uint8_t{0});
-    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+    data_ = MakePayload(PageData(kPageSize, std::uint8_t{0}));
   } else if (data_.use_count() > 1) {
     // Copy-on-write: another holder shares this payload, clone before the
     // first diverging write (the old data plane copied eagerly instead).
-    data_ = std::make_shared<PageData>(*data_);
-    g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+    data_ = MakePayload(*data_);
     g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
     g_cow_breaks.fetch_add(1, std::memory_order_relaxed);
   }

@@ -36,9 +36,15 @@ namespace accent {
 // atomics: exact per-thread attribution is not needed, totals are.
 struct PageCounterSnapshot {
   std::uint64_t payload_allocs = 0;      // fresh kPageSize payload allocations
+  std::uint64_t payload_frees = 0;       // payloads whose last holder released them
   std::uint64_t page_bytes_copied = 0;   // bytes duplicated payload-to-payload
   std::uint64_t payload_shares = 0;      // copies served by refcount bumps
   std::uint64_t cow_breaks = 0;          // writes that had to clone a shared page
+
+  // Payloads still alive (held by some PageRef). With every simulation
+  // object destroyed this must return to its pre-trial value — the fuzzer's
+  // leak oracle.
+  std::uint64_t live_payloads() const { return payload_allocs - payload_frees; }
 };
 
 // Snapshot of the counters accumulated since process start / last Reset.

@@ -24,13 +24,14 @@ constexpr SimDuration kChainHorizon = Sec(3600.0);
 // an identical pre-crash event schedule.
 constexpr SimTime kNeverCrash = SimTime{3'000'000'000'000};  // ~35 days
 
-// FNV fold over the contents a fault would observe for each planned page,
-// visited in ascending order (same fold as the failure sweep's
-// TouchedChecksum). A chain's final incarnation does not hold every planned
-// page privately: pages touched only at an intermediate hop stay owed to the
-// backing chain, so they are resolved through their backer object via the
-// (simulation-global) segment table — which also checks that the collapse
-// actually moved the bytes, not just the references.
+}  // namespace
+
+// Same fold as the failure sweep's TouchedChecksum. A chain's final
+// incarnation does not hold every planned page privately: pages touched only
+// at an intermediate hop stay owed to the backing chain, so they are
+// resolved through their backer object via the (simulation-global) segment
+// table — which also checks that a collapse actually moved the bytes, not
+// just the references.
 std::uint64_t ObservableChecksum(const AddressSpace& space, const SegmentTable& segments,
                                  const std::set<PageIndex>& touches) {
   std::uint64_t h = 1469598103934665603ull;
@@ -55,12 +56,12 @@ std::uint64_t ObservableChecksum(const AddressSpace& space, const SegmentTable& 
   return h;
 }
 
-// The integrity reference: one lossless single-hop pure-copy migration of
-// the same workload instance, run to completion at the destination (the
-// failure sweep's baseline methodology). BuildWorkload is bit-deterministic
-// per (spec, seed), so the chain run at C must reproduce these page contents
-// whatever the strategy.
-std::uint64_t ReferenceChecksum(const std::string& workload, std::uint64_t seed) {
+// One lossless single-hop pure-copy migration of the same workload
+// instance, run to completion at the destination (the failure sweep's
+// baseline methodology). BuildWorkload is bit-deterministic per
+// (spec, seed), so any later run must reproduce these page contents
+// whatever the strategy, topology or calibration.
+std::uint64_t ChainReferenceChecksum(const std::string& workload, std::uint64_t seed) {
   Testbed bed;
   WorkloadInstance instance = BuildWorkload(WorkloadByName(workload), bed.host(0), seed);
   Process* proc = instance.process.get();
@@ -77,13 +78,12 @@ std::uint64_t ReferenceChecksum(const std::string& workload, std::uint64_t seed)
   return ObservableChecksum(*remote->space(), bed.segments(), instance.planned_touches);
 }
 
-}  // namespace
-
 ChainTrialResult RunChainTrial(const ChainTrialConfig& config) {
-  const std::uint64_t reference = ReferenceChecksum(config.workload, config.seed);
+  const std::uint64_t reference = ChainReferenceChecksum(config.workload, config.seed);
 
   TestbedConfig testbed_config;
   testbed_config.host_count = 3;
+  testbed_config.calibrations = config.calibrations;
   if (config.crash_intermediate) {
     // Host index 1 (the intermediary B) carries HostId 2; the crash is
     // permanent. Reliable transport comes with the non-trivial plan.

@@ -24,13 +24,17 @@
 #define SRC_EXPERIMENTS_CHAIN_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/base/json.h"
+#include "src/host/calibration.h"
 #include "src/migration/migration_manager.h"
 #include "src/migration/migration_record.h"
 #include "src/migration/strategy.h"
+#include "src/vm/address_space.h"
+#include "src/vm/segment.h"
 
 namespace accent {
 
@@ -46,6 +50,12 @@ struct ChainTrialConfig {
   // prior baseline's collapse time) and run over the reliable transport.
   bool crash_intermediate = false;
   SimTime crash_at{0};
+
+  // Per-host calibrations for the three-host chain testbed (empty = the
+  // homogeneous seed testbed, byte-identical). Timing-only: the integrity
+  // reference is always computed on a homogeneous bed because page contents
+  // never depend on hardware speed.
+  std::vector<HostCalibration> calibrations{};
 };
 
 struct ChainTrialResult {
@@ -80,6 +90,18 @@ struct ChainTrialResult {
   SimDuration Hop1Downtime() const { return hop1.Downtime(); }
   SimDuration Hop2Downtime() const { return hop2.Downtime(); }
 };
+
+// FNV fold over the contents a fault would observe for each planned page,
+// visited in ascending order. Pages owed to a backing chain are resolved
+// through their backer object via the segment table, so the fold verifies
+// that collapses moved bytes, not just references. Shared by the chain
+// trials and the scenario fuzzer's integrity oracle.
+std::uint64_t ObservableChecksum(const AddressSpace& space, const SegmentTable& segments,
+                                 const std::set<PageIndex>& touches);
+
+// The integrity reference for `workload`: one lossless single-hop pure-copy
+// migration on a homogeneous bed, run to completion at the destination.
+std::uint64_t ChainReferenceChecksum(const std::string& workload, std::uint64_t seed);
 
 // Runs one chain trial end to end. Deterministic per config.
 ChainTrialResult RunChainTrial(const ChainTrialConfig& config);

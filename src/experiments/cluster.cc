@@ -78,6 +78,9 @@ struct Host {
   std::uint64_t directives_unfilled = 0;
   std::uint64_t pull_batches = 0;
   std::uint64_t pages_pulled = 0;
+  // Incremented on this host's shard when it is the migration source.
+  std::uint64_t diskless_copy_forced = 0;
+  std::uint64_t diskless_backing_anchors = 0;
   std::vector<SimDuration> queueing;   // per completion
   std::vector<SimDuration> downtimes;  // per landed migration
 };
@@ -110,8 +113,16 @@ struct Trial {
   std::vector<std::unique_ptr<Host>>& hosts;
   Coordinator& coord;
   std::uint64_t event_budget = 0;
+  // Per-host calibrations, identity-filled when the config carried none;
+  // `calibrated` gates every heterogeneity-aware branch so the homogeneous
+  // row keeps the legacy arithmetic expression for expression.
+  std::vector<HostCalibration> cals;
+  bool calibrated = false;
 
   Host& coord_host() const { return *hosts[0]; }
+  const HostCalibration& CalOf(int index) const {
+    return cals[static_cast<std::size_t>(index)];
+  }
 
   // ---- processor-sharing slices -----------------------------------------
 
@@ -122,7 +133,10 @@ struct Trial {
     // slice_len x (runnable at schedule time) of wall-clock. Later load
     // changes do not reshuffle the pending event; the stretch re-evaluates
     // every quantum, which is plenty at fleet granularity.
-    const SimDuration stretch = p->slice_len * std::max(1, host.runnable);
+    // A calibrated CPU clears the same demanded work in work/multiplier of
+    // wall-clock (ScaleCpu is the identity at multiplier 1.0).
+    const SimDuration stretch = ScaleCpu(p->slice_len * std::max(1, host.runnable),
+                                         CalOf(host.index).cpu_multiplier);
     Host* h = &host;
     ClusterProc* proc = p;
     const std::uint64_t epoch = p->epoch;
@@ -183,16 +197,19 @@ struct Trial {
   void ServePull(Host& backer, Host& dest, ClusterProc* p, std::int64_t batch) {
     const ByteCount req_bytes = MigrationCostModel::PullRequestBytes(costs);
     const ByteCount reply_bytes = MigrationCostModel::PullReplyBytes(costs, batch);
-    const SimDuration serve =
+    const SimDuration serve = ScaleCpu(
         NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, req_bytes), req_bytes) +
-        costs.backer_service;
+            costs.backer_service,
+        CalOf(backer.index).cpu_multiplier);
     Host* d = &dest;
     Host* b = &backer;
     sim.ScheduleAfter(serve, [this, b, d, p, batch, reply_bytes]() {
       net.Transmit(b->id, d->id, reply_bytes, TrafficKind::kFaultData,
                    [this, d, p, batch, reply_bytes]() {
-                     const SimDuration handle = NetMsgDeliveryCost(
-                         costs, NetMsgFragmentCount(costs, reply_bytes), reply_bytes);
+                     const SimDuration handle = ScaleCpu(
+                         NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, reply_bytes),
+                                            reply_bytes),
+                         CalOf(d->index).cpu_multiplier);
                      sim.ScheduleAfter(handle, [this, d, p, batch]() {
                        p->pull_outstanding = false;
                        p->owed_pages -= batch;
@@ -285,7 +302,13 @@ struct Trial {
       if (src < 0 || coord.last_runnable[i] > coord.last_runnable[static_cast<std::size_t>(src)]) {
         src = static_cast<int>(i);
       }
-      if (dst < 0 || coord.last_runnable[i] < coord.last_runnable[static_cast<std::size_t>(dst)]) {
+      // First index wins runnable ties — except that on a calibrated row a
+      // strictly faster CPU takes the destination slot at equal load
+      // (identity multipliers compare equal, so the homogeneous choice is
+      // untouched).
+      if (dst < 0 || coord.last_runnable[i] < coord.last_runnable[static_cast<std::size_t>(dst)] ||
+          (coord.last_runnable[i] == coord.last_runnable[static_cast<std::size_t>(dst)] &&
+           CalOf(static_cast<int>(i)).cpu_multiplier > CalOf(dst).cpu_multiplier)) {
         dst = static_cast<int>(i);
       }
     }
@@ -327,15 +350,41 @@ struct Trial {
 
   // ---- migration data plane ----------------------------------------------
 
-  // Runs on the source's shard: pick the cheapest victim by the
-  // dispersal-aware anchor metric and start the transfer.
+  // The strategy one migration out of `source` actually uses: the policy's,
+  // unless the source is diskless and the policy would leave owed pages
+  // anchored there — a store it cannot serve — in which case the transfer
+  // degrades to pure-copy.
+  TransferStrategy EffectiveStrategy(const Host& source) const {
+    if (CalOf(source.index).diskless) {
+      return TransferStrategy::kPureCopy;
+    }
+    return config.policy.strategy;
+  }
+
+  // Runs on the source's shard: pick the cheapest victim and start the
+  // transfer. Homogeneous rows rank by the dispersal-aware anchor metric
+  // (bytes anchored locally); calibrated rows rank by the full
+  // MigrationCostModel::RelocationCost — excise at the source's speed, wire
+  // at the source's link, insert at the *destination's* speed — so a slow
+  // destination inflates every candidate's estimate.
   void OnDirective(Host& source, Host& target) {
+    const TransferStrategy strategy = EffectiveStrategy(source);
     ClusterProc* victim = nullptr;
     ByteCount best_anchor = 0;
+    SimDuration best_cost{0};
     for (const auto& [pid, entry] : source.active) {
       ClusterProc* p = entry.proc;
       if (p->pull_outstanding) {
         continue;  // a pull reply is already in flight to this host
+      }
+      if (calibrated) {
+        const SimDuration cost = MigrationCostModel::RelocationCost(
+            costs, strategy, p->fp, CalOf(source.index), CalOf(target.index));
+        if (victim == nullptr || cost < best_cost) {
+          victim = p;
+          best_cost = cost;
+        }
+        continue;
       }
       const ByteCount anchor =
           AnchorBytes(static_cast<ByteCount>(p->fp.real_pages) * kPageSize,
@@ -361,7 +410,10 @@ struct Trial {
     ++p->epoch;
     ++source.outbound_started;
 
-    const TransferStrategy strategy = config.policy.strategy;
+    const TransferStrategy strategy = EffectiveStrategy(source);
+    if (strategy != config.policy.strategy) {
+      ++source.diskless_copy_forced;
+    }
     const ByteCount core_bytes =
         MigrationCostModel::CorePayloadBytes(costs, p->fp.map_entries);
     const ByteCount rimas_bytes =
@@ -373,12 +425,21 @@ struct Trial {
     const std::int64_t new_owed = MigrationCostModel::OwedPages(strategy, p->fp);
     const int backing = p->owed_pages > 0 ? p->backing : source.index;
     const std::int64_t owed = std::max(p->owed_pages, new_owed);
+    if (owed > 0 && backing >= 0 && CalOf(backing).diskless) {
+      // EffectiveStrategy prevents fresh anchors and chain collapse keeps
+      // old ones, so this never fires; the counter is the run's proof.
+      ++source.diskless_backing_anchors;
+    }
 
-    const SimDuration excise =
-        MigrationCostModel::ExciseCost(costs, p->fp) + costs.migration_control;
-    const SimDuration send_handle =
+    // Excise + message handling are source CPU work; both scale with the
+    // source's speed (exactly themselves at multiplier 1.0).
+    const double src_cpu = CalOf(source.index).cpu_multiplier;
+    const SimDuration excise = ScaleCpu(
+        MigrationCostModel::ExciseCost(costs, p->fp) + costs.migration_control, src_cpu);
+    const SimDuration send_handle = ScaleCpu(
         NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, core_bytes), core_bytes) +
-        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, rimas_bytes), rimas_bytes);
+            NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, rimas_bytes), rimas_bytes),
+        src_cpu);
 
     Host* src = &source;
     Host* dst = &target;
@@ -402,12 +463,14 @@ struct Trial {
                        ByteCount core_bytes, ByteCount rimas_bytes,
                        std::int64_t shipped, std::int64_t owed, int backing,
                        SimTime freeze_at) {
-    const SimDuration recv_handle =
+    const double dst_cpu = CalOf(target.index).cpu_multiplier;
+    const SimDuration recv_handle = ScaleCpu(
         NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, core_bytes), core_bytes) +
-        NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, rimas_bytes), rimas_bytes) +
-        costs.migration_rimas_handling;
-    const SimDuration insert =
-        MigrationCostModel::InsertCost(costs, p->fp.map_entries, shipped);
+            NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, rimas_bytes), rimas_bytes) +
+            costs.migration_rimas_handling,
+        dst_cpu);
+    const SimDuration insert = ScaleCpu(
+        MigrationCostModel::InsertCost(costs, p->fp.map_entries, shipped), dst_cpu);
     Host* src = &source;
     Host* dst = &target;
     sim.ScheduleAfter(recv_handle + insert, [this, src, dst, p, owed, backing,
@@ -488,6 +551,12 @@ ClusterResult RunClusterTrial(const ClusterConfig& config) {
   ACCENT_EXPECTS(config.duration > SimDuration::zero());
   ACCENT_EXPECTS(config.quantum > SimDuration::zero());
   ACCENT_EXPECTS(config.pull_batch_pages >= 1);
+  ACCENT_EXPECTS(config.calibrations.empty() ||
+                 config.calibrations.size() == static_cast<std::size_t>(config.host_count))
+      << " calibrations must cover every host";
+  for (const HostCalibration& cal : config.calibrations) {
+    cal.Validate();
+  }
 
   ClusterResult result;
   result.config = config;
@@ -497,11 +566,16 @@ ClusterResult RunClusterTrial(const ClusterConfig& config) {
   Simulator sim;
   // Every cluster trial runs the windowed engine — shards == 1 included —
   // so cross-host arrivals always merge in the canonical inbox order and
-  // results never depend on the shard count.
-  sim.ConfigureShards(shards, costs.wire_latency);
+  // results never depend on the shard count. The lookahead must not exceed
+  // the smallest cross-host link latency; MinWireLatency returns exactly
+  // costs.wire_latency on an uncalibrated row.
+  sim.ConfigureShards(shards, Network::MinWireLatency(costs, config.calibrations));
   sim.set_shard_threads(config.shard_threads);
   Network net(&sim, &costs, /*recorder=*/nullptr);
   net.ConfigureSwitched(config.host_count);
+  if (!config.calibrations.empty()) {
+    net.SetHostCalibrations(config.calibrations);
+  }
 
   std::vector<std::unique_ptr<Host>> hosts;
   hosts.reserve(static_cast<std::size_t>(config.host_count));
@@ -523,6 +597,11 @@ ClusterResult RunClusterTrial(const ClusterConfig& config) {
 
   Trial trial{config, costs, sim, net, hosts, coord};
   trial.event_budget = config.max_events != 0 ? config.max_events : AutoEventBudget(config);
+  trial.cals.assign(static_cast<std::size_t>(config.host_count), HostCalibration{});
+  for (std::size_t i = 0; i < config.calibrations.size(); ++i) {
+    trial.cals[i] = config.calibrations[i];
+  }
+  trial.calibrated = AnyCalibrated(config.calibrations);
 
   // --- setup (serial; every schedule goes through ScheduleAtHost) ---------
   for (auto& host_ptr : hosts) {
@@ -600,6 +679,8 @@ ClusterResult RunClusterTrial(const ClusterConfig& config) {
     result.directives_unfilled += host.directives_unfilled;
     result.pull_batches += host.pull_batches;
     result.pages_pulled += host.pages_pulled;
+    result.diskless_copy_forced += host.diskless_copy_forced;
+    result.diskless_backing_anchors += host.diskless_backing_anchors;
     queueing.insert(queueing.end(), host.queueing.begin(), host.queueing.end());
     downtimes.insert(downtimes.end(), host.downtimes.begin(), host.downtimes.end());
   }
@@ -664,6 +745,15 @@ Json ClusterResultToJson(const ClusterResult& result) {
   json["directives_unfilled"] = Json(result.directives_unfilled);
   json["pull_batches"] = Json(result.pull_batches);
   json["pages_pulled"] = Json(result.pages_pulled);
+
+  int diskless_hosts = 0;
+  for (const HostCalibration& cal : config.calibrations) {
+    diskless_hosts += cal.diskless ? 1 : 0;
+  }
+  json["calibrated"] = Json(AnyCalibrated(config.calibrations));
+  json["diskless_hosts"] = Json(diskless_hosts);
+  json["diskless_copy_forced"] = Json(result.diskless_copy_forced);
+  json["diskless_backing_anchors"] = Json(result.diskless_backing_anchors);
 
   json["queueing_p50_us"] = Json(static_cast<std::int64_t>(result.queueing_p50.count()));
   json["queueing_p99_us"] = Json(static_cast<std::int64_t>(result.queueing_p99.count()));

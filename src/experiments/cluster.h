@@ -40,6 +40,7 @@
 
 #include "src/base/json.h"
 #include "src/base/types.h"
+#include "src/host/calibration.h"
 #include "src/migration/strategy.h"
 #include "src/policy/load_balancer.h"
 
@@ -74,6 +75,17 @@ struct ClusterConfig {
   PolicyConfig policy;
   std::int64_t pull_batch_pages = 16;
 
+  // Per-host calibrations (entry i calibrates host index i). Empty — the
+  // default — is the homogeneous row, byte-identical to the uncalibrated
+  // engine; otherwise the vector must cover every host. Calibrations bend
+  // the same formulas everywhere: slices stretch by the host's CPU speed,
+  // excise/insert run at the source's/destination's speed, wire legs ride
+  // the sender's link, victim scoring switches to the end-to-end
+  // RelocationCost (so a slow destination inflates every candidate), and a
+  // diskless source degrades owed-page strategies to pure-copy rather than
+  // anchor backing it cannot serve.
+  std::vector<HostCalibration> calibrations{};
+
   // Steady-state detection: consecutive `steady_windows` windows of
   // `steady_window` whose mean total-runnable drifts by <= steady_tolerance
   // (relative) mark the fleet steady; throughput is measured from there.
@@ -105,6 +117,11 @@ struct ClusterResult {
   std::uint64_t directives_unfilled = 0;  // source had no eligible victim
   std::uint64_t pull_batches = 0;
   std::uint64_t pages_pulled = 0;
+  // Heterogeneous-row counters. diskless_backing_anchors counts owed-page
+  // debts anchored on a diskless host — the invariant is that it stays 0;
+  // diskless_copy_forced counts the strategy degradations that keep it so.
+  std::uint64_t diskless_copy_forced = 0;
+  std::uint64_t diskless_backing_anchors = 0;
 
   // Latency tails (microseconds of simulated time).
   SimDuration queueing_p50{0};  // completion sojourn minus CPU demand

@@ -1,0 +1,544 @@
+#include "src/experiments/scenario_fuzz.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/logging.h"
+#include "src/base/page_ref.h"
+#include "src/base/rng.h"
+#include "src/base/thread_pool.h"
+#include "src/experiments/chain.h"
+#include "src/experiments/cluster.h"
+#include "src/experiments/sweep.h"
+#include "src/experiments/testbed.h"
+#include "src/workloads/workload.h"
+
+namespace accent {
+namespace {
+
+// The longest workload (Chess, 480 s of compute) on the slowest calibrated
+// CPU (0.5x) with the 600 s abort backstop still fits with margin.
+constexpr SimDuration kFuzzHorizon = Sec(7200.0);
+
+std::uint64_t SplitMix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// The calibration menus. Identity is always on the menu so homogeneous
+// corners stay in the fuzzed space.
+constexpr double kCpuMenu[] = {0.5, 1.0, 2.0, 4.0};
+constexpr double kLatencyMenu[] = {0.5, 1.0, 2.0};
+constexpr double kBandwidthMenu[] = {0.5, 1.0, 2.0};
+
+// One mechanistic run of a scenario's migration(s) on a private testbed.
+// Mirrors the failure sweep's MigrationRun, extended with the optional
+// re-migration hop and the backer-balance snapshot.
+struct MechRun {
+  bool drained = false;
+  bool hop1_done = false;
+  MigrationRecord hop1;
+  bool remigrate_fired = false;
+  bool hop2_done = false;
+  MigrationRecord hop2;
+
+  // The incarnation that finished (searched redest, dest, source — in that
+  // order of likelihood), snapshotted before the testbed dies. The checksum
+  // is captured at the instant of its kTerminate, not post-drain: at that
+  // point the space-death notices are posted but not yet delivered (even a
+  // local delivery costs a scheduled kernel hop), so every backing object
+  // the process could still read remains intact. A post-mortem read races
+  // those deaths against the chain collapse — a client terminating while
+  // its rebind is still in flight legitimately retires both the origin and
+  // the intermediate backing object, and the books balance even though
+  // nothing is left to read.
+  bool finished = false;
+  SimTime finish{0};
+  std::uint64_t checksum = 0;
+  bool any_faulted = false;
+  bool local_rolled_back_done = false;
+
+  // Backer balance at drain time.
+  bool nonorigin_objects_clear = true;
+  std::uint64_t duplicate_deaths = 0;
+  std::string backer_detail;
+};
+
+MechRun RunMech(const FuzzScenario& sc, const FaultPlan& plan, std::uint64_t fault_seed,
+                bool reliable) {
+  TestbedConfig config;
+  config.host_count = sc.host_count;
+  config.calibrations = sc.calibrations;
+  config.fault_plan = plan;
+  config.fault_seed = fault_seed;
+  config.reliable_transport = reliable;
+  Testbed bed(config);
+  bed.SetPrefetch(sc.prefetch);
+
+  MechRun run;
+  WorkloadInstance instance = BuildWorkload(WorkloadByName(sc.workload), bed.host(0), sc.seed);
+  Process* proc = instance.process.get();
+  const PortId owned_port = bed.fabric().AllocatePort(bed.host(0)->id, nullptr, "proc-owned");
+  proc->AttachReceiveRight(owned_port);
+  bed.manager(0)->RegisterLocal(proc);
+
+  // Observable content at the finishing incarnation's last breath (see the
+  // MechRun comment for why this cannot wait until the testbed drains).
+  bool observed = false;
+  auto observe = [&run, &bed, &instance, &observed](Process* p) {
+    if (observed || !p->done()) {
+      return;
+    }
+    observed = true;
+    run.checksum = ObservableChecksum(*p->space(), bed.segments(), instance.planned_touches);
+  };
+  proc->set_on_terminate(observe);
+
+  // Latest incarnation inserted at each host (rollbacks re-insert at the
+  // hop's source, so "latest" is the one that matters).
+  std::vector<Process*> latest(static_cast<std::size_t>(sc.host_count), nullptr);
+  latest[0] = proc;
+  for (int i = 0; i < sc.host_count; ++i) {
+    if (i == sc.dest) {
+      continue;  // dest gets the re-migration arming handler below
+    }
+    bed.manager(i)->set_on_insert([&latest, i, &observe](Process* inserted) {
+      latest[static_cast<std::size_t>(i)] = inserted;
+      inserted->set_on_terminate(observe);
+    });
+  }
+
+  // Re-migration arms exactly once, on the first landing at dest: execute
+  // remigrate_at of the trace remaining there, then move on under the same
+  // strategy. A rollback re-inserting at dest must not re-arm (the guard),
+  // but is still tracked as the latest incarnation there.
+  bool armed = false;
+  bed.manager(sc.dest)->set_on_insert([&](Process* at_dest) {
+    latest[static_cast<std::size_t>(sc.dest)] = at_dest;
+    at_dest->set_on_terminate(observe);
+    if (!sc.remigrate || armed) {
+      return;
+    }
+    armed = true;
+    const std::size_t pc = at_dest->trace_pc();
+    const std::size_t size = at_dest->trace()->size();
+    const std::size_t span = size > pc ? size - pc : 0;
+    std::size_t target =
+        pc + static_cast<std::size_t>(static_cast<double>(span) * sc.remigrate_at);
+    if (target <= pc) {
+      target = pc + 1;
+    }
+    if (target >= size && size > 0) {
+      target = size - 1;  // at worst, just before the terminate op
+    }
+    at_dest->SuspendAt(target, [&, at_dest]() {
+      run.remigrate_fired = true;
+      bed.manager(sc.dest)->Migrate(at_dest, bed.manager(sc.redest)->port(), sc.strategy,
+                                    [&run](const MigrationRecord& record) {
+                                      run.hop2 = record;
+                                      run.hop2_done = true;
+                                    });
+    });
+  });
+
+  bed.manager(0)->Migrate(proc, bed.manager(sc.dest)->port(), sc.strategy,
+                          [&run](const MigrationRecord& record) {
+                            run.hop1 = record;
+                            run.hop1_done = true;
+                          });
+
+  run.drained = bed.RunGuarded(kFuzzHorizon);
+
+  // Snapshot whichever incarnation finished (and whether any faulted)
+  // before the testbed and its processes die.
+  const std::vector<int> order = [&] {
+    std::vector<int> o;
+    if (sc.remigrate) {
+      o.push_back(sc.redest);
+    }
+    o.push_back(sc.dest);
+    o.push_back(0);
+    return o;
+  }();
+  for (int host : order) {
+    Process* p = latest[static_cast<std::size_t>(host)];
+    if (p == nullptr) {
+      continue;
+    }
+    if (p->faulted()) {
+      run.any_faulted = true;
+    }
+    if (!run.finished && p->done()) {
+      run.finished = true;
+      run.finish = p->finish_time();
+      if (host == 0 && p != proc) {
+        run.local_rolled_back_done = true;
+      }
+    }
+  }
+  // The original incarnation can also finish at home after a rollback that
+  // re-used it rather than re-inserting.
+  if (!run.finished && proc->done()) {
+    run.finished = true;
+    run.finish = proc->finish_time();
+  }
+  ACCENT_CHECK(!run.finished || observed)
+      << " a finished incarnation must have been observed at kTerminate";
+
+  std::ostringstream backer_detail;
+  for (int i = 0; i < sc.host_count; ++i) {
+    const SegmentBacker& backer = bed.netmsg(i)->backer();
+    run.duplicate_deaths += backer.duplicate_deaths();
+    if (i != 0 && backer.object_count() != 0) {
+      run.nonorigin_objects_clear = false;
+      backer_detail << " host" << i << ":objects=" << backer.object_count();
+    }
+  }
+  run.backer_detail = backer_detail.str();
+  return run;
+}
+
+// The fleet-scale half of a scenario: same topology, calibrations and
+// strategy, sized to finish quickly. Deliberately identical at both shard
+// counts; the caller compares the canonical JSON byte for byte.
+ClusterConfig MakeFleetConfig(const FuzzScenario& sc, int shards, int threads) {
+  ClusterConfig config;
+  config.host_count = sc.host_count;
+  config.seed = sc.seed;
+  config.duration = Sec(15.0);
+  config.shards = shards;
+  config.shard_threads = threads;
+  config.initial_processes_per_host = 3;
+  config.arrivals_per_host_per_sec = 0.25;
+  config.mean_service_sec = 5.0;
+  config.calibrations = sc.calibrations;
+  config.policy.strategy = sc.strategy;
+  config.policy.sample_period = Sec(1.0);
+  config.policy.imbalance_threshold = 2;
+  return config;
+}
+
+}  // namespace
+
+std::string FuzzScenario::Describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " hosts=" << host_count << " workload=" << workload
+      << " strategy=" << StrategyName(strategy) << " prefetch=" << prefetch << " dest="
+      << dest;
+  if (remigrate) {
+    out << " remigrate@" << remigrate_at << "->" << redest;
+  }
+  int calibrated = 0;
+  int diskless = 0;
+  for (const HostCalibration& cal : calibrations) {
+    calibrated += cal.identity() ? 0 : 1;
+    diskless += cal.diskless ? 1 : 0;
+  }
+  out << " calibrated=" << calibrated << "/" << host_count << " diskless=" << diskless;
+  if (drop > 0.0 || duplicate > 0.0 || delay > 0.0 || reorder > 0.0) {
+    out << " lossy(drop=" << drop << ",dup=" << duplicate << ",delay=" << delay
+        << ",reorder=" << reorder << ")";
+  }
+  if (partition_transfer) {
+    out << " partition";
+  }
+  if (crash_dest) {
+    out << " crash=dest";
+  }
+  if (crash_source) {
+    out << " crash=source";
+  }
+  return out.str();
+}
+
+FuzzScenario MakeScenario(std::uint64_t seed) {
+  FuzzScenario sc;
+  sc.seed = seed;
+  Rng root(SplitMix(seed ^ 0x5cea4a10f0220000ull));
+  Rng topo = root.Fork(1);
+  Rng work = root.Fork(2);
+  Rng fault = root.Fork(3);
+
+  sc.host_count = static_cast<int>(2 + topo.NextBelow(7));  // 2..8
+  sc.calibrations.resize(static_cast<std::size_t>(sc.host_count));
+  for (HostCalibration& cal : sc.calibrations) {
+    if (topo.NextBool(0.5)) {
+      cal.cpu_multiplier = kCpuMenu[topo.NextBelow(4)];
+      cal.wire_latency_multiplier = kLatencyMenu[topo.NextBelow(3)];
+      cal.wire_bandwidth_multiplier = kBandwidthMenu[topo.NextBelow(3)];
+      cal.diskless = topo.NextBool(0.15);
+    }
+  }
+
+  const std::vector<WorkloadSpec>& workloads = RepresentativeWorkloads();
+  sc.workload = workloads[work.NextBelow(workloads.size())].name;
+  sc.strategy = static_cast<TransferStrategy>(work.NextBelow(3));
+  sc.prefetch = static_cast<std::uint32_t>(work.NextBelow(5));
+  sc.dest = static_cast<int>(1 + work.NextBelow(static_cast<std::uint64_t>(sc.host_count - 1)));
+  if (sc.host_count >= 3 && work.NextBool(0.4)) {
+    sc.remigrate = true;
+    sc.remigrate_at = 0.25 + 0.5 * work.NextDouble();
+    // Third host: neither the origin nor the first-hop destination.
+    std::vector<int> candidates;
+    for (int i = 1; i < sc.host_count; ++i) {
+      if (i != sc.dest) {
+        candidates.push_back(i);
+      }
+    }
+    sc.redest = candidates[work.NextBelow(candidates.size())];
+  }
+
+  if (fault.NextBool(0.7)) {
+    sc.drop = 0.05 * fault.NextDouble();
+    sc.duplicate = 0.05 * fault.NextDouble();
+    sc.delay = 0.10 * fault.NextDouble();
+    sc.reorder = fault.NextBool(0.5) ? 0.25 * fault.NextDouble() : 0.0;
+  }
+  sc.partition_transfer = fault.NextBool(0.2);
+  const double crash_draw = fault.NextDouble();
+  if (crash_draw < 0.15) {
+    sc.crash_dest = true;
+  } else if (crash_draw < 0.30) {
+    sc.crash_source = true;
+  }
+  return sc;
+}
+
+FuzzScenarioResult RunScenario(std::uint64_t seed) { return RunScenario(MakeScenario(seed)); }
+
+FuzzScenarioResult RunScenario(const FuzzScenario& scenario) {
+  FuzzScenarioResult result;
+  result.scenario = scenario;
+  std::ostringstream failure;
+
+  // Homogeneous content reference: page contents never depend on topology,
+  // calibration or faults, so one lossless pure-copy hop pins them.
+  const std::uint64_t reference = ChainReferenceChecksum(scenario.workload, scenario.seed);
+
+  // Lossless baseline on the scenario's own topology + calibrations:
+  // supplies the phase boundaries crash/partition windows anchor to, and
+  // proves the scenario completes when the wire behaves.
+  MechRun baseline = RunMech(scenario, FaultPlan{}, scenario.seed, /*reliable=*/false);
+  if (!baseline.drained || !baseline.hop1_done || baseline.hop1.aborted ||
+      !baseline.finished) {
+    result.outcome = FailureOutcome::kHung;
+    result.hang = !baseline.drained;
+    failure << "baseline did not complete;";
+    result.failure = failure.str();
+    return result;
+  }
+  if (baseline.checksum != reference) {
+    failure << "baseline integrity mismatch;";
+  }
+
+  MechRun run = baseline;
+  if (scenario.faulty()) {
+    FaultPlan plan;
+    plan.drop = scenario.drop;
+    plan.duplicate = scenario.duplicate;
+    plan.delay = scenario.delay;
+    plan.reorder = scenario.reorder;
+    const SimTime mid_transfer =
+        baseline.hop1.excise_done + (baseline.hop1.resumed - baseline.hop1.excise_done) / 2;
+    if (scenario.partition_transfer) {
+      // A transient source<->dest cut mid-transfer; the reliable transport
+      // must ride it out.
+      plan.partitions.push_back(LinkPartition{
+          HostId(1), HostId(static_cast<std::uint64_t>(scenario.dest + 1)), mid_transfer,
+          mid_transfer + Sec(1.0)});
+    }
+    if (scenario.crash_dest) {
+      plan.crashes.push_back(CrashWindow{
+          HostId(static_cast<std::uint64_t>(scenario.dest + 1)), mid_transfer, kFaultForever});
+    }
+    if (scenario.crash_source) {
+      // 30% into the baseline's remote execution: copy-on-reference debts
+      // are typically still outstanding.
+      const SimDuration remote_exec = baseline.finish - baseline.hop1.resumed;
+      plan.crashes.push_back(CrashWindow{
+          HostId(1), baseline.hop1.resumed + (remote_exec * 3) / 10, kFaultForever});
+    }
+    run = RunMech(scenario, plan, SplitMix(scenario.seed ^ 0xfa071ull), /*reliable=*/true);
+  }
+
+  result.remigrated = run.remigrate_fired;
+
+  // ---- classify (failure-sweep taxonomy) ---------------------------------
+  if (!run.drained) {
+    result.outcome = FailureOutcome::kHung;
+    result.hang = true;
+    failure << "hung;";
+  } else if (!run.hop1_done) {
+    result.outcome = FailureOutcome::kHung;
+    failure << "no migration verdict;";
+  } else if (run.hop1.aborted && !run.finished) {
+    result.outcome = FailureOutcome::kAborted;
+    result.rolled_back = run.hop1.rolled_back;
+  } else if (run.finished) {
+    result.outcome = run.hop1.aborted ? FailureOutcome::kAborted : FailureOutcome::kCompleted;
+    result.rolled_back = run.hop1.aborted && run.hop1.rolled_back;
+    result.integrity_ok = run.checksum == reference;
+    if (!result.integrity_ok) {
+      failure << "integrity mismatch;";
+    }
+  } else if (run.any_faulted) {
+    result.outcome = FailureOutcome::kTerminalFault;
+  } else {
+    result.outcome = FailureOutcome::kHung;
+    failure << "drained without completion or fault;";
+  }
+
+  // ---- backer balance (crash-free scenarios only: a crashed host cannot
+  // be expected to have settled its books) --------------------------------
+  const bool crash_free = !scenario.crash_dest && !scenario.crash_source;
+  if (crash_free && run.drained) {
+    if (result.outcome == FailureOutcome::kCompleted && !run.nonorigin_objects_clear) {
+      result.backer_balanced = false;
+      failure << "backer objects stranded:" << run.backer_detail << ";";
+    }
+    if (run.duplicate_deaths != 0) {
+      result.backer_balanced = false;
+      failure << "duplicate deaths=" << run.duplicate_deaths << ";";
+    }
+  }
+
+  // ---- fleet shard identity ----------------------------------------------
+  const ClusterResult fleet1 = RunClusterTrial(MakeFleetConfig(scenario, 1, 1));
+  const ClusterResult fleet2 = RunClusterTrial(MakeFleetConfig(scenario, 2, 2));
+  const std::string json1 = ClusterResultToJson(fleet1).Dump();
+  const std::string json2 = ClusterResultToJson(fleet2).Dump();
+  result.shard_match = json1 == json2;
+  result.cluster_census_ok = fleet1.census_ok && fleet2.census_ok;
+  result.cluster_hung = fleet1.hung || fleet2.hung;
+  result.diskless_backing_anchors =
+      fleet1.diskless_backing_anchors + fleet2.diskless_backing_anchors;
+  if (!result.shard_match) {
+    failure << "shard divergence (1-shard vs 2-shard JSON differ);";
+  }
+  if (!result.cluster_census_ok) {
+    failure << "fleet census imbalance;";
+  }
+  if (result.cluster_hung) {
+    failure << "fleet hung;";
+  }
+  if (result.diskless_backing_anchors != 0) {
+    failure << "diskless host anchored backing;";
+  }
+
+  result.failure = failure.str();
+  return result;
+}
+
+FuzzCorpusResult RunFuzzCorpus(std::uint64_t first_seed, std::uint64_t count, int threads) {
+  if (threads <= 0) {
+    threads = SweepThreadCount();
+  }
+  const PageCounterSnapshot before = ReadPageCounters();
+
+  // One slot per seed; every scenario owns private simulations, so thread
+  // count and scheduling cannot reach any result.
+  std::vector<std::optional<FuzzScenarioResult>> slots(static_cast<std::size_t>(count));
+  ParallelFor(threads, static_cast<std::size_t>(count), [&](std::size_t i) {
+    slots[i] = RunScenario(first_seed + i);
+  });
+
+  FuzzCorpusResult corpus;
+  corpus.scenarios = count;
+  corpus.results.reserve(slots.size());
+  for (std::optional<FuzzScenarioResult>& slot : slots) {
+    ACCENT_CHECK(slot.has_value()) << " fuzz scenario slot never filled";
+    const FuzzScenarioResult& r = *slot;
+    switch (r.outcome) {
+      case FailureOutcome::kCompleted:
+        ++corpus.completed;
+        if (!r.integrity_ok) {
+          ++corpus.integrity_failures;
+        }
+        break;
+      case FailureOutcome::kAborted:
+        ++corpus.aborted;
+        break;
+      case FailureOutcome::kTerminalFault:
+        ++corpus.terminal_faults;
+        break;
+      case FailureOutcome::kHung:
+        ++corpus.hung;
+        break;
+    }
+    corpus.backer_imbalances += r.backer_balanced ? 0 : 1;
+    corpus.shard_divergences += r.shard_match ? 0 : 1;
+    corpus.cluster_census_failures += r.cluster_census_ok ? 0 : 1;
+    corpus.cluster_hangs += r.cluster_hung ? 1 : 0;
+    corpus.diskless_backing_anchors += r.diskless_backing_anchors;
+    corpus.remigrations += r.remigrated ? 1 : 0;
+    corpus.crash_scenarios +=
+        (r.scenario.crash_dest || r.scenario.crash_source) ? 1 : 0;
+    if (!r.ok()) {
+      ++corpus.failures;
+      ACCENT_LOG(kError) << "fuzz: seed " << r.scenario.seed << " FAILED [" << r.failure
+                         << "] scenario: " << r.scenario.Describe();
+      ACCENT_LOG(kError) << "fuzz: replay with: tools/migrate_sim --replay-seed="
+                         << r.scenario.seed;
+    }
+    corpus.results.push_back(std::move(*slot));
+  }
+
+  const PageCounterSnapshot after = ReadPageCounters();
+  corpus.payload_leak = static_cast<std::int64_t>(after.live_payloads()) -
+                        static_cast<std::int64_t>(before.live_payloads());
+  if (corpus.payload_leak != 0) {
+    ++corpus.failures;
+    ACCENT_LOG(kError) << "fuzz: corpus leaked " << corpus.payload_leak
+                       << " page payloads (allocs minus frees did not settle)";
+  }
+  return corpus;
+}
+
+Json FuzzCorpusToJson(const FuzzCorpusResult& corpus) {
+  Json scenarios{Json::Array{}};
+  for (const FuzzScenarioResult& r : corpus.results) {
+    Json entry;
+    entry["seed"] = Json(r.scenario.seed);
+    entry["scenario"] = Json(r.scenario.Describe());
+    entry["outcome"] = Json(FailureOutcomeName(r.outcome));
+    entry["integrity_ok"] = Json(r.integrity_ok);
+    entry["rolled_back"] = Json(r.rolled_back);
+    entry["remigrated"] = Json(r.remigrated);
+    entry["backer_balanced"] = Json(r.backer_balanced);
+    entry["shard_match"] = Json(r.shard_match);
+    entry["cluster_census_ok"] = Json(r.cluster_census_ok);
+    entry["cluster_hung"] = Json(r.cluster_hung);
+    entry["failure"] = Json(r.failure);
+    scenarios.Append(std::move(entry));
+  }
+
+  Json report;
+  report["bench"] = Json("fuzz_corpus");
+  report["schema_version"] = Json(1);
+  report["first_seed"] =
+      Json(corpus.results.empty() ? std::uint64_t{0} : corpus.results.front().scenario.seed);
+  report["scenario_count"] = Json(corpus.scenarios);
+  report["completed"] = Json(corpus.completed);
+  report["aborted"] = Json(corpus.aborted);
+  report["terminal_faults"] = Json(corpus.terminal_faults);
+  report["hung"] = Json(corpus.hung);
+  report["integrity_failures"] = Json(corpus.integrity_failures);
+  report["backer_imbalances"] = Json(corpus.backer_imbalances);
+  report["shard_divergences"] = Json(corpus.shard_divergences);
+  report["cluster_census_failures"] = Json(corpus.cluster_census_failures);
+  report["cluster_hangs"] = Json(corpus.cluster_hangs);
+  report["diskless_backing_anchors"] = Json(corpus.diskless_backing_anchors);
+  report["payload_leak"] = Json(static_cast<std::int64_t>(corpus.payload_leak));
+  report["remigrations"] = Json(corpus.remigrations);
+  report["crash_scenarios"] = Json(corpus.crash_scenarios);
+  report["failures"] = Json(corpus.failures);
+  report["scenarios"] = std::move(scenarios);
+  return report;
+}
+
+}  // namespace accent

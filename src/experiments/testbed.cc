@@ -11,7 +11,13 @@ Testbed::Testbed(const TestbedConfig& config)
       network_(&sim_, &config_.costs, &traffic_),
       fabric_(&sim_, &config_.costs) {
   ACCENT_EXPECTS(config_.host_count >= 1);
+  ACCENT_EXPECTS(config_.calibrations.empty() ||
+                 config_.calibrations.size() == static_cast<std::size_t>(config_.host_count))
+      << " calibrations must cover every host";
   sim_.set_tracer(config_.tracer);
+  if (!config_.calibrations.empty()) {
+    network_.SetHostCalibrations(config_.calibrations);
+  }
   const bool faulty = config_.fault_plan.enabled();
   const bool reliable = faulty || config_.reliable_transport;
   if (faulty) {
@@ -21,9 +27,24 @@ Testbed::Testbed(const TestbedConfig& config)
   hosts_.reserve(static_cast<std::size_t>(config_.host_count));
   for (int i = 0; i < config_.host_count; ++i) {
     const HostId id(static_cast<std::uint64_t>(i) + 1);
+    const HostCalibration cal = CalibrationOf(config_.calibrations, static_cast<std::size_t>(i));
+    cal.Validate();
     HostParts parts;
     parts.cpu = std::make_unique<Cpu>(&sim_, id);
+    if (cal.cpu_multiplier != 1.0) {
+      parts.cpu->set_speed_multiplier(cal.cpu_multiplier);
+    }
     parts.disk = std::make_unique<Disk>(&sim_, &config_.costs);
+    if (cal.diskless) {
+      // Every paging request crosses the wire to a file server: a request+
+      // reply of link latency plus serializing each page at link bandwidth.
+      const SimDuration round_trip =
+          ScaleLatency(config_.costs.wire_latency, cal.wire_latency_multiplier) * 2;
+      const double bps = config_.costs.wire_bytes_per_sec * cal.wire_bandwidth_multiplier;
+      const auto per_page = SimDuration(
+          static_cast<std::int64_t>(static_cast<double>(kPageSize) / bps * 1e6));
+      parts.disk->ConfigureRemote(round_trip, per_page);
+    }
     parts.memory = std::make_unique<PhysicalMemory>(config_.frames_per_host);
     fabric_.RegisterHost(id, parts.cpu.get());
 
@@ -51,6 +72,7 @@ Testbed::Testbed(const TestbedConfig& config)
     parts.env->pager = parts.pager.get();
     parts.env->netmsg = parts.netmsg.get();
     parts.env->segments = &segments_;
+    parts.env->diskless = cal.diskless;
 
     parts.manager = std::make_unique<MigrationManager>(parts.env.get());
     parts.manager->Start();
@@ -60,6 +82,11 @@ Testbed::Testbed(const TestbedConfig& config)
 }
 
 Testbed::~Testbed() = default;
+
+HostCalibration Testbed::calibration(int index) const {
+  ACCENT_EXPECTS(index >= 0 && index < static_cast<int>(hosts_.size()));
+  return CalibrationOf(config_.calibrations, static_cast<std::size_t>(index));
+}
 
 HostEnv* Testbed::host(int index) {
   ACCENT_EXPECTS(index >= 0 && index < host_count());

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/host/calibration.h"
 #include "src/host/costs.h"
 #include "src/host/cpu.h"
 #include "src/host/disk.h"
@@ -46,6 +47,13 @@ struct TestbedConfig {
   // Force the reliable transport even with a trivial plan (protocol tests).
   bool reliable_transport = false;
 
+  // Per-host calibrations, indexed by host (entry i calibrates HostId i+1).
+  // Empty — the default — is the homogeneous testbed, byte-identical to the
+  // seed; when present the vector must cover every host. A diskless entry
+  // turns that host's Disk into a remote-paging path and marks its HostEnv
+  // so no FileServer can anchor backing there.
+  std::vector<HostCalibration> calibrations{};
+
   // Observability (not owned; may be null — the default — for no tracing).
   // Attached to the simulator at construction; every instrumented subsystem
   // reaches it through sim().tracer(). Recording never alters the event
@@ -64,6 +72,9 @@ class Testbed {
   Simulator& sim() { return sim_; }
   const CostTable& costs() const { return config_.costs; }
   int host_count() const { return static_cast<int>(hosts_.size()); }
+
+  // This host's calibration; identity when the config carried none.
+  HostCalibration calibration(int index) const;
 
   HostEnv* host(int index);
   MigrationManager* manager(int index);

@@ -23,6 +23,8 @@ FileServer::FileServer(HostEnv* env)
 
 void FileServer::Start() {
   ACCENT_EXPECTS(!port_.valid()) << " file server started twice";
+  ACCENT_CHECK(!env_->diskless)
+      << " host " << env_->id << " is diskless and cannot anchor file backing";
   port_ = env_->fabric->AllocatePort(env_->id, this, "file-server");
   backer_.Start();
 }

@@ -1,0 +1,94 @@
+// Per-host cost calibration — heterogeneous fleets.
+//
+// The paper's testbed was itself heterogeneous: the CMU Perq pool mixed
+// machine generations, link speeds and partly *diskless* workstations, yet
+// §4's cost model is calibrated to one machine class. A HostCalibration
+// expresses one host's deviation from the shared CostTable as a set of
+// multipliers, so the homogeneous default (all 1.0, disk present) is
+// *exactly* the calibrated two-Perq model — the golden sweep digest and
+// every cached sweep stay byte-identical unless a trial opts in.
+//
+//   cpu_multiplier            > 1 = faster CPU: every CPU work item on the
+//                             host (process slices, pager service, netmsg
+//                             handling, excise/insert) finishes in
+//                             work / multiplier of simulated time.
+//   wire_latency_multiplier   scales the host's egress link propagation
+//                             latency (per-link heterogeneity).
+//   wire_bandwidth_multiplier scales the host's egress serialization
+//                             bandwidth.
+//   diskless                  the paper's diskless Perq: no local spindle.
+//                             Local FileServer backing is forbidden
+//                             (FileServer::Start CHECKs) and every paging
+//                             operation pays a remote round trip to a file
+//                             server host (Disk::ConfigureRemote).
+#ifndef SRC_HOST_CALIBRATION_H_
+#define SRC_HOST_CALIBRATION_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace accent {
+
+struct HostCalibration {
+  double cpu_multiplier = 1.0;
+  double wire_latency_multiplier = 1.0;
+  double wire_bandwidth_multiplier = 1.0;
+  bool diskless = false;
+
+  bool identity() const {
+    return cpu_multiplier == 1.0 && wire_latency_multiplier == 1.0 &&
+           wire_bandwidth_multiplier == 1.0 && !diskless;
+  }
+
+  void Validate() const {
+    ACCENT_EXPECTS(cpu_multiplier > 0.0);
+    ACCENT_EXPECTS(wire_latency_multiplier > 0.0);
+    ACCENT_EXPECTS(wire_bandwidth_multiplier > 0.0);
+  }
+};
+
+// Scales a CPU work duration by a speed multiplier. The 1.0 fast path is an
+// exact identity (no float round trip), which is what keeps every
+// homogeneous schedule bit-identical to the uncalibrated build.
+inline SimDuration ScaleCpu(SimDuration work, double cpu_multiplier) {
+  if (cpu_multiplier == 1.0) {
+    return work;
+  }
+  return SimDuration(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(work.count()) / cpu_multiplier)));
+}
+
+// Scales a wire propagation latency; same exact-identity contract.
+inline SimDuration ScaleLatency(SimDuration latency, double latency_multiplier) {
+  if (latency_multiplier == 1.0) {
+    return latency;
+  }
+  return SimDuration(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(latency.count()) * latency_multiplier)));
+}
+
+// The calibration of host `index` in a per-host vector; an empty (or short)
+// vector means "homogeneous" and yields the identity calibration.
+inline HostCalibration CalibrationOf(const std::vector<HostCalibration>& calibrations,
+                                     std::size_t index) {
+  return index < calibrations.size() ? calibrations[index] : HostCalibration{};
+}
+
+// True when any entry deviates from the identity — the gate every layer
+// uses to keep the homogeneous code path (and its results) untouched.
+inline bool AnyCalibrated(const std::vector<HostCalibration>& calibrations) {
+  for (const HostCalibration& calibration : calibrations) {
+    if (!calibration.identity()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace accent
+
+#endif  // SRC_HOST_CALIBRATION_H_

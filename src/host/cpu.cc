@@ -20,6 +20,7 @@ const char* CpuWorkName(CpuWork work) {
 void Cpu::Submit(CpuWork category, SimDuration work, std::function<void()> done,
                  CpuPriority priority) {
   ACCENT_EXPECTS(work >= SimDuration::zero());
+  work = ScaleCpu(work, speed_multiplier_);
   Item item{category, work, std::move(done)};
   backlog_ += work;
   if (priority == CpuPriority::kHigh) {

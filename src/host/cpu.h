@@ -20,6 +20,7 @@
 #include <functional>
 
 #include "src/base/types.h"
+#include "src/host/calibration.h"
 #include "src/sim/simulator.h"
 
 namespace accent {
@@ -47,9 +48,20 @@ class Cpu {
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
-  // Charges `work` of CPU time under `category`, then invokes `done`.
+  // Charges `work` of CPU time under `category`, then invokes `done`. On a
+  // calibrated host the charge is work / speed_multiplier (a 2x CPU clears
+  // the same work in half the simulated time); 1.0 — the default — charges
+  // `work` exactly.
   void Submit(CpuWork category, SimDuration work, std::function<void()> done,
               CpuPriority priority = CpuPriority::kNormal);
+
+  // Per-host CPU calibration (HostCalibration::cpu_multiplier). Set once at
+  // testbed assembly, before any work is submitted.
+  void set_speed_multiplier(double multiplier) {
+    ACCENT_EXPECTS(multiplier > 0.0);
+    speed_multiplier_ = multiplier;
+  }
+  double speed_multiplier() const { return speed_multiplier_; }
 
   // Cumulative busy time attributed to `category`.
   SimDuration BusyTime(CpuWork category) const {
@@ -77,6 +89,7 @@ class Cpu {
 
   Simulator& sim_;
   HostId host_;
+  double speed_multiplier_ = 1.0;
   std::deque<Item> high_;
   std::deque<Item> normal_;
   bool running_ = false;

@@ -30,14 +30,30 @@ class Disk {
   // Reads `pages` consecutive pages; `done` runs when the transfer finishes.
   void Read(std::uint64_t pages, std::function<void()> done) {
     reads_ += pages;
-    Submit(costs_.disk_page_read * static_cast<std::int64_t>(pages), std::move(done));
+    Submit(RemotePenalty(pages) + costs_.disk_page_read * static_cast<std::int64_t>(pages),
+           std::move(done));
   }
 
   // Writes `pages` pages (used for page-out of dirty imaginary data).
   void Write(std::uint64_t pages, std::function<void()> done) {
     writes_ += pages;
-    Submit(costs_.disk_page_write * static_cast<std::int64_t>(pages), std::move(done));
+    Submit(RemotePenalty(pages) + costs_.disk_page_write * static_cast<std::int64_t>(pages),
+           std::move(done));
   }
+
+  // Diskless-host mode (HostCalibration::diskless): the "spindle" is a file
+  // server across the wire, so every request additionally pays a network
+  // round trip (`per_op`) plus `per_page` of page serialization. The queue
+  // discipline is unchanged — a diskless Perq still issued one paging
+  // request at a time. Never called on the homogeneous path.
+  void ConfigureRemote(SimDuration per_op, SimDuration per_page) {
+    ACCENT_EXPECTS(per_op >= SimDuration::zero() && per_page >= SimDuration::zero());
+    remote_per_op_ = per_op;
+    remote_per_page_ = per_page;
+    remote_ = true;
+  }
+  bool remote() const { return remote_; }
+  std::uint64_t remote_ops() const { return remote_ops_; }
 
   std::uint64_t reads_completed() const { return reads_; }
   std::uint64_t writes_completed() const { return writes_; }
@@ -46,10 +62,22 @@ class Disk {
  private:
   void Submit(SimDuration duration, std::function<void()> done);
 
+  SimDuration RemotePenalty(std::uint64_t pages) {
+    if (!remote_) {
+      return SimDuration::zero();
+    }
+    ++remote_ops_;
+    return remote_per_op_ + remote_per_page_ * static_cast<std::int64_t>(pages);
+  }
+
   Simulator& sim_;
   const CostTable& costs_;
   SimTime busy_until_{0};
   SimDuration busy_{0};
+  bool remote_ = false;
+  SimDuration remote_per_op_{0};
+  SimDuration remote_per_page_{0};
+  std::uint64_t remote_ops_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
 };

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "src/base/types.h"
+#include "src/host/calibration.h"
 #include "src/host/costs.h"
 #include "src/migration/strategy.h"
 
@@ -93,6 +94,47 @@ struct MigrationCostModel {
   }
   static ByteCount PullReplyBytes(const CostTable& costs, std::int64_t pages) {
     return costs.fault_reply_header_bytes + static_cast<ByteCount>(pages) * kPageSize;
+  }
+
+  // ---- heterogeneous calibrations ----------------------------------------
+  // The *On variants charge the same formulas on a specific host: CPU-bound
+  // phases divide by that host's speed multiplier (excision runs on the
+  // source, insertion on the destination — the asymmetry is the whole point
+  // of calibrating per host). Identity calibrations reproduce the
+  // homogeneous results exactly (ScaleCpu's 1.0 fast path).
+
+  static SimDuration ExciseCostOn(const CostTable& costs, const Footprint& fp,
+                                  const HostCalibration& source) {
+    return ScaleCpu(ExciseCost(costs, fp), source.cpu_multiplier);
+  }
+
+  static SimDuration InsertCostOn(const CostTable& costs, std::int64_t map_entries,
+                                  std::int64_t data_pages, const HostCalibration& dest) {
+    return ScaleCpu(InsertCost(costs, map_entries, data_pages), dest.cpu_multiplier);
+  }
+
+  // Time `bytes` spend on the sender's egress link: serialization at the
+  // link's (calibrated) bandwidth plus its (calibrated) propagation latency.
+  static SimDuration WireCost(const CostTable& costs, ByteCount bytes,
+                              const HostCalibration& sender) {
+    const double bps = costs.wire_bytes_per_sec * sender.wire_bandwidth_multiplier;
+    const auto serialize =
+        SimDuration(static_cast<std::int64_t>(static_cast<double>(bytes) / bps * 1e6));
+    return serialize + ScaleLatency(costs.wire_latency, sender.wire_latency_multiplier);
+  }
+
+  // End-to-end relocation estimate for victim/destination scoring: excise
+  // on the source, Core + RIMAS on the source's egress link, insert on the
+  // destination. This is what makes anchor scoring use the *destination's*
+  // costs — a slow-CPU destination inflates every candidate's estimate.
+  static SimDuration RelocationCost(const CostTable& costs, TransferStrategy strategy,
+                                    const Footprint& fp, const HostCalibration& source,
+                                    const HostCalibration& dest) {
+    const std::int64_t shipped = ShippedPages(strategy, fp);
+    const ByteCount wire_bytes =
+        CorePayloadBytes(costs, fp.map_entries) + RimasPayloadBytes(costs, strategy, fp);
+    return ExciseCostOn(costs, fp, source) + WireCost(costs, wire_bytes, source) +
+           InsertCostOn(costs, fp.map_entries, shipped, dest);
   }
 };
 

@@ -15,6 +15,37 @@ void Network::ConfigureSwitched(int host_count) {
   egress_busy_until_.assign(static_cast<std::size_t>(host_count), SimTime{0});
 }
 
+void Network::SetHostCalibrations(const std::vector<HostCalibration>& calibrations) {
+  ACCENT_CHECK(transmissions() == 0) << " calibrate links before traffic";
+  if (!AnyCalibrated(calibrations)) {
+    // Identity everywhere: leave calibrated_ false so Transmit keeps the
+    // original arithmetic, expression for expression.
+    calibrated_ = false;
+    egress_bytes_per_sec_.clear();
+    egress_latency_.clear();
+    return;
+  }
+  calibrated_ = true;
+  egress_bytes_per_sec_.resize(calibrations.size());
+  egress_latency_.resize(calibrations.size());
+  for (std::size_t i = 0; i < calibrations.size(); ++i) {
+    calibrations[i].Validate();
+    egress_bytes_per_sec_[i] =
+        costs_.wire_bytes_per_sec * calibrations[i].wire_bandwidth_multiplier;
+    egress_latency_[i] =
+        ScaleLatency(costs_.wire_latency, calibrations[i].wire_latency_multiplier);
+  }
+}
+
+SimDuration Network::MinWireLatency(const CostTable& costs,
+                                    const std::vector<HostCalibration>& calibrations) {
+  SimDuration min = costs.wire_latency;
+  for (const HostCalibration& cal : calibrations) {
+    min = std::min(min, ScaleLatency(costs.wire_latency, cal.wire_latency_multiplier));
+  }
+  return min;
+}
+
 void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind,
                        std::function<void()> deliver) {
   ACCENT_EXPECTS(from != to) << " loopback transmissions never touch the wire";
@@ -26,8 +57,17 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
     recorder_->Record(kind, bytes);
   }
 
+  // Uncalibrated (the default and every golden-digest path) reads the
+  // shared CostTable values; a calibrated sender reads its own link.
+  const std::size_t link = static_cast<std::size_t>(from.value - 1);
+  const double bytes_per_sec = calibrated_ && link < egress_bytes_per_sec_.size()
+                                   ? egress_bytes_per_sec_[link]
+                                   : costs_.wire_bytes_per_sec;
+  const SimDuration latency = calibrated_ && link < egress_latency_.size()
+                                  ? egress_latency_[link]
+                                  : costs_.wire_latency;
   const auto serialize = SimDuration(static_cast<std::int64_t>(
-      static_cast<double>(bytes) / costs_.wire_bytes_per_sec * 1e6));
+      static_cast<double>(bytes) / bytes_per_sec * 1e6));
 
   if (model_ == WireModel::kSwitched) {
     // Private egress port: only the transmitting host's shard reaches this
@@ -37,7 +77,7 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
     SimTime& busy = egress_busy_until_[static_cast<std::size_t>(from.value - 1)];
     const SimTime start = std::max(sim_.Now(), busy);
     busy = start + serialize;
-    const SimTime arrival = busy + costs_.wire_latency;
+    const SimTime arrival = busy + latency;
     if (Tracer* tracer = sim_.tracer()) {
       tracer->Complete(from, TraceLane::kWire, "wire:tx", start, arrival - start,
                        {{"to", Json(to.value)},
@@ -52,7 +92,7 @@ void Network::Transmit(HostId from, HostId to, ByteCount bytes, TrafficKind kind
 
   const SimTime start = std::max(sim_.Now(), wire_busy_until_);
   wire_busy_until_ = start + serialize;
-  const SimTime arrival = wire_busy_until_ + costs_.wire_latency;
+  const SimTime arrival = wire_busy_until_ + latency;
 
   if (Tracer* tracer = sim_.tracer()) {
     tracer->Complete(from, TraceLane::kWire, "wire:tx", start, arrival - start,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/host/calibration.h"
 #include "src/host/costs.h"
 #include "src/net/fault.h"
 #include "src/net/traffic.h"
@@ -63,6 +64,21 @@ class Network {
   void ConfigureSwitched(int host_count);
   WireModel wire_model() const { return model_; }
 
+  // Per-host link calibrations, indexed by host id - 1 (the dense-id
+  // convention). A transmission's serialization bandwidth and propagation
+  // latency come from the *sender's* link — its egress NIC/driver in the
+  // switched model, its transceiver on the shared bus. An empty vector (the
+  // default) or all-identity entries keep the uncalibrated arithmetic
+  // byte-for-byte. Call before any transmission.
+  void SetHostCalibrations(const std::vector<HostCalibration>& calibrations);
+  bool calibrated() const { return calibrated_; }
+
+  // The smallest calibrated egress latency across `calibrations` (the safe
+  // sharded-simulator lookahead for a switched fleet); costs.wire_latency
+  // exactly when nothing is calibrated.
+  static SimDuration MinWireLatency(const CostTable& costs,
+                                    const std::vector<HostCalibration>& calibrations);
+
   // Attaches a fault injector consulted once per transmission. Null (the
   // default) keeps the wire perfectly reliable and the event schedule
   // bit-identical to the injector-free build; deliveries to a host inside a
@@ -90,6 +106,12 @@ class Network {
   TrafficRecorder* recorder_;  // may be null (micro tests, fleet trials)
   FaultInjector* fault_ = nullptr;  // may be null (reliable wire)
   WireModel model_ = WireModel::kSharedBus;
+  // Heterogeneous links: per-sender serialization bandwidth and latency,
+  // precomputed from the calibrations (empty when uncalibrated). Sized once
+  // up front and only read afterwards, so shards share them lock-free.
+  bool calibrated_ = false;
+  std::vector<double> egress_bytes_per_sec_;
+  std::vector<SimDuration> egress_latency_;
   SimTime wire_busy_until_{0};
   // kSwitched: per-host egress availability, indexed by host id - 1. Each
   // slot is written only by the owning host's shard, so the vector needs

@@ -22,9 +22,15 @@ LoadBalancerPolicy::LoadBalancerPolicy(Simulator* sim, const PolicyConfig& confi
 }
 
 void LoadBalancerPolicy::AddHost(HostEnv* env, MigrationManager* manager) {
+  AddHost(env, manager, HostCalibration{});
+}
+
+void LoadBalancerPolicy::AddHost(HostEnv* env, MigrationManager* manager,
+                                 const HostCalibration& calibration) {
   ACCENT_EXPECTS(env != nullptr && manager != nullptr);
   ACCENT_EXPECTS(!running_) << " hosts must join before Start()";
-  nodes_.push_back(Node{env, manager});
+  calibration.Validate();
+  nodes_.push_back(Node{env, manager, calibration});
 }
 
 void LoadBalancerPolicy::Start() {
@@ -101,41 +107,49 @@ void LoadBalancerPolicy::Sample() {
   if (migration_in_flight_ && config_.one_migration_per_sample) {
     return;
   }
+  // loads[i] describes nodes_[i] (SampleLoads walks nodes_ in order).
+  // First index wins ties on runnable — matching the historical
+  // max_element/min_element behaviour exactly — except that at equal
+  // runnable load a strictly faster-CPU host takes the destination slot
+  // (a no-op when every calibration is identity).
   std::vector<HostLoad> loads = SampleLoads();
-  auto busiest = std::max_element(loads.begin(), loads.end(),
-                                  [](const HostLoad& a, const HostLoad& b) {
-                                    return a.runnable < b.runnable;
-                                  });
-  auto idlest = std::min_element(loads.begin(), loads.end(),
-                                 [](const HostLoad& a, const HostLoad& b) {
-                                   return a.runnable < b.runnable;
-                                 });
-  if (!governor_.Observe(busiest->runnable - idlest->runnable)) {
+  std::size_t busiest = 0;
+  std::size_t idlest = 0;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i].runnable > loads[busiest].runnable) {
+      busiest = i;
+    }
+    if (loads[i].runnable < loads[idlest].runnable ||
+        (loads[i].runnable == loads[idlest].runnable &&
+         nodes_[i].calibration.cpu_multiplier >
+             nodes_[idlest].calibration.cpu_multiplier)) {
+      idlest = i;
+    }
+  }
+  if (!governor_.Observe(loads[busiest].runnable - loads[idlest].runnable)) {
     return;  // balanced, or a transient imbalance still inside hysteresis
   }
 
-  Node* source = nullptr;
-  Node* target = nullptr;
-  for (Node& node : nodes_) {
-    if (node.env->id == busiest->host) {
-      source = &node;
-    }
-    if (node.env->id == idlest->host) {
-      target = &node;
-    }
-  }
-  ACCENT_CHECK(source != nullptr && target != nullptr);
+  Node* source = &nodes_[busiest];
+  Node* target = &nodes_[idlest];
 
   Process* candidate = PickCandidate(*source->manager, config_.dispersal_weight);
   if (candidate == nullptr) {
     return;
+  }
+  // A diskless source cannot anchor copy-on-reference backing: pages owed
+  // by an IOU would have no local store to be served from. Ship everything.
+  TransferStrategy strategy = config_.strategy;
+  if (source->calibration.diskless && strategy != TransferStrategy::kPureCopy) {
+    strategy = TransferStrategy::kPureCopy;
+    ++diskless_copy_forced_;
   }
   ACCENT_LOG(kInfo) << "policy: moving " << candidate->name() << " from " << source->env->id
                     << " to " << target->env->id;
   ++migrations_triggered_;
   migration_in_flight_ = true;
   governor_.OnMigrationFired();
-  source->manager->Migrate(candidate, target->manager->port(), config_.strategy,
+  source->manager->Migrate(candidate, target->manager->port(), strategy,
                            [this](const MigrationRecord&) { migration_in_flight_ = false; });
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/host/calibration.h"
 #include "src/migration/migration_manager.h"
 #include "src/proc/host_env.h"
 #include "src/sim/simulator.h"
@@ -101,7 +102,14 @@ class LoadBalancerPolicy {
   LoadBalancerPolicy(Simulator* sim, const PolicyConfig& config);
 
   // Registers a host (its env + manager). All hosts join before Start().
+  // The calibrated overload teaches the policy this host's hardware: at
+  // equal runnable load the faster-CPU host wins the destination tie, and a
+  // diskless source is never left anchoring copy-on-reference backing (the
+  // migration is degraded to pure-copy instead). Identity calibrations —
+  // and the two-argument overload — reproduce the homogeneous decisions
+  // exactly.
   void AddHost(HostEnv* env, MigrationManager* manager);
+  void AddHost(HostEnv* env, MigrationManager* manager, const HostCalibration& calibration);
 
   // Begins periodic sampling; stops itself once every tracked process has
   // finished (or when Stop() is called).
@@ -112,6 +120,9 @@ class LoadBalancerPolicy {
   std::vector<HostLoad> SampleLoads() const;
   std::uint64_t migrations_triggered() const { return migrations_triggered_; }
   std::uint64_t samples_taken() const { return samples_; }
+  // Migrations whose strategy was degraded to pure-copy because the source
+  // is diskless and must not anchor backing.
+  std::uint64_t diskless_copy_forced() const { return diskless_copy_forced_; }
 
   // Dispersal-aware relocation cost of a process on its current host:
   // bytes of memory anchored locally (smaller = cheaper to move), with the
@@ -127,6 +138,7 @@ class LoadBalancerPolicy {
   struct Node {
     HostEnv* env = nullptr;
     MigrationManager* manager = nullptr;
+    HostCalibration calibration{};
   };
 
   void ScheduleNextSample();
@@ -141,6 +153,7 @@ class LoadBalancerPolicy {
   ImbalanceGovernor governor_;
   std::uint64_t migrations_triggered_ = 0;
   std::uint64_t samples_ = 0;
+  std::uint64_t diskless_copy_forced_ = 0;
 };
 
 }  // namespace accent

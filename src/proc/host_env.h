@@ -30,6 +30,9 @@ struct HostEnv {
   Pager* pager = nullptr;
   NetMsgServer* netmsg = nullptr;     // null on isolated single-host setups
   SegmentTable* segments = nullptr;   // shared per simulation
+  // HostCalibration::diskless: this machine pages across the wire and must
+  // never anchor local backing (FileServer::Start refuses to run here).
+  bool diskless = false;
 
   bool complete() const {
     return sim != nullptr && costs != nullptr && fabric != nullptr && cpu != nullptr &&

@@ -118,6 +118,66 @@ TEST(Cluster, WatchdogTripsOnTinyEventBudget) {
   EXPECT_LT(result.arrived, RunClusterTrial(TestConfig()).arrived);
 }
 
+// A representative heterogeneous fleet: a third of the hosts run fast
+// CPUs, a third slow links, and two hosts are diskless.
+std::vector<HostCalibration> MixedCalibrations(int host_count) {
+  std::vector<HostCalibration> calibrations(static_cast<std::size_t>(host_count));
+  for (int i = 0; i < host_count; ++i) {
+    HostCalibration& cal = calibrations[static_cast<std::size_t>(i)];
+    if (i % 3 == 1) {
+      cal.cpu_multiplier = 4.0;
+    } else if (i % 3 == 2) {
+      cal.wire_latency_multiplier = 2.0;
+      cal.wire_bandwidth_multiplier = 0.5;
+    }
+    cal.diskless = i < 2;
+  }
+  return calibrations;
+}
+
+TEST(Cluster, MixedCalibrationsStayByteIdenticalAcrossShards) {
+  // The shard-count determinism contract must survive heterogeneity: the
+  // calibrated cost paths go through the same deterministic engine.
+  ClusterConfig config = TestConfig();
+  config.calibrations = MixedCalibrations(config.host_count);
+  config.shards = 1;
+  const std::string reference = ClusterResultToJson(RunClusterTrial(config)).Dump(2);
+  EXPECT_NE(reference.find("\"census_ok\": true"), std::string::npos);
+  config.shards = 2;
+  config.shard_threads = 2;
+  EXPECT_EQ(ClusterResultToJson(RunClusterTrial(config)).Dump(2), reference);
+}
+
+TEST(Cluster, DisklessHostsNeverAnchorBacking) {
+  // Under an owed-page strategy the balancer degrades any migration off a
+  // diskless host to pure-copy; the invariant counter proves no
+  // copy-on-reference debt was ever anchored where no spindle can serve it.
+  ClusterConfig config = TestConfig();
+  config.calibrations = MixedCalibrations(config.host_count);
+  config.policy.strategy = TransferStrategy::kPureIou;
+  const ClusterResult result = RunClusterTrial(config);
+  EXPECT_FALSE(result.hung);
+  EXPECT_TRUE(result.census_ok);
+  ASSERT_GT(result.migrations_completed, 0u);
+  EXPECT_EQ(result.diskless_backing_anchors, 0u);
+  EXPECT_GT(result.diskless_copy_forced, 0u);
+}
+
+TEST(Cluster, FasterFleetFinishesMoreWork) {
+  // Crank every CPU to 4x: the same arrival stream must complete at least
+  // as many processes as the homogeneous fleet (slices shrink by the
+  // multiplier), and the homogeneous run is untouched by the empty vector.
+  ClusterConfig slow = TestConfig();
+  ClusterConfig fast = TestConfig();
+  fast.calibrations.assign(static_cast<std::size_t>(fast.host_count), HostCalibration{});
+  for (HostCalibration& cal : fast.calibrations) {
+    cal.cpu_multiplier = 4.0;
+  }
+  const ClusterResult slow_result = RunClusterTrial(slow);
+  const ClusterResult fast_result = RunClusterTrial(fast);
+  EXPECT_GT(fast_result.completed, slow_result.completed);
+}
+
 TEST(Cluster, ShardEnvKnobParsesAndClamps) {
   ASSERT_EQ(unsetenv("ACCENT_SIM_SHARDS"), 0);
   EXPECT_EQ(SimShardCount(), 1);  // never configured: serial-equivalent default

@@ -1,0 +1,190 @@
+// Property tests for the analytic migration cost model and its
+// heterogeneous-calibration overloads (src/migration/cost_model.h): the
+// formulas must be monotone in the quantities they charge for, scale as the
+// calibration multipliers say, and — crucially — reproduce the homogeneous
+// predictions *exactly* under identity calibrations, because the golden
+// sweep digest rides on that identity.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/host/calibration.h"
+#include "src/migration/cost_model.h"
+
+namespace accent {
+namespace {
+
+using Footprint = MigrationCostModel::Footprint;
+
+Footprint MakeFootprint(std::int64_t map_entries, std::int64_t real_pages,
+                        std::int64_t resident_pages) {
+  Footprint fp;
+  fp.map_entries = map_entries;
+  fp.real_pages = real_pages;
+  fp.resident_pages = resident_pages;
+  return fp;
+}
+
+// A deterministic spread of footprints, from empty to large, for the
+// property sweeps below.
+std::vector<Footprint> SampleFootprints() {
+  std::vector<Footprint> fps;
+  Rng rng(0x90de1);
+  fps.push_back(MakeFootprint(0, 0, 0));
+  fps.push_back(MakeFootprint(1, 1, 1));
+  for (int i = 0; i < 32; ++i) {
+    const std::int64_t real = static_cast<std::int64_t>(rng.NextBelow(4096));
+    const std::int64_t resident =
+        real == 0 ? 0 : static_cast<std::int64_t>(rng.NextBelow(static_cast<std::uint64_t>(real)));
+    fps.push_back(MakeFootprint(static_cast<std::int64_t>(1 + rng.NextBelow(64)), real, resident));
+  }
+  return fps;
+}
+
+const TransferStrategy kStrategies[] = {TransferStrategy::kPureCopy,
+                                        TransferStrategy::kPureIou,
+                                        TransferStrategy::kResidentSet};
+
+TEST(CostModel, ExciseAndInsertMonotoneInFootprint) {
+  const CostTable costs;
+  for (const Footprint& fp : SampleFootprints()) {
+    Footprint bigger = fp;
+    bigger.map_entries += 3;
+    bigger.real_pages += 7;
+    bigger.resident_pages += 5;
+    EXPECT_GE(MigrationCostModel::ExciseCost(costs, bigger),
+              MigrationCostModel::ExciseCost(costs, fp));
+    EXPECT_GE(MigrationCostModel::InsertCost(costs, bigger.map_entries, bigger.real_pages),
+              MigrationCostModel::InsertCost(costs, fp.map_entries, fp.real_pages));
+  }
+}
+
+TEST(CostModel, ShippedPlusOwedCoversRealPagesExactly) {
+  for (const Footprint& fp : SampleFootprints()) {
+    for (TransferStrategy strategy : kStrategies) {
+      const std::int64_t shipped = MigrationCostModel::ShippedPages(strategy, fp);
+      const std::int64_t owed = MigrationCostModel::OwedPages(strategy, fp);
+      EXPECT_GE(shipped, 0);
+      EXPECT_GE(owed, 0);
+      EXPECT_EQ(shipped + owed, fp.real_pages);
+    }
+    EXPECT_EQ(MigrationCostModel::OwedPages(TransferStrategy::kPureCopy, fp), 0);
+    EXPECT_EQ(MigrationCostModel::ShippedPages(TransferStrategy::kPureIou, fp), 0);
+  }
+}
+
+TEST(CostModel, WireCostMonotoneInBytes) {
+  const CostTable costs;
+  const HostCalibration identity;
+  SimDuration previous{-1};
+  for (ByteCount bytes : {ByteCount{0}, ByteCount{512}, ByteCount{4096}, ByteCount{65536},
+                          ByteCount{1 << 20}}) {
+    const SimDuration cost = MigrationCostModel::WireCost(costs, bytes, identity);
+    EXPECT_GT(cost, previous);
+    previous = cost;
+  }
+}
+
+TEST(CostModel, WireCostMonotoneInLatencyAndBandwidthMultipliers) {
+  const CostTable costs;
+  const ByteCount bytes = 64 * kPageSize;
+  HostCalibration slow_link;
+  slow_link.wire_latency_multiplier = 2.0;
+  HostCalibration fast_link;
+  fast_link.wire_latency_multiplier = 0.5;
+  const SimDuration base = MigrationCostModel::WireCost(costs, bytes, HostCalibration{});
+  EXPECT_GT(MigrationCostModel::WireCost(costs, bytes, slow_link), base);
+  EXPECT_LT(MigrationCostModel::WireCost(costs, bytes, fast_link), base);
+
+  HostCalibration thin_pipe;
+  thin_pipe.wire_bandwidth_multiplier = 0.5;
+  HostCalibration fat_pipe;
+  fat_pipe.wire_bandwidth_multiplier = 2.0;
+  EXPECT_GT(MigrationCostModel::WireCost(costs, bytes, thin_pipe), base);
+  EXPECT_LT(MigrationCostModel::WireCost(costs, bytes, fat_pipe), base);
+}
+
+TEST(CostModel, CpuMultiplierScalesExciseAndInsert) {
+  const CostTable costs;
+  HostCalibration twice;
+  twice.cpu_multiplier = 2.0;
+  HostCalibration half;
+  half.cpu_multiplier = 0.5;
+  for (const Footprint& fp : SampleFootprints()) {
+    const SimDuration excise = MigrationCostModel::ExciseCost(costs, fp);
+    // llround(x / 2) and llround(x * 2): exact up to the rounding half-ulp.
+    EXPECT_LE((MigrationCostModel::ExciseCostOn(costs, fp, twice) - excise / 2).count(), 1);
+    EXPECT_EQ(MigrationCostModel::ExciseCostOn(costs, fp, half), excise * 2);
+
+    const SimDuration insert =
+        MigrationCostModel::InsertCost(costs, fp.map_entries, fp.real_pages);
+    EXPECT_LE(
+        (MigrationCostModel::InsertCostOn(costs, fp.map_entries, fp.real_pages, twice) -
+         insert / 2)
+            .count(),
+        1);
+    EXPECT_EQ(MigrationCostModel::InsertCostOn(costs, fp.map_entries, fp.real_pages, half),
+              insert * 2);
+  }
+}
+
+// The identity contract the whole calibrated build hangs on: with 1.0
+// multipliers the *On/With variants must return bit-identical results to
+// the homogeneous formulas — not merely close ones — so default-path
+// schedules (and the golden digest) cannot move.
+TEST(CostModel, IdentityCalibrationReproducesHomogeneousPredictionsExactly) {
+  const CostTable costs;
+  const HostCalibration identity;
+  ASSERT_TRUE(identity.identity());
+  for (const Footprint& fp : SampleFootprints()) {
+    EXPECT_EQ(MigrationCostModel::ExciseCostOn(costs, fp, identity),
+              MigrationCostModel::ExciseCost(costs, fp));
+    EXPECT_EQ(MigrationCostModel::InsertCostOn(costs, fp.map_entries, fp.real_pages, identity),
+              MigrationCostModel::InsertCost(costs, fp.map_entries, fp.real_pages));
+    for (TransferStrategy strategy : kStrategies) {
+      const std::int64_t shipped = MigrationCostModel::ShippedPages(strategy, fp);
+      const ByteCount wire_bytes =
+          MigrationCostModel::CorePayloadBytes(costs, fp.map_entries) +
+          MigrationCostModel::RimasPayloadBytes(costs, strategy, fp);
+      const SimDuration homogeneous =
+          MigrationCostModel::ExciseCost(costs, fp) +
+          MigrationCostModel::WireCost(costs, wire_bytes, identity) +
+          MigrationCostModel::InsertCost(costs, fp.map_entries, shipped);
+      EXPECT_EQ(
+          MigrationCostModel::RelocationCost(costs, strategy, fp, identity, identity),
+          homogeneous);
+    }
+  }
+}
+
+TEST(CostModel, ScaleHelpersIdentityIsExactAndScalingMonotone) {
+  const SimDuration work = Us(123457);
+  EXPECT_EQ(ScaleCpu(work, 1.0), work);
+  EXPECT_EQ(ScaleLatency(work, 1.0), work);
+  EXPECT_LT(ScaleCpu(work, 4.0), ScaleCpu(work, 2.0));
+  EXPECT_LT(ScaleCpu(work, 2.0), ScaleCpu(work, 0.5));
+  EXPECT_LT(ScaleLatency(work, 0.5), ScaleLatency(work, 2.0));
+}
+
+TEST(CostModel, RelocationCostRespondsToEachSideOfTheLink) {
+  const CostTable costs;
+  const Footprint fp = MakeFootprint(24, 1024, 256);
+  const HostCalibration identity;
+  HostCalibration fast_cpu;
+  fast_cpu.cpu_multiplier = 4.0;
+  HostCalibration slow_cpu;
+  slow_cpu.cpu_multiplier = 0.5;
+  for (TransferStrategy strategy : kStrategies) {
+    const SimDuration base =
+        MigrationCostModel::RelocationCost(costs, strategy, fp, identity, identity);
+    // A faster source excises (and serializes onto its own link) sooner; a
+    // slower destination pays more at insert time. Each side moves the
+    // estimate independently.
+    EXPECT_LT(MigrationCostModel::RelocationCost(costs, strategy, fp, fast_cpu, identity),
+              base);
+    EXPECT_GT(MigrationCostModel::RelocationCost(costs, strategy, fp, identity, slow_cpu),
+              base);
+  }
+}
+
+}  // namespace
+}  // namespace accent

@@ -10,9 +10,11 @@
 #include <map>
 #include <optional>
 
+#include "src/base/page_ref.h"
 #include "src/base/rng.h"
 #include "src/experiments/testbed.h"
 #include "src/proc/excise.h"
+#include "src/vm/backer.h"
 
 namespace accent {
 namespace {
@@ -233,8 +235,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SpaceFuzz, ::testing::Range<std::uint64_t>(1, 9)
 
 class MigrationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(MigrationFuzz, RandomProcessMigratesIntact) {
-  Rng rng(GetParam() * 131 + 17);
+// The migration model-check proper, factored out so the test can bracket
+// it with the payload-balance counters (everything simulated must be
+// destroyed before the leak check).
+void RunRandomMigration(std::uint64_t seed) {
+  Rng rng(seed * 131 + 17);
   Testbed bed;
   RandomSpace random = BuildRandomSpace(&bed, &rng, 0);
 
@@ -263,7 +268,7 @@ TEST_P(MigrationFuzz, RandomProcessMigratesIntact) {
   trace.Terminate();
 
   auto proc = std::make_unique<Process>(ProcId(bed.sim().AllocateId()), "fuzzmig",
-                                        bed.host(0), std::move(random.space), GetParam());
+                                        bed.host(0), std::move(random.space), seed);
   proc->SetTrace(trace.Build(), 0);
 
   const TransferStrategy strategy = static_cast<TransferStrategy>(rng.NextBelow(3));
@@ -302,6 +307,27 @@ TEST_P(MigrationFuzz, RandomProcessMigratesIntact) {
     ASSERT_EQ(remote->space()->ReadByte(probe), PageByteAt(want, 13))
         << "page " << page << " strategy " << StrategyName(strategy);
   }
+
+  // Backer reference balance: the process has terminated and the simulation
+  // drained, so every space-death notice has been processed. No backer may
+  // have seen a duplicate final death, and the destination must not be left
+  // holding backing objects (only the origin legitimately retains any).
+  for (int host = 0; host < bed.host_count(); ++host) {
+    EXPECT_EQ(bed.netmsg(host)->backer().duplicate_deaths(), 0u)
+        << "host " << host << " strategy " << StrategyName(strategy);
+  }
+  EXPECT_EQ(bed.netmsg(1)->backer().object_count(), 0u) << StrategyName(strategy);
+}
+
+TEST_P(MigrationFuzz, RandomProcessMigratesIntact) {
+  // Payload-balance bracket: every page payload the trial allocates (RIMAS
+  // runs, IOU cache objects, pull replies) must be freed once the testbed
+  // and its processes are destroyed — the zero-copy data plane's refcounts
+  // must settle no matter which random strategy/prefetch/trace ran.
+  const PageCounterSnapshot payloads_before = ReadPageCounters();
+  RunRandomMigration(GetParam());
+  const PageCounterSnapshot payloads_after = ReadPageCounters();
+  EXPECT_EQ(payloads_after.live_payloads(), payloads_before.live_payloads());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationFuzz, ::testing::Range<std::uint64_t>(1, 17));

@@ -249,6 +249,98 @@ TEST_F(PolicyTest, ConfigurationSweepConverges) {
   }
 }
 
+TEST_F(PolicyTest, FasterCpuWinsDestinationTieAtEqualLoad) {
+  // Hosts 1 and 2 are both idle; host 2 advertises a 4x CPU. The calibrated
+  // destination pick must break the runnable tie towards the faster
+  // machine (the identity pick is first-index and would choose host 1).
+  std::vector<std::unique_ptr<Process>> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(MakeJob("job-" + std::to_string(i), Sec(30.0), 8));
+    bed.manager(0)->RegisterLocal(jobs.back().get());
+    jobs.back()->Start();
+  }
+
+  PolicyConfig config;
+  config.sample_period = Sec(3.0);
+  config.imbalance_threshold = 3;  // exactly one migration, then balanced
+  LoadBalancerPolicy policy(&bed.sim(), config);
+  HostCalibration fast;
+  fast.cpu_multiplier = 4.0;
+  policy.AddHost(bed.host(0), bed.manager(0));
+  policy.AddHost(bed.host(1), bed.manager(1));
+  policy.AddHost(bed.host(2), bed.manager(2), fast);
+  policy.Start();
+  bed.sim().Run();
+
+  EXPECT_EQ(policy.migrations_triggered(), 1u);
+  EXPECT_EQ(bed.manager(1)->adopted().size(), 0u);
+  ASSERT_EQ(bed.manager(2)->adopted().size(), 1u);
+  EXPECT_TRUE(bed.manager(2)->adopted().at(0)->done());
+}
+
+TEST_F(PolicyTest, IdentityCalibrationsKeepTheHomogeneousDestinationPick) {
+  // Same setup with identity calibrations everywhere: the historical
+  // first-index tie-break must be reproduced exactly (host 1 wins).
+  std::vector<std::unique_ptr<Process>> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(MakeJob("job-" + std::to_string(i), Sec(30.0), 8));
+    bed.manager(0)->RegisterLocal(jobs.back().get());
+    jobs.back()->Start();
+  }
+
+  PolicyConfig config;
+  config.sample_period = Sec(3.0);
+  config.imbalance_threshold = 3;
+  LoadBalancerPolicy policy(&bed.sim(), config);
+  policy.AddHost(bed.host(0), bed.manager(0));
+  policy.AddHost(bed.host(1), bed.manager(1), HostCalibration{});
+  policy.AddHost(bed.host(2), bed.manager(2), HostCalibration{});
+  policy.Start();
+  bed.sim().Run();
+
+  EXPECT_EQ(policy.migrations_triggered(), 1u);
+  EXPECT_EQ(bed.manager(1)->adopted().size(), 1u);
+  EXPECT_EQ(bed.manager(2)->adopted().size(), 0u);
+}
+
+TEST_F(PolicyTest, DisklessSourceNeverAnchorsBackingDegradesToPureCopy) {
+  // An owed-page strategy off a diskless source would leave
+  // copy-on-reference debt anchored where no spindle can serve it; the
+  // policy must ship everything physically instead and count the
+  // degradation.
+  std::vector<std::unique_ptr<Process>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(MakeJob("job-" + std::to_string(i), Sec(30.0), 8));
+    bed.manager(0)->RegisterLocal(jobs.back().get());
+    jobs.back()->Start();
+  }
+
+  PolicyConfig config;
+  config.sample_period = Sec(3.0);
+  config.strategy = TransferStrategy::kPureIou;
+  LoadBalancerPolicy policy(&bed.sim(), config);
+  HostCalibration diskless;
+  diskless.diskless = true;
+  policy.AddHost(bed.host(0), bed.manager(0), diskless);
+  policy.AddHost(bed.host(1), bed.manager(1));
+  policy.AddHost(bed.host(2), bed.manager(2));
+  policy.Start();
+  bed.sim().Run();
+
+  ASSERT_GE(policy.migrations_triggered(), 1u);
+  // Every migration in this run leaves the diskless host, so every one
+  // must have been degraded.
+  EXPECT_EQ(policy.diskless_copy_forced(), policy.migrations_triggered());
+  std::size_t landed = 0;
+  for (int host = 1; host <= 2; ++host) {
+    for (const auto& adopted : bed.manager(host)->adopted()) {
+      EXPECT_TRUE(adopted->done()) << adopted->name();
+      ++landed;
+    }
+  }
+  EXPECT_GE(landed, 1u);
+}
+
 TEST_F(PolicyTest, PolicyStopsWhenWorkDrains) {
   auto a = MakeJob("a", Sec(5.0), 8);
   bed.manager(0)->RegisterLocal(a.get());

@@ -1,0 +1,80 @@
+// The fixed adversarial fuzz corpus (seeds 1..64) as individual ctest
+// cases: every seeded scenario — random heterogeneous topology x workload
+// x fault plan x strategy x optional re-migration — must satisfy all the
+// standing oracles (content integrity, zero hangs, balanced backer
+// references, 1-vs-2-shard fleet identity). A failing seed names itself:
+// re-run it interactively with tools/migrate_sim --replay-seed=N.
+#include <gtest/gtest.h>
+
+#include "src/experiments/scenario_fuzz.h"
+
+namespace accent {
+namespace {
+
+class ScenarioFuzzCorpus : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioFuzzCorpus, SeedSatisfiesAllOracles) {
+  const FuzzScenario scenario = MakeScenario(GetParam());
+  const FuzzScenarioResult result = RunScenario(scenario);
+  EXPECT_TRUE(result.ok()) << "seed " << GetParam() << " failed [" << result.failure
+                           << "] scenario: " << scenario.Describe()
+                           << "\nreplay with: tools/migrate_sim --replay-seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ScenarioFuzz, ScenarioFuzzCorpus, ::testing::Range<std::uint64_t>(1, 65));
+
+// Scenario construction is a pure function of the seed: the corpus a CI run
+// checks is the corpus --replay-seed reconstructs.
+TEST(ScenarioFuzz, ScenarioIsDeterministicPerSeed) {
+  for (std::uint64_t seed : {1ull, 17ull, 345ull}) {
+    const FuzzScenario a = MakeScenario(seed);
+    const FuzzScenario b = MakeScenario(seed);
+    EXPECT_EQ(a.Describe(), b.Describe());
+    EXPECT_EQ(a.host_count, b.host_count);
+    EXPECT_EQ(a.prefetch, b.prefetch);
+    EXPECT_EQ(a.drop, b.drop);
+  }
+}
+
+// Every scenario runs on private simulations, so the corpus result —
+// including the emitted JSON — cannot depend on worker-thread count.
+TEST(ScenarioFuzz, CorpusJsonIsThreadCountInvariant) {
+  const Json sequential = FuzzCorpusToJson(RunFuzzCorpus(1, 8, /*threads=*/1));
+  const Json parallel = FuzzCorpusToJson(RunFuzzCorpus(1, 8, /*threads=*/4));
+  EXPECT_EQ(sequential.Dump(), parallel.Dump());
+}
+
+// The generator must keep exercising the interesting corners: across a
+// modest seed range we expect heterogeneous calibrations, diskless hosts,
+// re-migrations, lossy plans and crashes all to appear.
+TEST(ScenarioFuzz, GeneratorCoversTheAdversarialCorners) {
+  int calibrated = 0;
+  int diskless = 0;
+  int remigrate = 0;
+  int lossy = 0;
+  int crash = 0;
+  int partition = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const FuzzScenario sc = MakeScenario(seed);
+    calibrated += AnyCalibrated(sc.calibrations) ? 1 : 0;
+    for (const HostCalibration& cal : sc.calibrations) {
+      if (cal.diskless) {
+        ++diskless;
+        break;
+      }
+    }
+    remigrate += sc.remigrate ? 1 : 0;
+    lossy += (sc.drop > 0.0 || sc.duplicate > 0.0 || sc.delay > 0.0) ? 1 : 0;
+    crash += (sc.crash_dest || sc.crash_source) ? 1 : 0;
+    partition += sc.partition_transfer ? 1 : 0;
+  }
+  EXPECT_GT(calibrated, 10);
+  EXPECT_GT(diskless, 2);
+  EXPECT_GT(remigrate, 5);
+  EXPECT_GT(lossy, 20);
+  EXPECT_GT(crash, 5);
+  EXPECT_GT(partition, 3);
+}
+
+}  // namespace
+}  // namespace accent

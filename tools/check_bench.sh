@@ -9,6 +9,7 @@
 #   check_bench.sh --sweep <run_all-binary> [output.json]
 #   check_bench.sh --chain <chain_sweep-binary> [output.json]
 #   check_bench.sh --cluster <cluster_sweep-binary> [output.json]
+#   check_bench.sh --fuzz <fuzz_corpus-binary> [output.json]
 set -euo pipefail
 
 MODE=sim
@@ -23,6 +24,9 @@ elif [ "${1:-}" = "--chain" ]; then
   shift
 elif [ "${1:-}" = "--cluster" ]; then
   MODE=cluster
+  shift
+elif [ "${1:-}" = "--fuzz" ]; then
+  MODE=fuzz
   shift
 fi
 
@@ -130,6 +134,37 @@ elif [ "$MODE" = "cluster" ]; then
   SPEEDUP=$(grep -o '"speedup_shards_8": [0-9.eE+-]*' "$OUT" | head -n1 | awk '{print $2}')
   if [ -z "$SPEEDUP" ] || ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s > 1.0) }'; then
     echo "check_bench: 8-shard speedup '$SPEEDUP' is not > 1 in $OUT" >&2
+    status=1
+  fi
+elif [ "$MODE" = "fuzz" ]; then
+  OUT=${2:-BENCH_fuzz.json}
+  # The seeded adversarial corpus (ACCENT_FUZZ_SEEDS scenarios, default 64):
+  # random heterogeneous topology x workload x fault plan x strategy x
+  # optional re-migration, checked against the standing oracles. The binary
+  # exits non-zero on any oracle failure; every failing scenario prints its
+  # seed and a migrate_sim --replay-seed line.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version first_seed scenario_count completed aborted \
+        terminal_faults hung integrity_failures backer_imbalances \
+        shard_divergences cluster_census_failures cluster_hangs \
+        diskless_backing_anchors payload_leak remigrations crash_scenarios \
+        failures scenarios"
+
+  # Belt and braces: re-assert the headline oracles from the emitted JSON.
+  if ! grep -q '"integrity_failures": 0' "$OUT"; then
+    echo "check_bench: fuzz corpus reports corrupted completions in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"hung": 0' "$OUT"; then
+    echo "check_bench: fuzz corpus reports hung scenarios in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"shard_divergences": 0' "$OUT"; then
+    echo "check_bench: fuzz corpus reports shard-count divergence in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"failures": 0' "$OUT"; then
+    echo "check_bench: fuzz corpus reports oracle failures in $OUT" >&2
     status=1
   fi
 else

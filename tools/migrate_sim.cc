@@ -12,7 +12,9 @@
 #include <cstring>
 #include <string>
 
+#include "src/base/logging.h"
 #include "src/experiments/report.h"
+#include "src/experiments/scenario_fuzz.h"
 #include "src/experiments/trial.h"
 #include "src/metrics/table.h"
 #include "src/trace/trace.h"
@@ -34,7 +36,9 @@ void PrintUsage() {
       "  --trace-verbose        also record per-fragment / per-dispatch events\n"
       "  --series               print the byte transfer-rate series\n"
       "  --csv                  emit one machine-readable CSV row\n"
-      "  --sweep                run the full strategy x prefetch grid as CSV\n");
+      "  --sweep                run the full strategy x prefetch grid as CSV\n"
+      "  --replay-seed=N        re-run one fuzz-corpus scenario (see\n"
+      "                         bench/fuzz_corpus) and print its verdict\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -51,6 +55,34 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   }
   *value = arg + len + 1;
   return true;
+}
+
+// Re-runs one fuzzed scenario by seed — the loop a failing corpus run
+// prints ("replay with: tools/migrate_sim --replay-seed=N") lands here.
+int ReplayScenario(std::uint64_t seed) {
+  // Scenario failures log their diagnosis; make sure it prints.
+  if (Logger::Get().level() < LogLevel::kError) {
+    Logger::Get().set_level(LogLevel::kError);
+  }
+  const FuzzScenario scenario = MakeScenario(seed);
+  std::printf("scenario: %s\n", scenario.Describe().c_str());
+  const FuzzScenarioResult r = RunScenario(scenario);
+  std::printf("outcome:            %s\n", FailureOutcomeName(r.outcome));
+  std::printf("rolled back:        %s\n", r.rolled_back ? "yes" : "no");
+  std::printf("remigrated:         %s\n", r.remigrated ? "yes" : "no");
+  std::printf("integrity ok:       %s\n", r.integrity_ok ? "yes" : "NO");
+  std::printf("hang:               %s\n", r.hang ? "YES" : "no");
+  std::printf("backer balanced:    %s\n", r.backer_balanced ? "yes" : "NO");
+  std::printf("shard match:        %s\n", r.shard_match ? "yes" : "NO");
+  std::printf("fleet census ok:    %s\n", r.cluster_census_ok ? "yes" : "NO");
+  std::printf("fleet hung:         %s\n", r.cluster_hung ? "YES" : "no");
+  std::printf("diskless anchors:   %llu\n",
+              static_cast<unsigned long long>(r.diskless_backing_anchors));
+  if (!r.failure.empty()) {
+    std::printf("failure:            %s\n", r.failure.c_str());
+  }
+  std::printf("verdict:            %s\n", r.ok() ? "PASS" : "FAIL");
+  return r.ok() ? 0 : 1;
 }
 
 int Run(int argc, char** argv) {
@@ -110,6 +142,8 @@ int Run(int argc, char** argv) {
       csv = true;
     } else if (ParseFlag(argv[i], "--sweep", &value)) {
       sweep = true;
+    } else if (ParseFlag(argv[i], "--replay-seed", &value)) {
+      return ReplayScenario(std::stoull(value));
     } else if (ParseFlag(argv[i], "--help", &value) || ParseFlag(argv[i], "-h", &value)) {
       PrintUsage();
       return 0;
