@@ -1,0 +1,63 @@
+// Live pre-copy sweep: the fourth strategy family measured against the
+// paper's three, emitting machine-readable JSON (BENCH_precopy.json) so the
+// downtime/bytes trade is tracked from PR to PR: nothing may hang, every
+// migration must complete, pre-copy must beat pure-copy on downtime for the
+// compute-bound workloads, and it must pay for that in page bytes (dirty
+// re-shipping — §5's critique, quantified).
+//
+// Usage: precopy_sweep [--seed N] [--threads N] [--out PATH]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/base/check.h"
+#include "src/experiments/precopy.h"
+
+namespace accent {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  int threads = 0;
+  std::string out_path = "BENCH_precopy.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N] [--threads N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const PreCopySweepSummary summary = RunPreCopySweep(seed, threads);
+  Json report = PreCopySweepToJson(summary);
+  report["seed"] = Json(seed);
+
+  std::ofstream out(out_path, std::ios::trunc);
+  ACCENT_CHECK(out.good()) << " cannot open " << out_path;
+  out << report.Dump(2) << '\n';
+  ACCENT_CHECK(out.good());
+
+  std::printf("=== pre-copy sweep: %zu cells ===\n", summary.cells.size());
+  std::printf("completed:          %llu\n", static_cast<unsigned long long>(summary.completed));
+  std::printf("hung:               %llu\n", static_cast<unsigned long long>(summary.hung));
+  std::printf("downtime wins:      %d (compute-bound, vs pure-copy)\n", summary.downtime_wins);
+  std::printf("bytes ordering ok:  %s (precopy >= pure-copy >= IOU)\n",
+              summary.bytes_ordering_ok ? "yes" : "NO");
+  std::printf("SLO predictor ok:   %s  -> %s\n", summary.slo_ok ? "yes" : "NO",
+              out_path.c_str());
+
+  const bool ok = summary.hung == 0 && summary.completed == summary.cells.size() &&
+                  summary.downtime_win_ok && summary.bytes_ordering_ok && summary.slo_ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace accent
+
+int main(int argc, char** argv) { return accent::Main(argc, argv); }

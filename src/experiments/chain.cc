@@ -205,6 +205,13 @@ std::vector<ChainTrialConfig> ChainSweepConfigs(const std::string& workload,
       configs.push_back(config);
     }
   }
+
+  // Pre-copy, like pure-copy, leaves no IOUs behind (everything arrives
+  // physically by resumption), so one cell per workload suffices and the
+  // collapse machinery must find nothing to hand off.
+  ChainTrialConfig precopy = base;
+  precopy.strategy = TransferStrategy::kPreCopy;
+  configs.push_back(precopy);
   return configs;
 }
 

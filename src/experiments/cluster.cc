@@ -353,12 +353,15 @@ struct Trial {
   // The strategy one migration out of `source` actually uses: the policy's,
   // unless the source is diskless and the policy would leave owed pages
   // anchored there — a store it cannot serve — in which case the transfer
-  // degrades to pure-copy.
+  // degrades to pure-copy. Pre-copy, like pure-copy, ships every page
+  // physically and owes nothing, so a diskless source runs it unchanged.
   TransferStrategy EffectiveStrategy(const Host& source) const {
-    if (CalOf(source.index).diskless) {
+    const TransferStrategy strategy = config.policy.strategy;
+    if (CalOf(source.index).diskless && (strategy == TransferStrategy::kPureIou ||
+                                         strategy == TransferStrategy::kResidentSet)) {
       return TransferStrategy::kPureCopy;
     }
-    return config.policy.strategy;
+    return strategy;
   }
 
   // Runs on the source's shard: pick the cheapest victim and start the

@@ -22,7 +22,8 @@ constexpr SimDuration kFailureHorizon = Sec(3600.0);
 
 const TransferStrategy kStrategies[] = {TransferStrategy::kPureCopy,
                                         TransferStrategy::kPureIou,
-                                        TransferStrategy::kResidentSet};
+                                        TransferStrategy::kResidentSet,
+                                        TransferStrategy::kPreCopy};
 
 std::uint64_t SplitMix(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;

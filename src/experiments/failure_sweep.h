@@ -110,8 +110,8 @@ struct FailureMatrix {
   std::uint64_t integrity_failures = 0;  // completed with a checksum mismatch
 };
 
-// Runs the full grid: 7 workloads x 3 strategies x FailureScenarios().
-// Parallelises over the 21 (workload, strategy) groups; each group runs its
+// Runs the full grid: 7 workloads x 4 strategies x FailureScenarios().
+// Parallelises over the 28 (workload, strategy) groups; each group runs its
 // baseline and scenarios serially on one thread. threads = 0 uses
 // SweepThreadCount(). Byte-identical output at any thread count.
 FailureMatrix RunFailureMatrix(std::uint64_t seed = 42, int threads = 0);

@@ -27,6 +27,22 @@ std::string TrialReport(const TrialResult& r) {
   out << "  transfer + exec   " << FormatSeconds(r.TransferPlusExec()) << "\n";
   out << "  downtime          " << FormatSeconds(r.migration.Downtime()) << "\n\n";
 
+  if (r.config.strategy == TransferStrategy::kPreCopy) {
+    out << "Pre-copy: " << r.migration.precopy_rounds << " live round"
+        << (r.migration.precopy_rounds == 1 ? "" : "s") << ", "
+        << FormatWithCommas(r.migration.precopy_bytes) << " B shipped while running, "
+        << FormatWithCommas(r.migration.precopy_flash_bytes) << " B in the final flash\n";
+    out << "  WWS estimate    " << FormatWithCommas(static_cast<ByteCount>(
+                                       r.migration.precopy_wws_pages * kPageSize))
+        << " B";
+    if (r.config.precopy_target_downtime > SimDuration::zero()) {
+      out << "; predicted final round " << FormatSeconds(r.migration.precopy_predicted_downtime)
+          << " vs SLO " << FormatSeconds(r.config.precopy_target_downtime) << " ("
+          << (r.migration.precopy_slo_met ? "met" : "missed") << ")";
+    }
+    out << "\n\n";
+  }
+
   out << "Traffic: total " << FormatWithCommas(r.bytes_total) << " B (core "
       << FormatWithCommas(r.bytes_core) << ", bulk " << FormatWithCommas(r.bytes_bulk)
       << ", fault " << FormatWithCommas(r.bytes_fault) << ", control "

@@ -277,7 +277,7 @@ FuzzScenario MakeScenario(std::uint64_t seed) {
 
   const std::vector<WorkloadSpec>& workloads = RepresentativeWorkloads();
   sc.workload = workloads[work.NextBelow(workloads.size())].name;
-  sc.strategy = static_cast<TransferStrategy>(work.NextBelow(3));
+  sc.strategy = static_cast<TransferStrategy>(work.NextBelow(4));
   sc.prefetch = static_cast<std::uint32_t>(work.NextBelow(5));
   sc.dest = static_cast<int>(1 + work.NextBelow(static_cast<std::uint64_t>(sc.host_count - 1)));
   if (sc.host_count >= 3 && work.NextBool(0.4)) {

@@ -106,6 +106,15 @@ Json MigrationToJson(const MigrationRecord& record) {
   json["precopy_rounds"] = Json(record.precopy_rounds);
   json["precopy_bytes"] = Json(record.precopy_bytes);
   json["frozen_us"] = DurationToJson(record.frozen);
+  if (record.strategy == TransferStrategy::kPreCopy) {
+    // SLO-loop diagnostics exist only for pre-copy trials; emitting them
+    // conditionally keeps every legacy row byte-identical (the golden sweep
+    // digest hashes these dumps).
+    json["precopy_wws_pages"] = Json(record.precopy_wws_pages);
+    json["precopy_predicted_downtime_us"] = DurationToJson(record.precopy_predicted_downtime);
+    json["precopy_flash_bytes"] = Json(record.precopy_flash_bytes);
+    json["precopy_slo_met"] = Json(record.precopy_slo_met);
+  }
   return json;
 }
 
@@ -129,6 +138,12 @@ MigrationRecord MigrationFromJson(const Json& json) {
   record.precopy_rounds = static_cast<int>(json.Get("precopy_rounds").AsInt64());
   record.precopy_bytes = json.Get("precopy_bytes").AsUint64();
   record.frozen = DurationFromJson(json.Get("frozen_us"));
+  if (const Json* wws = json.Find("precopy_wws_pages"); wws != nullptr) {
+    record.precopy_wws_pages = wws->AsDouble();
+    record.precopy_predicted_downtime = DurationFromJson(json.Get("precopy_predicted_downtime_us"));
+    record.precopy_flash_bytes = json.Get("precopy_flash_bytes").AsUint64();
+    record.precopy_slo_met = json.Get("precopy_slo_met").AsBool();
+  }
   return record;
 }
 
@@ -183,6 +198,13 @@ Json TrialConfigToJson(const TrialConfig& config) {
   json["iou_caching"] = Json(config.iou_caching);
   json["frames_per_host"] = Json(static_cast<std::uint64_t>(config.frames_per_host));
   json["traffic_bucket_us"] = DurationToJson(config.traffic_bucket);
+  if (config.strategy == TransferStrategy::kPreCopy) {
+    // Round/SLO knobs change pre-copy results, so they must key the cache;
+    // emitting them only for pre-copy keeps legacy keys byte-identical.
+    json["precopy_max_rounds"] = Json(config.precopy_max_rounds);
+    json["precopy_stop_threshold"] = Json(static_cast<std::uint64_t>(config.precopy_stop_threshold));
+    json["precopy_target_downtime_us"] = DurationToJson(config.precopy_target_downtime);
+  }
   return json;
 }
 
@@ -195,6 +217,12 @@ TrialConfig TrialConfigFromJson(const Json& json) {
   config.iou_caching = json.Get("iou_caching").AsBool();
   config.frames_per_host = static_cast<std::size_t>(json.Get("frames_per_host").AsUint64());
   config.traffic_bucket = DurationFromJson(json.Get("traffic_bucket_us"));
+  if (const Json* rounds = json.Find("precopy_max_rounds"); rounds != nullptr) {
+    config.precopy_max_rounds = static_cast<int>(rounds->AsInt64());
+    config.precopy_stop_threshold =
+        static_cast<PageIndex>(json.Get("precopy_stop_threshold").AsUint64());
+    config.precopy_target_downtime = DurationFromJson(json.Get("precopy_target_downtime_us"));
+  }
   return config;
 }
 

@@ -73,6 +73,7 @@ Testbed::Testbed(const TestbedConfig& config)
     parts.env->netmsg = parts.netmsg.get();
     parts.env->segments = &segments_;
     parts.env->diskless = cal.diskless;
+    parts.env->calibration = cal;
 
     parts.manager = std::make_unique<MigrationManager>(parts.env.get());
     parts.manager->Start();

@@ -36,6 +36,14 @@ TrialResult RunTrial(const TrialConfig& config) {
   Process* remote_proc = nullptr;
   bed.manager(1)->set_on_insert([&](Process* inserted) { remote_proc = inserted; });
 
+  if (config.strategy == TransferStrategy::kPreCopy) {
+    PreCopyConfig precopy;
+    precopy.max_rounds = config.precopy_max_rounds;
+    precopy.stop_threshold = config.precopy_stop_threshold;
+    precopy.target_downtime = config.precopy_target_downtime;
+    bed.manager(0)->set_precopy_config(precopy);
+  }
+
   bool completed = false;
   bed.manager(0)->Migrate(proc, bed.manager(1)->port(), config.strategy,
                           [&](const MigrationRecord& record) {
@@ -76,6 +84,11 @@ TrialResult RunTrial(const TrialConfig& config) {
       break;
     case TransferStrategy::kResidentSet:
       shipped = result.migration.resident_bytes_shipped;
+      break;
+    case TransferStrategy::kPreCopy:
+      // Rounds shipped while running plus the freeze-and-flash remainder;
+      // re-shipped dirty pages count every time they cross.
+      shipped = result.migration.precopy_bytes + result.migration.precopy_flash_bytes;
       break;
   }
   result.real_bytes_transferred =

@@ -33,6 +33,14 @@ struct TrialConfig {
   // (sweep_cache.cc) — the headline sweep's cache keys must not change.
   SimDuration rs_zero_scan_per_mb{0};
 
+  // Pre-copy knobs, consulted only when strategy == kPreCopy (the manager's
+  // default PreCopyConfig is overridden with these). Serialised into the
+  // cache key only for pre-copy trials (sweep_cache.cc), so every legacy
+  // config hashes exactly as before.
+  int precopy_max_rounds = 3;
+  PageIndex precopy_stop_threshold = 4;
+  SimDuration precopy_target_downtime{0};  // 0 = round-cap termination only
+
   // Optional observability hook (not owned, may be null). Deliberately NOT
   // part of the serialised trial configuration (sweep_cache.cc) — tracing
   // never changes results, so a traced run must hash to the same cache key.

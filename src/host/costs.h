@@ -109,6 +109,16 @@ struct CostTable {
   SimDuration insert_per_map_entry = Us(135);
   SimDuration insert_per_resident_page = Us(135);
 
+  // --- Pre-copy migration (strategy 4; docs/INTERNALS.md section 13) --------
+  // Extra trap taken when a write hits a clean, resident page while dirty
+  // tracking is armed (write-protect fault to set the bitmap bit, like a
+  // lightweight COW break). Only charged between pre-copy rounds; legacy
+  // strategies never arm tracking, so their timings are untouched.
+  SimDuration precopy_write_fault = Us(300);
+  // Manager handling per pre-copy round (dirty-bitmap harvest, run
+  // construction, ack bookkeeping) on top of the per-byte wire costs.
+  SimDuration precopy_round_control = Ms(40);
+
   // --- Migration control ----------------------------------------------------
   // MigrationManager handling + kernel traps around the Core message; the
   // paper reports ~1 s for Core transfer in all cases.

@@ -58,6 +58,10 @@ struct MigrationCostModel {
         return 0;
       case TransferStrategy::kResidentSet:
         return fp.resident_pages < fp.real_pages ? fp.resident_pages : fp.real_pages;
+      case TransferStrategy::kPreCopy:
+        // Everything arrives physically by resumption (rounds + flash); the
+        // analytic layers charge the re-shipped dirty overhead separately.
+        return fp.real_pages;
     }
     return 0;
   }
@@ -121,6 +125,20 @@ struct MigrationCostModel {
     const auto serialize =
         SimDuration(static_cast<std::int64_t>(static_cast<double>(bytes) / bps * 1e6));
     return serialize + ScaleLatency(costs.wire_latency, sender.wire_latency_multiplier);
+  }
+
+  // Predicted freeze-and-flash downtime if a pre-copy migration froze now
+  // with `dirty_pages` left to ship: excise on the source, Core plus the
+  // final dirty pages on the source's egress link, insertion of those pages
+  // at the destination. The manager evaluates this after every acknowledged
+  // round against the target-downtime SLO (docs/INTERNALS.md §13).
+  static SimDuration PreCopyCostOn(const CostTable& costs, const Footprint& fp,
+                                   std::int64_t dirty_pages, const HostCalibration& source,
+                                   const HostCalibration& dest) {
+    const ByteCount wire_bytes = CorePayloadBytes(costs, fp.map_entries) +
+                                 static_cast<ByteCount>(dirty_pages) * kPageSize;
+    return ExciseCostOn(costs, fp, source) + WireCost(costs, wire_bytes, source) +
+           InsertCostOn(costs, fp.map_entries, dirty_pages, dest);
   }
 
   // End-to-end relocation estimate for victim/destination scoring: excise

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/migration/cost_model.h"
 
 namespace accent {
 
@@ -13,6 +14,7 @@ const char* StrategyName(TransferStrategy strategy) {
     case TransferStrategy::kPureCopy: return "pure-copy";
     case TransferStrategy::kPureIou: return "pure-IOU";
     case TransferStrategy::kResidentSet: return "resident-set";
+    case TransferStrategy::kPreCopy: return "pre-copy";
   }
   return "?";
 }
@@ -71,6 +73,11 @@ void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
       return;
     case TransferStrategy::kResidentSet:
       break;
+    case TransferStrategy::kPreCopy:
+      // Pre-copy never reaches here: Migrate dispatches it to the round
+      // loop, which builds its own dirty-only RIMAS at freeze time.
+      ACCENT_CHECK(false) << " pre-copy does not route through ApplyStrategy";
+      return;
   }
 
   // Resident-set: keep resident pages as physical data, hand everything
@@ -136,6 +143,11 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
   ACCENT_EXPECTS(proc != nullptr && done != nullptr);
   ACCENT_EXPECTS(proc->env() == env_) << " process is not on this manager's host";
 
+  if (strategy == TransferStrategy::kPreCopy) {
+    MigratePreCopy(proc, dest_manager, precopy_config_, std::move(done));
+    return;
+  }
+
   MigrationRecord record;
   record.proc = proc->id();
   record.name = proc->name();
@@ -162,13 +174,13 @@ void MigrationManager::Migrate(Process* proc, PortId dest_manager, TransferStrat
 
     ExciseProcess(proc, [this, proc, dest_manager, strategy, zero_bytes,
                          resident = std::move(resident)](ExciseResult excised) {
-      MigrationRecord& record = outbound_.at(proc->id().value);
-      record.excise_amap = excised.amap_time;
-      record.excise_rimas = excised.rimas_time;
-      record.excise_overall = excised.overall_time;
-      record.excise_done = env_->sim->Now();
+      MigrationRecord& rec = outbound_.at(proc->id().value);
+      rec.excise_amap = excised.amap_time;
+      rec.excise_rimas = excised.rimas_time;
+      rec.excise_overall = excised.overall_time;
+      rec.excise_done = env_->sim->Now();
 
-      ApplyStrategy(&excised.rimas, strategy, resident, zero_bytes, &record);
+      ApplyStrategy(&excised.rimas, strategy, resident, zero_bytes, &rec);
       RecordChainOrigin(proc->id(), dest_manager, excised.rimas);
 
       SendExcisedContext(proc->id(), dest_manager, std::move(excised));
@@ -219,6 +231,7 @@ void MigrationManager::AbortMigration(ProcId proc, const std::string& reason) {
   record.abort_reason = reason;
   outbound_.erase(record_it);
   precopy_ack_waiters_.erase(proc.value);
+  precopy_progress_.erase(proc.value);
   // An aborted re-migration never collapses: the rollback reinstates the
   // process here and this host legitimately remains its backer.
   chain_.erase(proc.value);
@@ -239,7 +252,12 @@ void MigrationManager::AbortMigration(ProcId proc, const std::string& reason) {
   auto context_it = outbound_context_.find(proc.value);
   if (context_it == outbound_context_.end()) {
     // Not yet excised (e.g. a pre-copy round failed before the freeze):
-    // the process never stopped running here. Nothing to restore.
+    // the process never stopped running here. Nothing to restore, but a
+    // pre-copy attempt leaves tracking armed — disarm it.
+    auto local_it = local_.find(proc.value);
+    if (local_it != local_.end() && local_it->second->space() != nullptr) {
+      local_it->second->space()->DisarmWriteTracking();
+    }
     record.rolled_back = true;
     if (done != nullptr) {
       done(record);
@@ -336,8 +354,11 @@ void MigrationManager::SendExcisedContext(ProcId proc, PortId dest_manager,
   if (failure_handling_enabled()) {
     // Keep the authoritative copy until the transfer-complete handshake:
     // rollback re-inserts these exact messages. Deep copies (page data and
-    // all) — made only on fault-injection testbeds.
-    outbound_context_[proc.value] = OutboundContext{excised.core, excised.rimas};
+    // all) — made only on fault-injection testbeds. try_emplace: pre-copy
+    // already stored its full-image context before the dirty filter, and the
+    // filtered flash RIMAS on the wire is not a valid rollback image.
+    outbound_context_.try_emplace(proc.value,
+                                  OutboundContext{excised.core, excised.rimas});
   }
   const SimDuration rimas_handling = env_->costs->migration_rimas_handling +
                                      outbound_.at(proc.value).rs_packaging_extra;
@@ -495,13 +516,26 @@ void MigrationManager::MigratePreCopy(Process* proc, PortId dest_manager,
   MigrationRecord record;
   record.proc = proc->id();
   record.name = proc->name();
-  record.strategy = TransferStrategy::kPureCopy;  // pre-copy is a copy variant
+  record.strategy = TransferStrategy::kPreCopy;
   record.requested = env_->sim->Now();
   outbound_[proc->id().value] = record;
   done_[proc->id().value] = std::move(done);
   ArmAbortTimer(proc->id());
 
+  if (Tracer* tracer = env_->sim->tracer()) {
+    tracer->Instant(env_->id, TraceLane::kMigration, "migrate:request",
+                    record.requested,
+                    {{"proc", Json(record.proc.value)},
+                     {"workload", Json(record.name)},
+                     {"strategy", Json(StrategyName(record.strategy))},
+                     {"dest_manager", Json(dest_manager.value)},
+                     {"max_rounds", Json(config.max_rounds)},
+                     {"target_downtime_us", Json(config.target_downtime.count())}});
+  }
+
+  precopy_progress_[proc->id().value] = PreCopyProgress{};
   proc->space()->MarkAllClean();
+  proc->space()->ArmWriteTracking();
   RunPreCopyRound(proc, dest_manager, config, 0);
 }
 
@@ -544,20 +578,81 @@ void MigrationManager::RunPreCopyRound(Process* proc, PortId dest_manager,
     i = j;
   }
   record.precopy_bytes += msg.DataBytes();
+  const std::size_t shipped_pages = pages.size();
+  const SimTime round_start = env_->sim->Now();
 
   // Continue when the receiver acknowledges this round (flow control: the
   // V system's network overruns came from the lack of exactly this).
-  precopy_ack_waiters_[proc->id().value] = [this, proc, dest_manager, config, round]() {
+  precopy_ack_waiters_[proc->id().value] = [this, proc, dest_manager, config, round,
+                                            shipped_pages, round_start]() {
+    if (proc->done() || proc->faulted()) {
+      // The process ran to completion (or died) at the source while the
+      // round was in flight; there is nothing left worth freezing.
+      AbortMigration(proc->id(), "process terminated before pre-copy freeze");
+      return;
+    }
+    AddressSpace* space_at_ack = proc->space();
+    const std::size_t dirty = space_at_ack->dirty_count();
+    PreCopyProgress& progress = precopy_progress_[proc->id().value];
+    // Writable working set: an EWMA over per-round dirty counts. Recent
+    // rounds dominate, so a phase change (a Lisp GC kicking in, a scan
+    // wrapping around) re-steers the estimate within a round or two.
+    progress.wws_pages = round == 0
+                             ? static_cast<double>(dirty)
+                             : 0.5 * progress.wws_pages + 0.5 * static_cast<double>(dirty);
+
+    MigrationRecord& rec = outbound_.at(proc->id().value);
+    rec.precopy_wws_pages = progress.wws_pages;
+
+    if (Tracer* tracer = env_->sim->tracer()) {
+      // Rounds are strictly sequential (ack flow control) and each next
+      // round starts at the instant the previous ack lands, so these spans
+      // tile the live-transfer phase exactly (docs/OBSERVABILITY.md).
+      tracer->Complete(env_->id, TraceLane::kMigration, "precopy:round",
+                       round_start, env_->sim->Now() - round_start,
+                       {{"round", Json(round)},
+                        {"pages", Json(static_cast<std::uint64_t>(shipped_pages))},
+                        {"dirty_at_ack", Json(static_cast<std::uint64_t>(dirty))},
+                        {"wws_pages", Json(progress.wws_pages)}});
+    }
+
     const bool out_of_rounds = round + 1 >= config.max_rounds;
-    const bool converged = proc->space()->dirty_count() <= config.stop_threshold;
-    if (out_of_rounds || converged) {
+    const bool converged = dirty <= config.stop_threshold;
+    bool slo_met = false;
+    bool stagnated = false;
+    if (config.target_downtime > SimDuration::zero()) {
+      MigrationCostModel::Footprint fp;
+      fp.map_entries = static_cast<std::int64_t>(space_at_ack->map_entries());
+      fp.real_pages =
+          static_cast<std::int64_t>(space_at_ack->RealBytes() / kPageSize);
+      fp.resident_pages = static_cast<std::int64_t>(
+          env_->memory->PagesOf(space_at_ack->id()).size());
+      // The destination's calibration is unknown at the source; predicting
+      // with a nominal (identity) destination keeps the predictor local.
+      const SimDuration predicted = MigrationCostModel::PreCopyCostOn(
+          *env_->costs, fp, static_cast<std::int64_t>(dirty), env_->calibration,
+          HostCalibration{});
+      rec.precopy_predicted_downtime = predicted;
+      slo_met = predicted <= config.target_downtime;
+      rec.precopy_slo_met = slo_met;
+      // A round that failed to shrink the dirty set cannot meet the SLO
+      // later either — the process rewrites its working set faster than
+      // the wire drains it. Further rounds only waste bytes.
+      stagnated = round > 0 && dirty >= progress.prev_dirty;
+    }
+    progress.prev_dirty = dirty;
+
+    if (out_of_rounds || converged || slo_met || stagnated) {
       FreezeAndFinishPreCopy(proc, dest_manager);
       return;
     }
     RunPreCopyRound(proc, dest_manager, config, round + 1);
   };
 
-  env_->cpu->Submit(CpuWork::kMigration, env_->costs->migration_rimas_handling,
+  // Round handling: dirty-bitmap harvest + run construction on top of the
+  // RIMAS-style descriptor work.
+  env_->cpu->Submit(CpuWork::kMigration,
+                    env_->costs->migration_rimas_handling + env_->costs->precopy_round_control,
                     [this, msg = std::move(msg)]() mutable {
                       Result<void> sent = env_->fabric->Send(env_->id, std::move(msg));
                       ACCENT_CHECK(sent.ok()) << sent.error().message;
@@ -568,6 +663,16 @@ void MigrationManager::FreezeAndFinishPreCopy(Process* proc, PortId dest_manager
   proc->RequestSuspend([this, proc, dest_manager]() {
     MigrationRecord& record = outbound_.at(proc->id().value);
     record.frozen = env_->sim->Now();
+    proc->space()->DisarmWriteTracking();  // the excise harvests the final set
+    precopy_progress_.erase(proc->id().value);
+    if (Tracer* tracer = env_->sim->tracer()) {
+      tracer->Instant(env_->id, TraceLane::kMigration, "precopy:frozen",
+                      record.frozen,
+                      {{"proc", Json(proc->id().value)},
+                       {"rounds", Json(record.precopy_rounds)},
+                       {"dirty_pages",
+                        Json(static_cast<std::uint64_t>(proc->space()->dirty_count()))}});
+    }
     // Pages dirtied since the last acknowledged round must travel in the
     // RIMAS; everything else is already staged at the destination.
     const std::vector<PageIndex> dirty_list = proc->space()->DirtyPages();
@@ -579,6 +684,15 @@ void MigrationManager::FreezeAndFinishPreCopy(Process* proc, PortId dest_manager
       rec.excise_rimas = excised.rimas_time;
       rec.excise_overall = excised.overall_time;
       rec.excise_done = env_->sim->Now();
+
+      if (failure_handling_enabled()) {
+        // A destination crash rolls the process back by re-inserting this
+        // context locally, so it must hold the complete image — the staged
+        // clean pages live at the (now dead) destination, not here. Stored
+        // before the dirty filter strips them from the wire message.
+        outbound_context_[proc->id().value] =
+            OutboundContext{excised.core, excised.rimas};
+      }
 
       // Keep only dirty pages in the Data regions; clean pages are staged.
       std::vector<MemoryRegion> kept;
@@ -606,6 +720,11 @@ void MigrationManager::FreezeAndFinishPreCopy(Process* proc, PortId dest_manager
       }
       excised.rimas.regions = std::move(kept);
       excised.rimas.no_ious = true;
+      for (const MemoryRegion& region : excised.rimas.regions) {
+        if (region.mem_class == MemClass::kReal) {
+          rec.precopy_flash_bytes += region.size;
+        }
+      }
       RecordChainOrigin(proc->id(), dest_manager, excised.rimas);
 
       SendExcisedContext(proc->id(), dest_manager, std::move(excised));
@@ -769,6 +888,7 @@ void MigrationManager::HandleMessage(Message msg) {
         return;
       }
       ACCENT_CHECK(false) << " manager received unrecognised user message";
+      break;
     }
     default:
       ACCENT_CHECK(false) << " manager received unexpected " << MsgOpName(msg.op);

@@ -55,6 +55,13 @@ struct PreCopyAckBody {
 struct PreCopyConfig {
   int max_rounds = 3;               // snapshot + at most this many dirty rounds
   PageIndex stop_threshold = 4;     // freeze early once the dirty set is this small
+  // Target-downtime SLO. Zero (the default) disables the predictor and the
+  // stagnation cutoff, reproducing the original round loop exactly. When
+  // set, the manager freezes as soon as the predicted freeze-and-flash
+  // downtime (MigrationCostModel::PreCopyCostOn over the writable working
+  // set) meets the target, or when a round stops shrinking the dirty set —
+  // more rounds can then only waste bytes, never meet the SLO sooner.
+  SimDuration target_downtime{0};
 };
 
 // Destination-side timing report.
@@ -115,7 +122,15 @@ class MigrationManager : public Receiver {
 
   // Migrates `proc` to the MigrationManager listening on `dest_manager`.
   // `done` fires on this host when the peer confirms resumption.
+  // kPreCopy dispatches to MigratePreCopy with the manager's default
+  // PreCopyConfig (set_precopy_config), so every layer that selects
+  // strategies by enum — trials, failure matrix, chains, the fuzzer,
+  // remote kMigrateRequest commands — gets pre-copy for free.
   void Migrate(Process* proc, PortId dest_manager, TransferStrategy strategy, MigrateDone done);
+
+  // Default round/SLO knobs used when Migrate is called with kPreCopy.
+  void set_precopy_config(const PreCopyConfig& config) { precopy_config_ = config; }
+  const PreCopyConfig& precopy_config() const { return precopy_config_; }
 
   // Migrates `proc` with the iterative pre-copy baseline: the address space
   // is snapshot and shipped while the process keeps executing; dirtied
@@ -239,6 +254,16 @@ class MigrationManager : public Receiver {
   // for round acknowledgements at the source.
   std::map<std::uint64_t, std::map<PageIndex, PageRef>> staged_;
   std::map<std::uint64_t, std::function<void()>> precopy_ack_waiters_;
+
+  // Source-side per-round progress: the writable-working-set estimate (an
+  // EWMA of per-round dirty counts) and the previous round's dirty count
+  // for the stagnation cutoff. Keyed by ProcId; erased at freeze/abort.
+  struct PreCopyProgress {
+    double wws_pages = 0.0;
+    std::size_t prev_dirty = 0;
+  };
+  std::map<std::uint64_t, PreCopyProgress> precopy_progress_;
+  PreCopyConfig precopy_config_{};
 };
 
 }  // namespace accent

@@ -43,11 +43,17 @@ struct MigrationRecord {
   // deliberately NOT serialised into the sweep cache).
   SimDuration rs_packaging_extra{0};
 
-  // Pre-copy baseline bookkeeping (Theimer's V system, §5). Zero for the
-  // paper's three strategies.
+  // Pre-copy bookkeeping (Theimer's V system, §5; docs/INTERNALS.md §13).
+  // Zero for the paper's three strategies.
   int precopy_rounds = 0;
   ByteCount precopy_bytes = 0;     // bytes shipped while still running
   SimTime frozen{0};               // process quiesced (downtime starts)
+  // SLO-loop diagnostics (serialised into the sweep cache only for
+  // pre-copy trials, so legacy rows stay byte-identical).
+  double precopy_wws_pages = 0.0;            // writable-working-set estimate
+  SimDuration precopy_predicted_downtime{0}; // flash prediction at freeze
+  ByteCount precopy_flash_bytes = 0;         // final dirty pages in the RIMAS
+  bool precopy_slo_met = false;              // predictor met target_downtime
 
   // Abort/rollback bookkeeping (lossy-wire runs only; never set on the
   // lossless paper trials and deliberately NOT serialised into the sweep

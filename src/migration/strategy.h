@@ -15,6 +15,10 @@ enum class TransferStrategy : int {
   // Ship the resident set (the working-set approximation) physically and
   // IOUs for the rest.
   kResidentSet = 2,
+  // Iterative pre-copy (Theimer's V system; docs/INTERNALS.md §13): snapshot
+  // and re-ship dirtied pages while the process keeps executing, then
+  // freeze-and-flash the final dirty set. Minimises downtime, not bytes.
+  kPreCopy = 3,
 };
 
 const char* StrategyName(TransferStrategy strategy);

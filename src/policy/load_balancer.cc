@@ -139,8 +139,11 @@ void LoadBalancerPolicy::Sample() {
   }
   // A diskless source cannot anchor copy-on-reference backing: pages owed
   // by an IOU would have no local store to be served from. Ship everything.
+  // Pre-copy already ships everything physically (rounds + final flash) and
+  // leaves no debt, so it runs unchanged from a diskless source.
   TransferStrategy strategy = config_.strategy;
-  if (source->calibration.diskless && strategy != TransferStrategy::kPureCopy) {
+  if (source->calibration.diskless && (strategy == TransferStrategy::kPureIou ||
+                                       strategy == TransferStrategy::kResidentSet)) {
     strategy = TransferStrategy::kPureCopy;
     ++diskless_copy_forced_;
   }

@@ -7,6 +7,7 @@
 #define SRC_PROC_HOST_ENV_H_
 
 #include "src/base/types.h"
+#include "src/host/calibration.h"
 #include "src/host/cpu.h"
 #include "src/host/disk.h"
 #include "src/host/physical_memory.h"
@@ -33,6 +34,10 @@ struct HostEnv {
   // HostCalibration::diskless: this machine pages across the wire and must
   // never anchor local backing (FileServer::Start refuses to run here).
   bool diskless = false;
+  // This host's deviation from the shared CostTable (identity by default).
+  // The pre-copy SLO predictor reads it; CPU/wire charging is already
+  // applied by the subsystems themselves.
+  HostCalibration calibration{};
 
   bool complete() const {
     return sim != nullptr && costs != nullptr && fabric != nullptr && cpu != nullptr &&

@@ -54,9 +54,7 @@ void AddressSpace::Unmap(Addr begin, Addr end) {
 
 void AddressSpace::DropPrivatePages(Addr begin, Addr end) {
   private_pages_.EraseRange(PageOf(begin), PageOf(end));
-  for (PageIndex page = PageOf(begin); page < PageOf(end); ++page) {
-    dirty_since_mark_.erase(page);
-  }
+  dirty_since_mark_.EraseRange(PageOf(begin), PageOf(end));
 }
 
 AddressSpace::ImagTarget AddressSpace::ImagTargetOf(Addr addr) const {
@@ -122,7 +120,7 @@ void AddressSpace::WriteByte(Addr addr, std::uint8_t value) {
   ACCENT_EXPECTS(found != nullptr)
       << " write to non-private page " << page << " (pager must materialise it first)";
   PageWriteByte(*found, addr % kPageSize, value);
-  dirty_since_mark_.insert(page);
+  dirty_since_mark_.Mark(page);
 }
 
 void AddressSpace::InstallPage(PageIndex page, PageRef data) {
@@ -130,7 +128,7 @@ void AddressSpace::InstallPage(PageIndex page, PageRef data) {
   ACCENT_EXPECTS(ClassOf(addr) != MemClass::kBad) << " installing into unmapped page " << page;
   private_pages_.Store(page, std::move(data));
   amap_.Set(addr, addr + kPageSize, MemClass::kReal);
-  dirty_since_mark_.insert(page);  // new private contents since the mark
+  dirty_since_mark_.Mark(page);  // new private contents since the mark
 }
 
 bool AddressSpace::NeedsCopyOnWrite(PageIndex page) const {

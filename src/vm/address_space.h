@@ -30,6 +30,7 @@
 #include "src/base/types.h"
 #include "src/ipc/message.h"
 #include "src/vm/amap.h"
+#include "src/vm/dirty_bitmap.h"
 #include "src/vm/segment.h"
 
 namespace accent {
@@ -108,13 +109,29 @@ class AddressSpace {
 
   // --- write tracking (pre-copy migration support) -----------------------------
   // Pages written since the last MarkAllClean(), in ascending order. The
-  // iterative pre-copy baseline (Theimer's V system, section 5 of the
-  // paper) re-ships exactly these between rounds.
-  std::vector<PageIndex> DirtyPages() const {
-    return std::vector<PageIndex>(dirty_since_mark_.begin(), dirty_since_mark_.end());
+  // iterative pre-copy rounds (Theimer's V system, section 5 of the
+  // paper; docs/INTERNALS.md section 13) re-ship exactly these.
+  std::vector<PageIndex> DirtyPages() const { return dirty_since_mark_.ToVector(); }
+  void MarkAllClean() { dirty_since_mark_.Clear(); }
+  std::size_t dirty_count() const { return dirty_since_mark_.count(); }
+  bool IsDirty(PageIndex page) const { return dirty_since_mark_.Test(page); }
+
+  // Pre-copy arms tracking for the life of the transfer. While armed, the
+  // first write to a clean page is an intercepted write fault — the real
+  // kernel would take a protection trap there to set the bitmap bit — and
+  // the pager charges it. Disarmed spaces stay byte-identical to the seed.
+  void ArmWriteTracking() { write_tracking_ = true; }
+  void DisarmWriteTracking() { write_tracking_ = false; }
+  bool write_tracking() const { return write_tracking_; }
+  // True when a write to `addr` would trip the tracking trap right now: the
+  // page is clean and was otherwise writable, so the armed write-protect bit
+  // forces an extra fault. Non-resident writes set the bit inside the fault
+  // handler they are already in and trip nothing extra.
+  bool WriteIsTracked(Addr addr) const {
+    return write_tracking_ && !dirty_since_mark_.Test(PageOf(addr));
   }
-  void MarkAllClean() { dirty_since_mark_.clear(); }
-  std::size_t dirty_count() const { return dirty_since_mark_.size(); }
+  void NoteTrackedWriteFault() { ++tracked_write_faults_; }
+  std::uint64_t tracked_write_faults() const { return tracked_write_faults_; }
 
   // Distinct imaginary backers still referenced (for death notification).
   std::vector<IouRef> ImaginaryBackers() const;
@@ -157,7 +174,9 @@ class AddressSpace {
   // distinct from an untouched one), unlike the sparse Segment store.
   PageStore private_pages_;
   std::set<PageIndex> touched_;
-  std::set<PageIndex> dirty_since_mark_;
+  DirtyBitmap dirty_since_mark_;
+  bool write_tracking_ = false;
+  std::uint64_t tracked_write_faults_ = 0;
 };
 
 }  // namespace accent

@@ -1,0 +1,143 @@
+#include "src/vm/dirty_bitmap.h"
+
+#include <algorithm>
+
+namespace accent {
+namespace {
+
+constexpr PageIndex kWordBits = 64;
+
+PageIndex WordOf(PageIndex page) { return page / kWordBits; }
+std::uint64_t BitOf(PageIndex page) { return 1ull << (page % kWordBits); }
+
+}  // namespace
+
+std::size_t DirtyBitmap::RunIndexFor(PageIndex word) const {
+  std::size_t lo = 0;
+  std::size_t hi = runs_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (runs_[mid].end_word() <= word) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool DirtyBitmap::Mark(PageIndex page) {
+  const PageIndex word = WordOf(page);
+  const std::uint64_t bit = BitOf(page);
+  std::size_t index = RunIndexFor(word);
+  if (index < runs_.size() && runs_[index].first_word <= word) {
+    std::uint64_t& slot = runs_[index].words[word - runs_[index].first_word];
+    if (slot & bit) {
+      return false;
+    }
+    slot |= bit;
+    ++count_;
+    return true;
+  }
+  // `word` falls in the gap before runs_[index]. Extend a neighbour when
+  // adjacent (the common append-on-sweep case), else open a fresh run.
+  if (index > 0 && runs_[index - 1].end_word() == word) {
+    runs_[index - 1].words.push_back(bit);
+    // Fuse with the next run if the extension closed the gap.
+    if (index < runs_.size() && runs_[index].first_word == word + 1) {
+      Run& prev = runs_[index - 1];
+      prev.words.insert(prev.words.end(), runs_[index].words.begin(), runs_[index].words.end());
+      runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+  } else if (index < runs_.size() && runs_[index].first_word == word + 1) {
+    runs_[index].first_word = word;
+    runs_[index].words.insert(runs_[index].words.begin(), bit);
+  } else {
+    runs_.insert(runs_.begin() + static_cast<std::ptrdiff_t>(index), Run{word, {bit}});
+  }
+  ++count_;
+  return true;
+}
+
+bool DirtyBitmap::Test(PageIndex page) const {
+  const PageIndex word = WordOf(page);
+  const std::size_t index = RunIndexFor(word);
+  if (index >= runs_.size() || runs_[index].first_word > word) {
+    return false;
+  }
+  return (runs_[index].words[word - runs_[index].first_word] & BitOf(page)) != 0;
+}
+
+void DirtyBitmap::EraseRange(PageIndex first, PageIndex end) {
+  if (first >= end || runs_.empty()) {
+    return;
+  }
+  std::vector<Run> kept;
+  kept.reserve(runs_.size());
+  for (Run& run : runs_) {
+    const PageIndex run_begin = run.first_word * kWordBits;
+    const PageIndex run_end = run.end_word() * kWordBits;
+    if (run_end <= first || run_begin >= end) {
+      kept.push_back(std::move(run));
+      continue;
+    }
+    for (PageIndex word = run.first_word; word < run.end_word(); ++word) {
+      std::uint64_t& slot = run.words[word - run.first_word];
+      if (slot == 0) {
+        continue;
+      }
+      const PageIndex word_base = word * kWordBits;
+      if (word_base + kWordBits <= first || word_base >= end) {
+        continue;  // word lies entirely outside the erased range
+      }
+      std::uint64_t mask = ~0ull;
+      if (first > word_base) {
+        mask &= ~0ull << (first - word_base);
+      }
+      if (end < word_base + kWordBits) {
+        mask &= (1ull << (end - word_base)) - 1;
+      }
+      const std::uint64_t cleared = slot & mask;
+      count_ -= static_cast<std::size_t>(__builtin_popcountll(cleared));
+      slot &= ~mask;
+    }
+    // Re-split around all-zero words so runs stay tight.
+    PageIndex word = run.first_word;
+    while (word < run.end_word()) {
+      while (word < run.end_word() && run.words[word - run.first_word] == 0) {
+        ++word;
+      }
+      if (word == run.end_word()) {
+        break;
+      }
+      Run piece;
+      piece.first_word = word;
+      while (word < run.end_word() && run.words[word - run.first_word] != 0) {
+        piece.words.push_back(run.words[word - run.first_word]);
+        ++word;
+      }
+      kept.push_back(std::move(piece));
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Run& a, const Run& b) { return a.first_word < b.first_word; });
+  runs_ = std::move(kept);
+}
+
+std::vector<PageIndex> DirtyBitmap::ToVector() const {
+  std::vector<PageIndex> pages;
+  pages.reserve(count_);
+  for (const Run& run : runs_) {
+    for (PageIndex word = run.first_word; word < run.end_word(); ++word) {
+      std::uint64_t slot = run.words[word - run.first_word];
+      while (slot != 0) {
+        const int bit = __builtin_ctzll(slot);
+        pages.push_back(word * kWordBits + static_cast<PageIndex>(bit));
+        slot &= slot - 1;
+      }
+    }
+  }
+  return pages;
+}
+
+}  // namespace accent

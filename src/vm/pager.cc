@@ -119,6 +119,13 @@ void Pager::Access(AddressSpace* space, Addr addr, bool write, AccessDone done) 
     ++stats_.resident_hits;
     SimDuration cost = costs_.resident_access;
     if (write) {
+      if (space->WriteIsTracked(addr)) {
+        // Pre-copy armed the write-protect bit on this clean, resident page:
+        // the write takes one extra trap to set the dirty bit. Disarmed
+        // spaces never reach here, keeping legacy timings byte-identical.
+        space->NoteTrackedWriteFault();
+        cost += costs_.precopy_write_fault;
+      }
       cost += ResolveWriteCopy(space, page, &outcome);
       memory_.MarkDirty(space->id(), page);
     }

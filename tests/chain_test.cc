@@ -172,6 +172,8 @@ INSTANTIATE_TEST_SUITE_P(Strategies, ChainStrategyTest,
                                return "PureIou";
                              case TransferStrategy::kResidentSet:
                                return "ResidentSet";
+                             case TransferStrategy::kPreCopy:
+                               return "PreCopy";
                            }
                            return "Unknown";
                          });

@@ -3,6 +3,7 @@
 // byte overhead, and full data integrity including mid-round writes.
 #include <gtest/gtest.h>
 
+#include "src/experiments/precopy.h"
 #include "src/experiments/testbed.h"
 
 namespace accent {
@@ -153,6 +154,118 @@ TEST_F(PreCopyTest, ConvergesEarlyWhenWritesStop) {
   EXPECT_LE(record.precopy_rounds, 2);  // snapshot + at most one dirty round
   Process* remote = bed.manager(1)->adopted().back().get();
   EXPECT_TRUE(remote->done());
+}
+
+TEST_F(PreCopyTest, DirtyBitmapIsExactUnderCow) {
+  // The dirty bitmap must record exactly the written pages — no more (reads
+  // and faults of clean pages stay clean in the write-only trace below), no
+  // fewer — and each first write to a freshly materialised page breaks COW
+  // on the payload the pager shared in from the segment. Bitmap bits and
+  // cow_breaks therefore move in lockstep.
+  constexpr int kWrites = 24;  // 24 distinct pages (BuildWriter cycles i % 64)
+  Testbed bed;
+  auto proc = BuildWriter(&bed, kWrites, Ms(5));
+  // Extend the trace: after a long pause, one more write to the (by then
+  // resident, re-cleaned) first page — the trap case checked at the end.
+  TraceBuilder trace;
+  for (int i = 0; i < kWrites; ++i) {
+    trace.Write(PageBase(i % 64) + 100, static_cast<std::uint8_t>(i + 1));
+    trace.Compute(Ms(5));
+  }
+  trace.Compute(Sec(10.0));
+  trace.Write(PageBase(0) + 101, 0x7f);
+  trace.Terminate();
+  proc->SetTrace(trace.Build(), 0);
+
+  AddressSpace* space = proc->space();
+  space->MarkAllClean();
+  space->ArmWriteTracking();
+
+  const PageCounterSnapshot before = ReadPageCounters();
+  proc->Start();
+  bed.sim().RunUntil(Sec(5.0));  // all kWrites writes done; mid-pause
+  const PageCounterSnapshot after = ReadPageCounters();
+
+  EXPECT_EQ(space->dirty_count(), static_cast<std::size_t>(kWrites));
+  EXPECT_EQ(after.cow_breaks - before.cow_breaks, static_cast<std::uint64_t>(kWrites));
+  for (PageIndex p = 0; p < kWrites; ++p) {
+    EXPECT_TRUE(space->IsDirty(p)) << "page " << p;
+  }
+  for (PageIndex p = kWrites; p < 64; ++p) {
+    EXPECT_FALSE(space->IsDirty(p)) << "page " << p;
+  }
+  // Non-resident first writes set the bitmap bit inside the page fault
+  // they were already taking — no extra write-protect trap fires.
+  EXPECT_EQ(space->tracked_write_faults(), 0u);
+
+  // A write to a now-resident clean page is the case that does trip the
+  // tracking trap: re-clean the bitmap and let the trace's final write run.
+  space->MarkAllClean();
+  bed.sim().Run();
+  EXPECT_TRUE(proc->done());
+  EXPECT_EQ(space->dirty_count(), 1u);
+  EXPECT_TRUE(space->IsDirty(0));
+  EXPECT_EQ(space->tracked_write_faults(), 1u);
+}
+
+TEST_F(PreCopyTest, SloPredictorFreezesEarly) {
+  // A generous downtime target is met at the first ack — the predictor
+  // freezes immediately instead of burning the remaining rounds.
+  Testbed bed;
+  auto proc = BuildWriter(&bed, 60, Ms(150));
+  proc->Start();
+  PreCopyConfig config;
+  config.max_rounds = 8;
+  config.stop_threshold = 0;
+  config.target_downtime = Sec(30.0);
+  const MigrationRecord record = MigratePre(&bed, proc.get(), config);
+  EXPECT_EQ(record.precopy_rounds, 1);
+  EXPECT_TRUE(record.precopy_slo_met);
+  EXPECT_GT(ToSeconds(record.precopy_predicted_downtime), 0.0);
+  EXPECT_LE(record.precopy_predicted_downtime, config.target_downtime);
+}
+
+TEST_F(PreCopyTest, StagnationCutsRoundsWhenWriterOutpacesWire) {
+  // An unreachable target plus a writer that re-dirties its working set
+  // every round: once a round fails to shrink the dirty set, further
+  // rounds only waste bytes, so the manager freezes (well short of the
+  // round cap) with the SLO honestly reported as missed.
+  Testbed bed;
+  auto proc = BuildWriter(&bed, 400, Ms(20));
+  proc->Start();
+  PreCopyConfig config;
+  config.max_rounds = 16;
+  config.stop_threshold = 0;
+  config.target_downtime = Ms(1);
+  const MigrationRecord record = MigratePre(&bed, proc.get(), config);
+  EXPECT_LT(record.precopy_rounds, 16);
+  EXPECT_FALSE(record.precopy_slo_met);
+  // The WWS estimate tracked the writer's nonzero per-round dirty counts.
+  EXPECT_GT(record.precopy_wws_pages, 0.0);
+}
+
+TEST_F(PreCopyTest, SweepIsThreadCountInvariant) {
+  // Cells run in private testbeds, so sweep results — down to per-cell
+  // round counts and byte totals — cannot depend on worker scheduling.
+  const PreCopySweepSummary t1 = RunPreCopySweep(42, 1);
+  const PreCopySweepSummary t2 = RunPreCopySweep(42, 2);
+  const PreCopySweepSummary t8 = RunPreCopySweep(42, 8);
+  ASSERT_EQ(t1.cells.size(), t2.cells.size());
+  ASSERT_EQ(t1.cells.size(), t8.cells.size());
+  for (std::size_t i = 0; i < t1.cells.size(); ++i) {
+    for (const PreCopySweepSummary* other : {&t2, &t8}) {
+      const PreCopySweepCellResult& a = t1.cells[i];
+      const PreCopySweepCellResult& b = other->cells[i];
+      EXPECT_EQ(a.cell.workload, b.cell.workload);
+      EXPECT_EQ(a.completed, b.completed);
+      EXPECT_EQ(a.rounds, b.rounds) << a.cell.workload << " cell " << i;
+      EXPECT_EQ(a.downtime.count(), b.downtime.count()) << a.cell.workload;
+      EXPECT_EQ(a.page_bytes, b.page_bytes) << a.cell.workload;
+      EXPECT_EQ(a.wire_bytes, b.wire_bytes) << a.cell.workload;
+    }
+  }
+  EXPECT_EQ(t1.completed, t1.cells.size());
+  EXPECT_EQ(t1.hung, 0u);
 }
 
 TEST_F(PreCopyTest, RoundsAreAcknowledgedFlowControl) {

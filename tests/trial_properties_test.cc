@@ -24,6 +24,7 @@ std::string CaseName(const ::testing::TestParamInfo<TrialCase>& info) {
     case TransferStrategy::kPureCopy: name += "_Copy"; break;
     case TransferStrategy::kPureIou: name += "_Iou"; break;
     case TransferStrategy::kResidentSet: name += "_Rs"; break;
+    case TransferStrategy::kPreCopy: name += "_PreCopy"; break;
   }
   return name + "_PF" + std::to_string(info.param.prefetch);
 }
@@ -100,6 +101,14 @@ TEST_P(TrialPropertyTest, Invariants) {
         EXPECT_EQ(result.dest_pager.imag_faults,
                   result.spec.touched_real_pages - result.spec.resident_touched_overlap);
       }
+      break;
+    case TransferStrategy::kPreCopy:
+      // Pre-copy ships everything physically; like pure-copy, the
+      // destination never takes a remote fault. The round/downtime
+      // structure has its own gates in the pre-copy sweep.
+      EXPECT_EQ(result.dest_pager.imag_faults, 0u);
+      EXPECT_EQ(result.bytes_fault, 0u);
+      EXPECT_GE(result.bytes_bulk, result.spec.real_bytes);
       break;
   }
 

@@ -10,6 +10,7 @@
 #   check_bench.sh --chain <chain_sweep-binary> [output.json]
 #   check_bench.sh --cluster <cluster_sweep-binary> [output.json]
 #   check_bench.sh --fuzz <fuzz_corpus-binary> [output.json]
+#   check_bench.sh --precopy <precopy_sweep-binary> [output.json]
 set -euo pipefail
 
 MODE=sim
@@ -27,6 +28,9 @@ elif [ "${1:-}" = "--cluster" ]; then
   shift
 elif [ "${1:-}" = "--fuzz" ]; then
   MODE=fuzz
+  shift
+elif [ "${1:-}" = "--precopy" ]; then
+  MODE=precopy
   shift
 fi
 
@@ -167,9 +171,38 @@ elif [ "$MODE" = "fuzz" ]; then
     echo "check_bench: fuzz corpus reports oracle failures in $OUT" >&2
     status=1
   fi
+elif [ "$MODE" = "precopy" ]; then
+  OUT=${2:-BENCH_precopy.json}
+  # The live pre-copy grid: 7 workloads x (3 paper strategies + round caps
+  # {1,4,8} x downtime SLOs {off, 1 s, 5 s}). The binary exits non-zero if
+  # any trial hung or failed to complete, if pre-copy did not beat pure-copy
+  # on downtime for the compute-bound workloads, if the page-byte ordering
+  # precopy >= pure-copy >= IOU broke, or if the SLO predictor never fired.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version seed trial_count completed hung \
+        downtime_wins downtime_win_ok bytes_ordering_ok slo_ok pareto cells \
+        downtime_s page_bytes wws_pages predicted_downtime_s slo_met rounds"
+
+  # Belt and braces: re-assert the headline gates from the emitted JSON.
+  if ! grep -q '"hung": 0' "$OUT"; then
+    echo "check_bench: pre-copy sweep reports hung trials in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"downtime_win_ok": true' "$OUT"; then
+    echo "check_bench: pre-copy did not beat pure-copy on downtime for the compute-bound workloads in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"bytes_ordering_ok": true' "$OUT"; then
+    echo "check_bench: page-byte ordering precopy >= pure-copy >= IOU broke in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '"slo_ok": true' "$OUT"; then
+    echo "check_bench: the downtime-SLO predictor never fired on a compute-bound workload in $OUT" >&2
+    status=1
+  fi
 else
   OUT=${2:-BENCH_failure.json}
-  # The full matrix (7 workloads x 3 strategies x 4 scenarios). The binary
+  # The full matrix (7 workloads x 4 strategies x 4 scenarios). The binary
   # itself exits non-zero if any trial hung or completed with corrupted
   # contents, so set -e makes those hard failures here.
   "$BIN" --out "$OUT"

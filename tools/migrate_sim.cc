@@ -27,8 +27,13 @@ void PrintUsage() {
       "usage: migrate_sim [options]\n"
       "  --list                 list the representative workloads and exit\n"
       "  --workload=NAME        which process to migrate (default Minprog)\n"
-      "  --strategy=copy|iou|rs transfer strategy (default iou)\n"
+      "  --strategy=copy|iou|rs|precopy\n"
+      "                         transfer strategy (default iou)\n"
       "  --prefetch=N           pages prefetched per imaginary fault (default 0)\n"
+      "  --precopy-rounds=N     pre-copy: max live rounds before freezing (default 3)\n"
+      "  --precopy-stop=N       pre-copy: freeze once <= N pages are dirty (default 4)\n"
+      "  --target-downtime-ms=N pre-copy: freeze early once the predicted final\n"
+      "                         round fits in N ms (default off)\n"
       "  --seed=N               trial seed (default 42)\n"
       "  --frames=N             destination physical memory frames (default 4096)\n"
       "  --no-iou-caching       disable NetMsgServer IOU substitution\n"
@@ -120,12 +125,20 @@ int Run(int argc, char** argv) {
         config.strategy = TransferStrategy::kPureIou;
       } else if (value == "rs") {
         config.strategy = TransferStrategy::kResidentSet;
+      } else if (value == "precopy") {
+        config.strategy = TransferStrategy::kPreCopy;
       } else {
         std::fprintf(stderr, "unknown strategy '%s'\n", value.c_str());
         return 2;
       }
     } else if (ParseFlag(argv[i], "--prefetch", &value)) {
       config.prefetch = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--precopy-rounds", &value)) {
+      config.precopy_max_rounds = std::stoi(value);
+    } else if (ParseFlag(argv[i], "--precopy-stop", &value)) {
+      config.precopy_stop_threshold = static_cast<PageIndex>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--target-downtime-ms", &value)) {
+      config.precopy_target_downtime = Ms(std::stoll(value));
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       config.seed = std::stoull(value);
     } else if (ParseFlag(argv[i], "--frames", &value)) {
