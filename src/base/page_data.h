@@ -21,8 +21,38 @@ using PageData = std::vector<std::uint8_t>;  // empty == zero page, else kPageSi
 // Deterministic non-zero page contents derived from `seed`.
 PageData MakePatternPage(std::uint64_t seed);
 
-// FNV-1a over the page (zero pages hash as kPageSize zero bytes).
-std::uint64_t PageChecksum(const PageData& page);
+// Weak 64-bit FNV-1a over the page (zero pages hash as kPageSize zero
+// bytes). This is an *integrity tripwire* — cheap corruption detection in
+// tests and oracles — and must never be used as content identity: at 64
+// bits of linear mixing it is trivially forgeable. Content identity is
+// PageHash below; the distinct names keep the two apart at call sites.
+std::uint64_t PageIntegrityChecksum(const PageData& page);
+
+// Strong 128-bit content identity for the cluster page service. Two pages
+// with equal hashes are treated as byte-identical across hosts, so the
+// hash must be collision-resistant against the simulator's page universe
+// (MakePatternPage streams + mutations); a murmur3-style mix per 64-bit
+// lane gives full avalanche, unlike the integrity checksum above.
+struct PageHash {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const PageHash& a, const PageHash& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const PageHash& a, const PageHash& b) { return !(a == b); }
+  friend bool operator<(const PageHash& a, const PageHash& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+// Hashes the page contents (zero pages hash as kPageSize zero bytes, so
+// an empty PageData and a materialised all-zero page agree).
+PageHash ComputePageHash(const PageData& page);
+
+// The interned hash of the all-zero page: ComputePageHash({}) computed
+// once per process.
+const PageHash& ZeroPageHash();
 
 // Byte at `offset` (zero pages read as 0). Precondition: offset < kPageSize.
 std::uint8_t PageByteAt(const PageData& page, ByteCount offset);

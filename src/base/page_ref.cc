@@ -20,18 +20,19 @@ const PageData& EmptyPage() {
   return empty;
 }
 
+}  // namespace
+
 // Every payload allocation routes through here so the matching release is
 // counted by the deleter — allocs minus frees is the live-payload gauge the
-// leak oracles read.
-std::shared_ptr<PageData> MakePayload(PageData bytes) {
+// leak oracles read. A fresh payload always starts with a cold hash memo,
+// including clones of an already-hashed payload (COW breaks change bytes).
+std::shared_ptr<PageRef::Payload> PageRef::MakePayload(PageData bytes) {
   g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::shared_ptr<PageData>(new PageData(std::move(bytes)), [](PageData* payload) {
+  return std::shared_ptr<Payload>(new Payload(std::move(bytes)), [](Payload* payload) {
     g_payload_frees.fetch_add(1, std::memory_order_relaxed);
     delete payload;
   });
 }
-
-}  // namespace
 
 PageCounterSnapshot ReadPageCounters() {
   PageCounterSnapshot snap;
@@ -71,7 +72,7 @@ PageRef::PageRef(const PageRef& other) {
     return;  // zero page: nothing to share or copy
   }
   if (LegacyDeepCopyMode()) {
-    data_ = MakePayload(*other.data_);
+    data_ = MakePayload(other.data_->bytes);
     g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
   } else {
     data_ = other.data_;
@@ -86,11 +87,11 @@ PageRef& PageRef::operator=(const PageRef& other) {
   return *this;
 }
 
-const PageData& PageRef::Bytes() const { return data_ ? *data_ : EmptyPage(); }
+const PageData& PageRef::Bytes() const { return data_ ? data_->bytes : EmptyPage(); }
 
 std::uint8_t PageRef::ByteAt(ByteCount offset) const {
   ACCENT_EXPECTS(offset < kPageSize);
-  return data_ ? (*data_)[offset] : 0;
+  return data_ ? data_->bytes[offset] : 0;
 }
 
 void PageRef::WriteByte(ByteCount offset, std::uint8_t value) {
@@ -103,11 +104,31 @@ void PageRef::WriteByte(ByteCount offset, std::uint8_t value) {
   } else if (data_.use_count() > 1) {
     // Copy-on-write: another holder shares this payload, clone before the
     // first diverging write (the old data plane copied eagerly instead).
-    data_ = MakePayload(*data_);
+    data_ = MakePayload(data_->bytes);
     g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
     g_cow_breaks.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Sole holder mutating in place: any memoized content hash is stale.
+    data_->hash_ready.store(false, std::memory_order_relaxed);
   }
-  (*data_)[offset] = value;
+  data_->bytes[offset] = value;
+}
+
+PageHash PageRef::Hash() const {
+  if (data_ == nullptr) {
+    return ZeroPageHash();
+  }
+  PageHash hash;
+  if (data_->hash_ready.load(std::memory_order_acquire)) {
+    hash.lo = data_->hash_lo.load(std::memory_order_relaxed);
+    hash.hi = data_->hash_hi.load(std::memory_order_relaxed);
+    return hash;
+  }
+  hash = ComputePageHash(data_->bytes);
+  data_->hash_lo.store(hash.lo, std::memory_order_relaxed);
+  data_->hash_hi.store(hash.hi, std::memory_order_relaxed);
+  data_->hash_ready.store(true, std::memory_order_release);
+  return hash;
 }
 
 PageData PageRef::Clone() const {
@@ -115,7 +136,7 @@ PageData PageRef::Clone() const {
     return PageData{};
   }
   g_page_bytes_copied.fetch_add(kPageSize, std::memory_order_relaxed);
-  return *data_;
+  return data_->bytes;
 }
 
 }  // namespace accent

@@ -23,6 +23,7 @@
 #ifndef SRC_BASE_PAGE_REF_H_
 #define SRC_BASE_PAGE_REF_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -86,7 +87,15 @@ class PageRef {
   // Copy-on-write: clones the payload first if any other holder shares it.
   void WriteByte(ByteCount offset, std::uint8_t value);
 
-  std::uint64_t Checksum() const { return PageChecksum(Bytes()); }
+  std::uint64_t IntegrityChecksum() const { return PageIntegrityChecksum(Bytes()); }
+
+  // Strong 128-bit content identity (src/base/page_data.h), computed
+  // lazily on first request and memoized on the payload — sharing a page
+  // shares its memo, and code that never asks for a hash pays nothing, so
+  // legacy timings are untouched. The zero page returns the interned
+  // ZeroPageHash without ever materialising bytes. A sole-holder WriteByte
+  // invalidates the memo; a COW break starts the clone's memo cold.
+  PageHash Hash() const;
 
   // Materialises an owned deep copy (counted as copied bytes).
   PageData Clone() const;
@@ -105,11 +114,27 @@ class PageRef {
   }
 
  private:
-  std::shared_ptr<PageData> data_;  // null == interned zero page
+  // A payload is the bytes plus the content-hash memo. The memo fields are
+  // relaxed/acquire-release atomics so concurrent sweep threads hashing a
+  // shared payload race benignly (both compute the same digest); hash_ready
+  // publishes lo/hi with release ordering.
+  struct Payload {
+    explicit Payload(PageData b) : bytes(std::move(b)) {}
+    PageData bytes;
+    std::atomic<std::uint64_t> hash_lo{0};
+    std::atomic<std::uint64_t> hash_hi{0};
+    std::atomic<bool> hash_ready{false};
+  };
+
+  static std::shared_ptr<Payload> MakePayload(PageData bytes);
+
+  std::shared_ptr<Payload> data_;  // null == interned zero page
 };
 
 // Drop-in overloads so page helpers accept either representation.
-inline std::uint64_t PageChecksum(const PageRef& page) { return page.Checksum(); }
+inline std::uint64_t PageIntegrityChecksum(const PageRef& page) {
+  return page.IntegrityChecksum();
+}
 inline std::uint8_t PageByteAt(const PageRef& page, ByteCount offset) {
   return page.ByteAt(offset);
 }

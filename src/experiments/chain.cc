@@ -43,14 +43,14 @@ std::uint64_t ObservableChecksum(const AddressSpace& space, const SegmentTable& 
   for (PageIndex page : touches) {
     mix(page);
     if (space.HasPrivatePage(page)) {
-      mix(PageChecksum(space.ReadPage(page)));
+      mix(PageIntegrityChecksum(space.ReadPage(page)));
     } else if (space.ClassOf(PageBase(page)) == MemClass::kImag) {
       const AddressSpace::ImagTarget target = space.ImagTargetOf(PageBase(page));
       Segment* backer = segments.Find(target.iou.segment);
-      mix(backer != nullptr ? PageChecksum(backer->ReadPage(PageOf(target.backer_offset)))
+      mix(backer != nullptr ? PageIntegrityChecksum(backer->ReadPage(PageOf(target.backer_offset)))
                             : 0);
     } else {
-      mix(PageChecksum(space.ReadPage(page)));
+      mix(PageIntegrityChecksum(space.ReadPage(page)));
     }
   }
   return h;

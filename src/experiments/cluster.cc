@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <vector>
@@ -48,6 +49,15 @@ struct ClusterProc {
   int backing = -1;
   bool pull_outstanding = false;
   bool done = false;
+  // Content-cache fleet model. binary_class identifies the program image
+  // this process runs (drawn once at spawn); shared_owed is the portion of
+  // the current debt that is image-shared content, dedup_remaining the part
+  // of it the destination's cache already held when the process landed —
+  // those pages ride confirm acks instead of payload. All three are touched
+  // only on the shard of the process's current host.
+  int binary_class = -1;
+  std::int64_t shared_owed = 0;
+  std::int64_t dedup_remaining = 0;
   // Bumped when the process freezes for a migration; a pending slice
   // event whose epoch no longer matches is stale and must not fire.
   std::uint64_t epoch = 0;
@@ -81,6 +91,16 @@ struct Host {
   // Incremented on this host's shard when it is the migration source.
   std::uint64_t diskless_copy_forced = 0;
   std::uint64_t diskless_backing_anchors = 0;
+  // Per-host content cache, fleet granularity: page counts per binary
+  // class under a class-LRU (front = most recent). Touched only by this
+  // host's shard — inserts and dedup lookups both run on destination-side
+  // events — so the model stays byte-identical across shard counts.
+  std::map<int, std::int64_t> cache_pages_by_class;
+  std::list<int> cache_recency;
+  std::int64_t cache_total = 0;
+  std::uint64_t pages_deduped = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
   std::vector<SimDuration> queueing;   // per completion
   std::vector<SimDuration> downtimes;  // per landed migration
 };
@@ -168,6 +188,51 @@ struct Trial {
     ScheduleSlice(host, p, /*at_setup=*/false);
   }
 
+  // ---- content cache (fleet model) ---------------------------------------
+
+  // How many image pages of `binary_class` the destination already caches;
+  // a hit touches the class to the LRU front. Runs on the dest's shard.
+  std::int64_t CacheHeld(Host& host, int binary_class) {
+    auto it = host.cache_pages_by_class.find(binary_class);
+    if (it == host.cache_pages_by_class.end() || it->second <= 0) {
+      return 0;
+    }
+    host.cache_recency.remove(binary_class);
+    host.cache_recency.push_front(binary_class);
+    return it->second;
+  }
+
+  // Inserts freshly pulled image pages, partially evicting the coldest
+  // classes once the capacity overflows. Runs on the dest's shard.
+  void CacheInsert(Host& host, int binary_class, std::int64_t pages) {
+    if (pages <= 0 || binary_class < 0) {
+      return;
+    }
+    auto [it, fresh] = host.cache_pages_by_class.try_emplace(binary_class, 0);
+    if (!fresh) {
+      host.cache_recency.remove(binary_class);
+    }
+    it->second += pages;
+    host.cache_total += pages;
+    host.cache_recency.push_front(binary_class);
+    host.cache_insertions += static_cast<std::uint64_t>(pages);
+    while (host.cache_total > config.content_cache_pages &&
+           !host.cache_recency.empty()) {
+      const int victim = host.cache_recency.back();
+      auto vit = host.cache_pages_by_class.find(victim);
+      ACCENT_CHECK(vit != host.cache_pages_by_class.end());
+      const std::int64_t take =
+          std::min(vit->second, host.cache_total - config.content_cache_pages);
+      vit->second -= take;
+      host.cache_total -= take;
+      host.cache_evictions += static_cast<std::uint64_t>(take);
+      if (vit->second <= 0) {
+        host.cache_pages_by_class.erase(vit);
+        host.cache_recency.pop_back();
+      }
+    }
+  }
+
   // ---- copy-on-reference page pulls --------------------------------------
 
   void MaybePull(Host& host, ClusterProc* p) {
@@ -178,46 +243,73 @@ struct Trial {
       // Re-migrated back onto its own backer: the debt is local again.
       p->owed_pages = 0;
       p->backing = -1;
+      p->shared_owed = 0;
+      p->dedup_remaining = 0;
       return;
     }
     const std::int64_t batch = std::min(config.pull_batch_pages, p->owed_pages);
+    // The cached slice of this batch rides a hash-probe request (hashes for
+    // every page in the batch) and returns as a confirm ack, not payload.
+    const std::int64_t confirmed =
+        config.content_cache ? std::min(batch, p->dedup_remaining) : 0;
     p->pull_outstanding = true;
     Host* dest = &host;
     Host* backer = hosts[static_cast<std::size_t>(p->backing)].get();
     ClusterProc* proc = p;
-    const ByteCount req_bytes = MigrationCostModel::PullRequestBytes(costs);
+    const ByteCount req_bytes =
+        confirmed > 0 ? MigrationCostModel::HashProbeRequestBytes(costs, batch)
+                      : MigrationCostModel::PullRequestBytes(costs);
     net.Transmit(host.id, backer->id, req_bytes, TrafficKind::kFaultData,
-                 [this, dest, backer, proc, batch]() {
-                   ServePull(*backer, *dest, proc, batch);
+                 [this, dest, backer, proc, batch, confirmed, req_bytes]() {
+                   ServePull(*backer, *dest, proc, batch, confirmed, req_bytes);
                  });
   }
 
   // Runs on the backer's shard: charge request handling + backer service,
-  // then ship the batch back.
-  void ServePull(Host& backer, Host& dest, ClusterProc* p, std::int64_t batch) {
-    const ByteCount req_bytes = MigrationCostModel::PullRequestBytes(costs);
-    const ByteCount reply_bytes = MigrationCostModel::PullReplyBytes(costs, batch);
-    const SimDuration serve = ScaleCpu(
+  // then ship the batch back. Confirmed pages shrink the reply to an ack —
+  // the origin offload the content cache buys.
+  void ServePull(Host& backer, Host& dest, ClusterProc* p, std::int64_t batch,
+                 std::int64_t confirmed, ByteCount req_bytes) {
+    const std::int64_t payload = batch - confirmed;
+    const ByteCount reply_bytes =
+        payload > 0 ? MigrationCostModel::PullReplyBytes(costs, payload)
+                    : MigrationCostModel::HashConfirmBytes(costs);
+    SimDuration serve_work =
         NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, req_bytes), req_bytes) +
-            costs.backer_service,
-        CalOf(backer.index).cpu_multiplier);
+        costs.backer_service;
+    if (confirmed > 0) {
+      serve_work += costs.cache_lookup_cpu;  // hash comparison at the origin
+    }
+    const SimDuration serve = ScaleCpu(serve_work, CalOf(backer.index).cpu_multiplier);
     Host* d = &dest;
     Host* b = &backer;
-    sim.ScheduleAfter(serve, [this, b, d, p, batch, reply_bytes]() {
+    sim.ScheduleAfter(serve, [this, b, d, p, batch, confirmed, reply_bytes]() {
       net.Transmit(b->id, d->id, reply_bytes, TrafficKind::kFaultData,
-                   [this, d, p, batch, reply_bytes]() {
+                   [this, d, p, batch, confirmed, reply_bytes]() {
                      const SimDuration handle = ScaleCpu(
                          NetMsgDeliveryCost(costs, NetMsgFragmentCount(costs, reply_bytes),
                                             reply_bytes),
                          CalOf(d->index).cpu_multiplier);
-                     sim.ScheduleAfter(handle, [this, d, p, batch]() {
+                     sim.ScheduleAfter(handle, [this, d, p, batch, confirmed]() {
                        p->pull_outstanding = false;
                        p->owed_pages -= batch;
                        ++d->pull_batches;
                        d->pages_pulled += static_cast<std::uint64_t>(batch);
+                       if (config.content_cache) {
+                         p->dedup_remaining -= confirmed;
+                         const std::int64_t shared_in_batch =
+                             std::min(batch, p->shared_owed);
+                         p->shared_owed -= shared_in_batch;
+                         d->pages_deduped += static_cast<std::uint64_t>(confirmed);
+                         // Shared pages that had to travel as payload are now
+                         // cached for the next process of this image.
+                         CacheInsert(*d, p->binary_class, shared_in_batch - confirmed);
+                       }
                        if (p->owed_pages <= 0) {
                          p->owed_pages = 0;
                          p->backing = -1;
+                         p->shared_owed = 0;
+                         p->dedup_remaining = 0;
                        }
                      });
                    });
@@ -246,6 +338,12 @@ struct Trial {
     proc.fp.resident_pages = static_cast<std::int64_t>(host.rng.NextInRange(
         static_cast<std::uint64_t>(proc.fp.real_pages / 4),
         static_cast<std::uint64_t>(proc.fp.real_pages * 3 / 4)));
+    if (config.content_cache) {
+      // Which program image this process runs. The extra draw happens only
+      // with the cache on, so cache-off streams stay byte-identical.
+      proc.binary_class = static_cast<int>(host.rng.NextInRange(
+          0, static_cast<std::uint64_t>(config.binary_classes - 1)));
+    }
     host.arena.push_back(proc);
     ClusterProc* p = &host.arena.back();
     host.active[p->pid] = ActiveEntry{p, p->epoch};
@@ -480,6 +578,17 @@ struct Trial {
                                              freeze_at]() {
       p->owed_pages = owed;
       p->backing = owed > 0 ? backing : -1;
+      if (config.content_cache && owed > 0) {
+        // shared_fraction of the debt is image content; the slice of it the
+        // destination's cache already holds will ride confirm acks.
+        p->shared_owed = std::min(
+            owed, static_cast<std::int64_t>(
+                      std::llround(static_cast<double>(owed) * config.shared_fraction)));
+        p->dedup_remaining = std::min(p->shared_owed, CacheHeld(*dst, p->binary_class));
+      } else {
+        p->shared_owed = 0;
+        p->dedup_remaining = 0;
+      }
       dst->active[p->pid] = ActiveEntry{p, p->epoch};
       ++dst->runnable;
       ++dst->inbound_landed;
@@ -554,6 +663,11 @@ ClusterResult RunClusterTrial(const ClusterConfig& config) {
   ACCENT_EXPECTS(config.duration > SimDuration::zero());
   ACCENT_EXPECTS(config.quantum > SimDuration::zero());
   ACCENT_EXPECTS(config.pull_batch_pages >= 1);
+  if (config.content_cache) {
+    ACCENT_EXPECTS(config.content_cache_pages >= 1);
+    ACCENT_EXPECTS(config.binary_classes >= 1);
+    ACCENT_EXPECTS(config.shared_fraction >= 0.0 && config.shared_fraction <= 1.0);
+  }
   ACCENT_EXPECTS(config.calibrations.empty() ||
                  config.calibrations.size() == static_cast<std::size_t>(config.host_count))
       << " calibrations must cover every host";
@@ -682,6 +796,9 @@ ClusterResult RunClusterTrial(const ClusterConfig& config) {
     result.directives_unfilled += host.directives_unfilled;
     result.pull_batches += host.pull_batches;
     result.pages_pulled += host.pages_pulled;
+    result.pages_deduped += host.pages_deduped;
+    result.cache_insertions += host.cache_insertions;
+    result.cache_evictions += host.cache_evictions;
     result.diskless_copy_forced += host.diskless_copy_forced;
     result.diskless_backing_anchors += host.diskless_backing_anchors;
     queueing.insert(queueing.end(), host.queueing.begin(), host.queueing.end());
@@ -748,6 +865,13 @@ Json ClusterResultToJson(const ClusterResult& result) {
   json["directives_unfilled"] = Json(result.directives_unfilled);
   json["pull_batches"] = Json(result.pull_batches);
   json["pages_pulled"] = Json(result.pages_pulled);
+
+  json["content_cache"] = Json(config.content_cache);
+  json["binary_classes"] = Json(config.binary_classes);
+  json["shared_fraction"] = Json(config.shared_fraction);
+  json["pages_deduped"] = Json(result.pages_deduped);
+  json["cache_insertions"] = Json(result.cache_insertions);
+  json["cache_evictions"] = Json(result.cache_evictions);
 
   int diskless_hosts = 0;
   for (const HostCalibration& cal : config.calibrations) {

@@ -75,6 +75,20 @@ struct ClusterConfig {
   PolicyConfig policy;
   std::int64_t pull_batch_pages = 16;
 
+  // Content-addressed page service, fleet model (docs/INTERNALS.md §15).
+  // Off by default — byte-identical to the classic engine. When on, every
+  // process belongs to one of `binary_classes` program images and
+  // `shared_fraction` of its pages are content-identical across its class;
+  // a destination whose per-host cache (content_cache_pages, class-LRU)
+  // already holds image pages answers that portion of a pull batch with a
+  // small confirm ack instead of payload. All cache state lives on the
+  // destination host and is touched only by its owning shard, so results
+  // stay byte-identical across shard counts.
+  bool content_cache = false;
+  std::int64_t content_cache_pages = 8192;
+  int binary_classes = 6;
+  double shared_fraction = 0.5;
+
   // Per-host calibrations (entry i calibrates host index i). Empty — the
   // default — is the homogeneous row, byte-identical to the uncalibrated
   // engine; otherwise the vector must cover every host. Calibrations bend
@@ -117,6 +131,12 @@ struct ClusterResult {
   std::uint64_t directives_unfilled = 0;  // source had no eligible victim
   std::uint64_t pull_batches = 0;
   std::uint64_t pages_pulled = 0;
+  // Content-cache counters (all zero with content_cache off).
+  // pages_deduped: owed pages answered by confirm acks instead of payload;
+  // the dedup bench derives its bytes-on-wire saving from these.
+  std::uint64_t pages_deduped = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
   // Heterogeneous-row counters. diskless_backing_anchors counts owed-page
   // debts anchored on a diskless host — the invariant is that it stays 0;
   // diskless_copy_forced counts the strategy degradations that keep it so.

@@ -59,7 +59,7 @@ std::uint64_t TouchedChecksum(const Process& proc, const std::set<PageIndex>& to
   };
   for (PageIndex page : touches) {
     mix(page);
-    mix(proc.space()->HasPrivatePage(page) ? PageChecksum(proc.space()->ReadPage(page)) : 0);
+    mix(proc.space()->HasPrivatePage(page) ? PageIntegrityChecksum(proc.space()->ReadPage(page)) : 0);
   }
   return h;
 }

@@ -43,6 +43,17 @@ void FoldTrialMetrics(const TrialResult& result, MetricsRegistry* registry) {
       .Observe(ToSeconds(result.netmsg_busy));
 }
 
+void FoldDedupMetrics(const DedupResult& result, MetricsRegistry* registry) {
+  ACCENT_EXPECTS(registry != nullptr);
+  registry->Counter("cache.hits").Add(result.cache_hits);
+  registry->Counter("cache.misses").Add(result.cache_misses);
+  registry->Counter("cache.insertions").Add(result.cache_insertions);
+  registry->Counter("cache.evictions").Add(result.cache_evictions);
+  registry->Counter("cache.offloaded_pages").Add(result.offloaded_pages);
+  registry->Counter("cache.origin_payload_pages").Add(result.origin_payload_pages);
+  registry->Counter("cache.wire_bytes").Add(result.wire_bytes);
+}
+
 Json TrialSummaryToJson(const TrialResult& result) {
   Json json{Json::Object{}};
   json["workload"] = Json(result.config.workload);

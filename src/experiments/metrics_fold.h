@@ -8,6 +8,7 @@
 #ifndef SRC_EXPERIMENTS_METRICS_FOLD_H_
 #define SRC_EXPERIMENTS_METRICS_FOLD_H_
 
+#include "src/experiments/dedup.h"
 #include "src/experiments/trial.h"
 #include "src/metrics/registry.h"
 
@@ -20,6 +21,14 @@ namespace accent {
 //              faults.prefetched, faults.prefetch_hits
 //   histograms downtime_seconds, rimas_transfer_seconds, netmsg_busy_seconds
 void FoldTrialMetrics(const TrialResult& result, MetricsRegistry* registry);
+
+// Adds one dedup-experiment run's content-cache measurements to `registry`:
+//   counters   cache.hits, cache.misses, cache.insertions, cache.evictions,
+//              cache.offloaded_pages, cache.origin_payload_pages,
+//              cache.wire_bytes
+// A cache-off run folds all-zero cache counters (plus its wire bytes), so a
+// registry holding both halves of the bench exposes the dedup delta.
+void FoldDedupMetrics(const DedupResult& result, MetricsRegistry* registry);
 
 // Compact one-object-per-trial summary for BENCH_sweep.json: the fields the
 // paper tables are computed from (spec composition, excision/transfer/insert

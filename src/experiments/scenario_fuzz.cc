@@ -14,6 +14,8 @@
 #include "src/experiments/cluster.h"
 #include "src/experiments/sweep.h"
 #include "src/experiments/testbed.h"
+#include "src/net/page_service.h"
+#include "src/vm/pager.h"
 #include "src/workloads/workload.h"
 
 namespace accent {
@@ -67,6 +69,13 @@ struct MechRun {
   bool nonorigin_objects_clear = true;
   std::uint64_t duplicate_deaths = 0;
   std::string backer_detail;
+
+  // Dedup oracle at drain time: pages the cache plane served, and every
+  // hash mismatch any layer of the walk counted (pager rejects of holder
+  // payloads, cache insertions whose bytes belie their claimed hash, origin
+  // confirm probes whose bytes disagree with the rider).
+  std::uint64_t cache_activity = 0;
+  std::uint64_t dedup_mismatches = 0;
 };
 
 MechRun RunMech(const FuzzScenario& sc, const FaultPlan& plan, std::uint64_t fault_seed,
@@ -77,6 +86,8 @@ MechRun RunMech(const FuzzScenario& sc, const FaultPlan& plan, std::uint64_t fau
   config.fault_plan = plan;
   config.fault_seed = fault_seed;
   config.reliable_transport = reliable;
+  config.content_cache = sc.content_cache;
+  config.content_cache_pages = sc.content_cache_pages;
   Testbed bed(config);
   bed.SetPrefetch(sc.prefetch);
 
@@ -198,6 +209,14 @@ MechRun RunMech(const FuzzScenario& sc, const FaultPlan& plan, std::uint64_t fau
       run.nonorigin_objects_clear = false;
       backer_detail << " host" << i << ":objects=" << backer.object_count();
     }
+    const PagerStats& ps = bed.pager(i)->stats();
+    run.cache_activity += ps.cache_local_hits + ps.cache_pages_confirmed +
+                          ps.cache_pages_from_holders + ps.cache_pull_pages_served;
+    run.dedup_mismatches += ps.cache_hash_rejects;
+    run.dedup_mismatches += backer.confirm_mismatches();
+    if (PageService* service = bed.page_service(i)) {
+      run.dedup_mismatches += service->cache().stats().hash_mismatches;
+    }
   }
   run.backer_detail = backer_detail.str();
   return run;
@@ -220,6 +239,8 @@ ClusterConfig MakeFleetConfig(const FuzzScenario& sc, int shards, int threads) {
   config.policy.strategy = sc.strategy;
   config.policy.sample_period = Sec(1.0);
   config.policy.imbalance_threshold = 2;
+  config.content_cache = sc.content_cache;
+  config.content_cache_pages = sc.content_cache_pages;
   return config;
 }
 
@@ -240,6 +261,9 @@ std::string FuzzScenario::Describe() const {
     diskless += cal.diskless ? 1 : 0;
   }
   out << " calibrated=" << calibrated << "/" << host_count << " diskless=" << diskless;
+  if (content_cache) {
+    out << " cache=" << content_cache_pages;
+  }
   if (drop > 0.0 || duplicate > 0.0 || delay > 0.0 || reorder > 0.0) {
     out << " lossy(drop=" << drop << ",dup=" << duplicate << ",delay=" << delay
         << ",reorder=" << reorder << ")";
@@ -305,6 +329,16 @@ FuzzScenario MakeScenario(std::uint64_t seed) {
     sc.crash_dest = true;
   } else if (crash_draw < 0.30) {
     sc.crash_source = true;
+  }
+
+  // Content cache, from its own fork so the topology/workload/fault streams
+  // stay byte-identical to the cache-oblivious generator. The capacity menu
+  // reaches down to 64 pages so eviction pressure is in the fuzzed space.
+  Rng cache = root.Fork(4);
+  if (cache.NextBool(0.5)) {
+    constexpr std::int64_t kCacheMenu[] = {64, 512, 4096};
+    sc.content_cache = true;
+    sc.content_cache_pages = kCacheMenu[cache.NextBelow(3)];
   }
   return sc;
 }
@@ -407,9 +441,38 @@ FuzzScenarioResult RunScenario(const FuzzScenario& scenario) {
     }
   }
 
+  // ---- dedup identity ----------------------------------------------------
+  // Any page the cache plane served must have been byte-identical to what
+  // the origin would have served: every layer of the walk hash-verifies and
+  // counts mismatches, and a single count fails the scenario. (Stale serves
+  // — a hit resurrecting a retired backer stub's page — additionally trip
+  // the integrity/backer oracles above, because the destination would read
+  // bytes the reference run never produced.) With the cache off, the walk
+  // must never engage.
+  std::uint64_t dedup_mismatches = run.dedup_mismatches;
+  std::uint64_t cache_activity = run.cache_activity;
+  if (scenario.faulty()) {
+    // The lossless baseline ran separately; its counters are not in `run`.
+    dedup_mismatches += baseline.dedup_mismatches;
+    cache_activity += baseline.cache_activity;
+  }
+  if (dedup_mismatches != 0) {
+    result.dedup_ok = false;
+    failure << "dedup identity violation (hash mismatches=" << dedup_mismatches << ");";
+  }
+
   // ---- fleet shard identity ----------------------------------------------
   const ClusterResult fleet1 = RunClusterTrial(MakeFleetConfig(scenario, 1, 1));
   const ClusterResult fleet2 = RunClusterTrial(MakeFleetConfig(scenario, 2, 2));
+  // A lone migrating chain has no third-party holders, so mechanistic runs
+  // only engage the dedup plane on a re-migration; the fleet half (many
+  // processes, shared pages) is where cache serves actually accrue.
+  result.cache_activity = cache_activity + fleet1.pages_deduped + fleet2.pages_deduped;
+  if (!scenario.content_cache && result.cache_activity != 0) {
+    result.dedup_ok = false;
+    failure << "cache-off scenario touched the dedup plane (served="
+            << result.cache_activity << ");";
+  }
   const std::string json1 = ClusterResultToJson(fleet1).Dump();
   const std::string json2 = ClusterResultToJson(fleet2).Dump();
   result.shard_match = json1 == json2;
@@ -478,6 +541,8 @@ FuzzCorpusResult RunFuzzCorpus(std::uint64_t first_seed, std::uint64_t count, in
     corpus.remigrations += r.remigrated ? 1 : 0;
     corpus.crash_scenarios +=
         (r.scenario.crash_dest || r.scenario.crash_source) ? 1 : 0;
+    corpus.cached_scenarios += r.scenario.content_cache ? 1 : 0;
+    corpus.dedup_failures += r.dedup_ok ? 0 : 1;
     if (!r.ok()) {
       ++corpus.failures;
       ACCENT_LOG(kError) << "fuzz: seed " << r.scenario.seed << " FAILED [" << r.failure
@@ -513,6 +578,9 @@ Json FuzzCorpusToJson(const FuzzCorpusResult& corpus) {
     entry["shard_match"] = Json(r.shard_match);
     entry["cluster_census_ok"] = Json(r.cluster_census_ok);
     entry["cluster_hung"] = Json(r.cluster_hung);
+    entry["content_cache"] = Json(r.scenario.content_cache);
+    entry["dedup_ok"] = Json(r.dedup_ok);
+    entry["cache_activity"] = Json(r.cache_activity);
     entry["failure"] = Json(r.failure);
     scenarios.Append(std::move(entry));
   }
@@ -536,6 +604,8 @@ Json FuzzCorpusToJson(const FuzzCorpusResult& corpus) {
   report["payload_leak"] = Json(static_cast<std::int64_t>(corpus.payload_leak));
   report["remigrations"] = Json(corpus.remigrations);
   report["crash_scenarios"] = Json(corpus.crash_scenarios);
+  report["cached_scenarios"] = Json(corpus.cached_scenarios);
+  report["dedup_failures"] = Json(corpus.dedup_failures);
   report["failures"] = Json(corpus.failures);
   report["scenarios"] = std::move(scenarios);
   return report;

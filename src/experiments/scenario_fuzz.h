@@ -22,6 +22,14 @@
 //     notices were processed anywhere;
 //   - shard-count identity: the fleet trial's JSON at shards=1/threads=1
 //     equals shards=2/threads=2 exactly, and its census balances;
+//   - dedup identity (content-cache scenarios): every page served from a
+//     ContentCache or a holder pull is byte-identical to what the origin
+//     would have served — any hash mismatch counted by a pager, cache or
+//     backer fails the scenario — and a cache hit can never resurrect a page
+//     owned by a retired backer stub (a cached serve still runs the standing
+//     integrity + backer-balance oracles, so a stale serve shows up as a
+//     checksum or census violation). Cache-off scenarios must never touch
+//     the dedup plane at all;
 //   - payload balance (corpus level): live PageRef payloads return to the
 //     pre-corpus value once every trial's testbed is destroyed.
 //
@@ -55,6 +63,11 @@ struct FuzzScenario {
   TransferStrategy strategy = TransferStrategy::kPureCopy;
   std::uint32_t prefetch = 0;
   int dest = 1;  // first-hop destination host index
+
+  // Content-addressed page cache (drawn independently of the other menus so
+  // cache-on and cache-off runs of the same seed share everything else).
+  bool content_cache = false;
+  std::int64_t content_cache_pages = 512;
 
   // Optional mid-trial re-migration to a third host.
   bool remigrate = false;
@@ -97,6 +110,8 @@ struct FuzzScenarioResult {
   bool shard_match = true;        // fleet JSON identical at 1 vs 2 shards
   bool cluster_census_ok = true;  // fleet books balance (both runs)
   bool cluster_hung = false;      // fleet watchdog tripped
+  bool dedup_ok = true;           // no hash mismatch anywhere in the walk
+  std::uint64_t cache_activity = 0;  // cache-served pages (hits+confirms+pulls)
 
   // Diskless bookkeeping carried up from the fleet trial.
   std::uint64_t diskless_backing_anchors = 0;
@@ -128,6 +143,8 @@ struct FuzzCorpusResult {
   std::uint64_t diskless_backing_anchors = 0;
   std::uint64_t remigrations = 0;
   std::uint64_t crash_scenarios = 0;
+  std::uint64_t cached_scenarios = 0;  // scenarios with the content cache on
+  std::uint64_t dedup_failures = 0;    // scenarios with any hash mismatch
   std::uint64_t failures = 0;  // scenarios with any non-empty failure
 
   // Live PageRef payloads after minus before the corpus; must be 0 once

@@ -33,6 +33,21 @@ Json PagerStatsToJson(const PagerStats& stats) {
   json["pageouts"] = Json(stats.pageouts);
   json["address_errors"] = Json(stats.address_errors);
   json["failed_fetches"] = Json(stats.failed_fetches);
+  // Content-cache counters exist only when the page service was wired;
+  // emitting them conditionally keeps every legacy row byte-identical (the
+  // golden sweep digest hashes these dumps).
+  if (stats.cache_local_hits != 0 || stats.cache_pages_confirmed != 0 ||
+      stats.cache_pages_from_holders != 0 || stats.cache_holder_misses != 0 ||
+      stats.cache_holder_failovers != 0 || stats.cache_pull_pages_served != 0 ||
+      stats.cache_hash_rejects != 0) {
+    json["cache_local_hits"] = Json(stats.cache_local_hits);
+    json["cache_pages_confirmed"] = Json(stats.cache_pages_confirmed);
+    json["cache_pages_from_holders"] = Json(stats.cache_pages_from_holders);
+    json["cache_holder_misses"] = Json(stats.cache_holder_misses);
+    json["cache_holder_failovers"] = Json(stats.cache_holder_failovers);
+    json["cache_pull_pages_served"] = Json(stats.cache_pull_pages_served);
+    json["cache_hash_rejects"] = Json(stats.cache_hash_rejects);
+  }
   return json;
 }
 
@@ -49,6 +64,15 @@ PagerStats PagerStatsFromJson(const Json& json) {
   stats.pageouts = json.Get("pageouts").AsUint64();
   stats.address_errors = json.Get("address_errors").AsUint64();
   stats.failed_fetches = json.Get("failed_fetches").AsUint64();
+  if (const Json* hits = json.Find("cache_local_hits"); hits != nullptr) {
+    stats.cache_local_hits = hits->AsUint64();
+    stats.cache_pages_confirmed = json.Get("cache_pages_confirmed").AsUint64();
+    stats.cache_pages_from_holders = json.Get("cache_pages_from_holders").AsUint64();
+    stats.cache_holder_misses = json.Get("cache_holder_misses").AsUint64();
+    stats.cache_holder_failovers = json.Get("cache_holder_failovers").AsUint64();
+    stats.cache_pull_pages_served = json.Get("cache_pull_pages_served").AsUint64();
+    stats.cache_hash_rejects = json.Get("cache_hash_rejects").AsUint64();
+  }
   return stats;
 }
 
@@ -205,6 +229,12 @@ Json TrialConfigToJson(const TrialConfig& config) {
     json["precopy_stop_threshold"] = Json(static_cast<std::uint64_t>(config.precopy_stop_threshold));
     json["precopy_target_downtime_us"] = DurationToJson(config.precopy_target_downtime);
   }
+  if (config.content_cache) {
+    // The dedup plane adds hash riders and probe traffic, so it must key
+    // the cache; emitting it only when enabled keeps legacy keys intact.
+    json["content_cache"] = Json(true);
+    json["content_cache_pages"] = Json(config.content_cache_pages);
+  }
   return json;
 }
 
@@ -222,6 +252,10 @@ TrialConfig TrialConfigFromJson(const Json& json) {
     config.precopy_stop_threshold =
         static_cast<PageIndex>(json.Get("precopy_stop_threshold").AsUint64());
     config.precopy_target_downtime = DurationFromJson(json.Get("precopy_target_downtime_us"));
+  }
+  if (const Json* cache = json.Find("content_cache"); cache != nullptr) {
+    config.content_cache = cache->AsBool();
+    config.content_cache_pages = json.Get("content_cache_pages").AsInt64();
   }
   return config;
 }

@@ -1,6 +1,7 @@
 #include "src/experiments/testbed.h"
 
 #include "src/base/logging.h"
+#include "src/migration/cost_model.h"
 
 namespace accent {
 
@@ -17,6 +18,10 @@ Testbed::Testbed(const TestbedConfig& config)
   sim_.set_tracer(config_.tracer);
   if (!config_.calibrations.empty()) {
     network_.SetHostCalibrations(config_.calibrations);
+  }
+  if (config_.content_cache) {
+    ACCENT_EXPECTS(config_.content_cache_pages >= 1);
+    page_directory_ = std::make_unique<PageDirectory>(config_.costs.wire_latency);
   }
   const bool faulty = config_.fault_plan.enabled();
   const bool reliable = faulty || config_.reliable_transport;
@@ -55,6 +60,18 @@ Testbed::Testbed(const TestbedConfig& config)
     parts.netmsg = std::make_unique<NetMsgServer>(id, &sim_, &config_.costs, &fabric_, &network_,
                                                   &segments_, &directory_);
     parts.netmsg->Start();
+    if (page_directory_ != nullptr) {
+      parts.page_service = std::make_unique<PageService>(id, page_directory_.get(),
+                                                         config_.content_cache_pages);
+      parts.pager->set_page_service(parts.page_service.get());
+      parts.netmsg->set_page_service(parts.page_service.get());
+      page_directory_->SetServicePort(id, parts.pager->port());
+      // Rank holders by this host's calibrated egress cost for one page, so
+      // NearestHolder prefers the cheapest link into the cluster.
+      page_directory_->SetHostRank(
+          id, static_cast<double>(
+                  MigrationCostModel::WireCost(config_.costs, kPageSize, cal).count()));
+    }
     parts.netmsg->set_iou_caching(config_.iou_caching);
     if (reliable) {
       parts.netmsg->set_reliable(true);
@@ -112,6 +129,11 @@ Pager* Testbed::pager(int index) {
 Cpu* Testbed::cpu(int index) {
   ACCENT_EXPECTS(index >= 0 && index < host_count());
   return hosts_[static_cast<std::size_t>(index)].cpu.get();
+}
+
+PageService* Testbed::page_service(int index) {
+  ACCENT_EXPECTS(index >= 0 && index < host_count());
+  return hosts_[static_cast<std::size_t>(index)].page_service.get();
 }
 
 void Testbed::SetPrefetch(std::uint32_t pages) {

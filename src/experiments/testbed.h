@@ -19,6 +19,7 @@
 #include "src/migration/migration_manager.h"
 #include "src/net/fault.h"
 #include "src/net/network.h"
+#include "src/net/page_service.h"
 #include "src/net/traffic.h"
 #include "src/netmsg/netmsgserver.h"
 #include "src/proc/host_env.h"
@@ -46,6 +47,15 @@ struct TestbedConfig {
   std::uint64_t fault_seed = 42;
   // Force the reliable transport even with a trivial plan (protocol tests).
   bool reliable_transport = false;
+
+  // Content-addressed cluster page service (docs/INTERNALS.md §15). Off by
+  // default: no PageService is constructed, no hashes are ever computed and
+  // every trial stays byte-identical to the classic protocol. When on,
+  // every host gets a ContentCache of content_cache_pages and joins one
+  // shared PageDirectory whose holder announcements become visible one
+  // wire latency after they are recorded.
+  bool content_cache = false;
+  std::int64_t content_cache_pages = 4096;
 
   // Per-host calibrations, indexed by host (entry i calibrates HostId i+1).
   // Empty — the default — is the homogeneous testbed, byte-identical to the
@@ -81,6 +91,9 @@ class Testbed {
   NetMsgServer* netmsg(int index);
   Pager* pager(int index);
   Cpu* cpu(int index);
+  // Null unless config.content_cache is on.
+  PageService* page_service(int index);
+  PageDirectory* page_directory() { return page_directory_.get(); }
 
   TrafficRecorder& traffic() { return traffic_; }
   IpcFabric& fabric() { return fabric_; }
@@ -110,6 +123,7 @@ class Testbed {
     std::unique_ptr<Disk> disk;
     std::unique_ptr<PhysicalMemory> memory;
     std::unique_ptr<Pager> pager;
+    std::unique_ptr<PageService> page_service;
     std::unique_ptr<NetMsgServer> netmsg;
     std::unique_ptr<HostEnv> env;
     std::unique_ptr<MigrationManager> manager;
@@ -120,6 +134,7 @@ class Testbed {
   SegmentTable segments_;
   TrafficRecorder traffic_;
   std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<PageDirectory> page_directory_;
   Network network_;
   IpcFabric fabric_;
   NetMsgDirectory directory_;

@@ -15,6 +15,8 @@ TrialResult RunTrial(const TrialConfig& config) {
   testbed_config.frames_per_host = config.frames_per_host;
   testbed_config.traffic_bucket = config.traffic_bucket;
   testbed_config.costs.rs_zero_scan_per_mb = config.rs_zero_scan_per_mb;
+  testbed_config.content_cache = config.content_cache;
+  testbed_config.content_cache_pages = config.content_cache_pages;
   testbed_config.tracer = config.tracer;
   Testbed bed(testbed_config);
 

@@ -41,6 +41,14 @@ struct TrialConfig {
   PageIndex precopy_stop_threshold = 4;
   SimDuration precopy_target_downtime{0};  // 0 = round-cap termination only
 
+  // Content-addressed page service (the dedup plane). A two-host trial has
+  // no third-party holders, so this mostly exposes the rider/probe overhead
+  // for ablation; the fleet-scale dedup effect lives in bench/dedup_sweep.
+  // Serialised into the cache key only when enabled (sweep_cache.cc), so
+  // every legacy config hashes exactly as before.
+  bool content_cache = false;
+  std::int64_t content_cache_pages = 4096;
+
   // Optional observability hook (not owned, may be null). Deliberately NOT
   // part of the serialised trial configuration (sweep_cache.cc) — tracing
   // never changes results, so a traced run must hash to the same cache key.

@@ -155,6 +155,19 @@ struct CostTable {
   // Page fetch protocol overheads.
   ByteCount fault_request_bytes = 24;
   ByteCount fault_reply_header_bytes = 16;
+
+  // --- Content-addressed page service (docs/INTERNALS.md section 15) -------
+  // Inert unless a testbed enables the content cache; the classic fault
+  // path never consults them, so legacy byte counts are untouched.
+  // One 128-bit content hash riding a RIMAS IOU region or a hash-probe
+  // request, per page.
+  ByteCount page_hash_bytes = 16;
+  // A confirm ack: the origin's liveness + hash-match answer that replaces
+  // a payload page on a local cache hit (request_id echo + verdict).
+  ByteCount cache_confirm_bytes = 24;
+  // CPU to look a hash up in a host's ContentCache (hash compare + LRU
+  // touch); charged on the probing pager and on a holder serving a pull.
+  SimDuration cache_lookup_cpu = Us(250);
 };
 
 // The default table models the paper's Perq testbed.

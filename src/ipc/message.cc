@@ -1,5 +1,7 @@
 #include "src/ipc/message.h"
 
+#include <algorithm>
+
 namespace accent {
 
 const char* MsgOpName(MsgOp op) {
@@ -60,13 +62,26 @@ MemoryRegion MemoryRegion::Zero(Addr base, ByteCount size) {
   return region;
 }
 
+const PageHash* MemoryRegion::FindPageHash(PageIndex slot) const {
+  const auto it = std::lower_bound(
+      page_hashes.begin(), page_hashes.end(), slot,
+      [](const PageHashEntry& entry, PageIndex s) { return entry.slot < s; });
+  if (it == page_hashes.end() || it->slot != slot) {
+    return nullptr;
+  }
+  return &it->hash;
+}
+
 ByteCount MemoryRegion::WireSize(const CostTable& costs) const {
   switch (mem_class) {
     case MemClass::kReal:
       // Page payload plus a small range descriptor.
       return size + costs.amap_entry_bytes;
     case MemClass::kImag:
-      return costs.iou_descriptor_bytes;
+      // The hash rider weighs page_hash_bytes per owed page; an absent
+      // rider (the classic protocol) adds exactly nothing.
+      return costs.iou_descriptor_bytes +
+             costs.page_hash_bytes * static_cast<ByteCount>(page_hashes.size());
     case MemClass::kRealZero:
       // Shape only: zero contents are recreated, never transmitted.
       return costs.amap_entry_bytes;

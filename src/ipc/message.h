@@ -64,6 +64,13 @@ struct IouRef {
   bool valid() const { return backing_port.valid() && segment.valid(); }
 };
 
+// One entry of a region's content-hash rider: the hash of the owed page at
+// page offset `slot` from the region base.
+struct PageHashEntry {
+  PageIndex slot = 0;
+  PageHash hash{};
+};
+
 // One out-of-line memory range carried by a message.
 struct MemoryRegion {
   Addr base = 0;        // position in the described address-space layout
@@ -71,6 +78,19 @@ struct MemoryRegion {
   MemClass mem_class = MemClass::kBad;
   IouRef iou;                  // valid iff mem_class == kImag
   std::vector<PageRef> pages;  // size/kPageSize entries iff mem_class == kReal
+
+  // Content-hash rider on a kImag region (docs/INTERNALS.md §15): sparse
+  // (slot, hash) entries sorted by slot, one per owed page the sender could
+  // hash, where slot is the page offset from the region base. Sparse
+  // because a consolidated IOU's span may bridge multi-gigabyte zero-fill
+  // holes no fault ever walks; slot positions run-length encode into the
+  // region descriptor, so each entry weighs page_hash_bytes on the wire.
+  // Populated only when the sending host runs a PageService; empty riders
+  // add zero wire bytes, keeping the classic protocol byte-identical.
+  std::vector<PageHashEntry> page_hashes;
+
+  // Binary search for the rider entry at `slot`; nullptr when unhinted.
+  const PageHash* FindPageHash(PageIndex slot) const;
 
   static MemoryRegion Data(Addr base, std::vector<PageRef> pages);
   // Convenience for call sites that build fresh PageData (each page is

@@ -100,6 +100,20 @@ struct MigrationCostModel {
     return costs.fault_reply_header_bytes + static_cast<ByteCount>(pages) * kPageSize;
   }
 
+  // ---- content-addressed page service (docs/INTERNALS.md section 15) -----
+  // A hash-probe request is the classic pull request plus one content hash
+  // per page. Both fault-walk tiers pay it: a kConfirm probe to the origin
+  // and a kCachePull to a holder.
+  static ByteCount HashProbeRequestBytes(const CostTable& costs, std::int64_t pages) {
+    return costs.fault_request_bytes +
+           costs.page_hash_bytes * static_cast<ByteCount>(pages);
+  }
+  // A confirm ack (or a holder's miss reply): the small answer that rides
+  // back instead of the payload when the destination already has the bytes.
+  static ByteCount HashConfirmBytes(const CostTable& costs) {
+    return costs.cache_confirm_bytes;
+  }
+
   // ---- heterogeneous calibrations ----------------------------------------
   // The *On variants charge the same formulas on a specific host: CPU-bound
   // phases divide by that host's speed multiplier (excision runs on the

@@ -115,12 +115,15 @@ void MigrationManager::ApplyStrategy(Message* rimas, TransferStrategy strategy,
   }
 
   if (!owed.empty()) {
+    std::vector<PageHashEntry> rider = env_->netmsg->PublishIouPages(owed, owed_lo);
     IouRef iou =
         env_->netmsg->AdoptPages(std::move(owed), "rs-owed:" + record->name, record->proc);
     // The backed object is VA-indexed; the region offset convention is
     // relative to the region base, so anchor it there.
     iou.offset = owed_lo;
-    kept.push_back(MemoryRegion::Iou(owed_lo, owed_hi - owed_lo, iou));
+    MemoryRegion iou_region = MemoryRegion::Iou(owed_lo, owed_hi - owed_lo, iou);
+    iou_region.page_hashes = std::move(rider);
+    kept.push_back(std::move(iou_region));
   }
   rimas->regions = std::move(kept);
   rimas->no_ious = true;  // what remains physical must stay physical

@@ -1,0 +1,115 @@
+#include "src/net/page_service.h"
+
+#include "src/base/check.h"
+
+namespace accent {
+
+ContentCache::ContentCache(std::int64_t capacity_pages)
+    : capacity_pages_(capacity_pages) {
+  ACCENT_EXPECTS(capacity_pages >= 1);
+}
+
+bool ContentCache::InsertVerified(const PageHash& hash, const PageRef& page) {
+  if (page.IsZero()) {
+    return false;  // the pager fills zero pages locally; never cache them
+  }
+  if (page.Hash() != hash) {
+    // Forged identity: the bytes do not hash to the claimed key. Served
+    // blindly this would hand some process the wrong page contents, so the
+    // insertion is refused and the counter feeds the bench's
+    // zero-integrity-failures gate.
+    ++stats_.hash_mismatches;
+    return false;
+  }
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return true;  // already resident: refresh recency only
+  }
+  lru_.push_front(hash);
+  entries_[hash] = Entry{page, lru_.begin()};
+  ++stats_.insertions;
+  EvictToCapacity();
+  return entries_.count(hash) != 0;
+}
+
+const PageRef* ContentCache::Lookup(const PageHash& hash) {
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return &it->second.page;
+}
+
+bool ContentCache::Contains(const PageHash& hash) const {
+  return entries_.count(hash) != 0;
+}
+
+void ContentCache::EvictToCapacity() {
+  while (static_cast<std::int64_t>(entries_.size()) > capacity_pages_) {
+    const PageHash victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void PageDirectory::RecordHolder(const PageHash& hash, HostId host, SimTime now) {
+  holders_[hash][host] = Holding{now + propagation_};
+  ++holders_recorded_;
+}
+
+void PageDirectory::DropHost(HostId host) {
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    it->second.erase(host);
+    it = it->second.empty() ? holders_.erase(it) : std::next(it);
+  }
+  ++hosts_dropped_;
+}
+
+std::optional<HostId> PageDirectory::NearestHolder(const PageHash& hash, SimTime now,
+                                                   HostId exclude_a,
+                                                   HostId exclude_b) const {
+  auto it = holders_.find(hash);
+  if (it == holders_.end()) {
+    return std::nullopt;
+  }
+  std::optional<HostId> best;
+  double best_rank = 0.0;
+  // Holders iterate in HostId order, so at equal rank the lower id wins
+  // and the choice is canonical.
+  for (const auto& [host, holding] : it->second) {
+    if (host == exclude_a || host == exclude_b || holding.visible_at > now) {
+      continue;
+    }
+    const auto rank_it = ranks_.find(host);
+    const double rank = rank_it != ranks_.end() ? rank_it->second : 0.0;
+    if (!best.has_value() || rank < best_rank) {
+      best = host;
+      best_rank = rank;
+    }
+  }
+  return best;
+}
+
+PageService::PageService(HostId host, PageDirectory* directory,
+                         std::int64_t capacity_pages)
+    : host_(host), directory_(directory), cache_(capacity_pages) {
+  ACCENT_EXPECTS(directory != nullptr);
+}
+
+PageHash PageService::Publish(const PageRef& page, SimTime now) {
+  const PageHash hash = page.Hash();
+  if (page.IsZero()) {
+    return hash;
+  }
+  if (cache_.InsertVerified(hash, page)) {
+    directory_->RecordHolder(hash, host_, now);
+  }
+  return hash;
+}
+
+}  // namespace accent

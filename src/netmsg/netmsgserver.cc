@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/net/page_service.h"
 #include "src/vm/imag_protocol.h"
 
 namespace accent {
@@ -61,6 +62,22 @@ IouRef NetMsgServer::AdoptPages(std::vector<std::pair<PageIndex, PageRef>> pages
     cache_objects_by_proc_[owner.value].push_back(iou);
   }
   return iou;
+}
+
+std::vector<PageHashEntry> NetMsgServer::PublishIouPages(
+    const std::vector<std::pair<PageIndex, PageRef>>& pages, Addr lo) {
+  if (page_service_ == nullptr) {
+    return {};
+  }
+  const PageIndex first = PageOf(lo);
+  std::vector<PageHashEntry> rider;
+  rider.reserve(pages.size());
+  for (const auto& [page, payload] : pages) {
+    rider.push_back({page - first, page_service_->Publish(payload, sim_.Now())});
+  }
+  std::sort(rider.begin(), rider.end(),
+            [](const PageHashEntry& a, const PageHashEntry& b) { return a.slot < b.slot; });
+  return rider;
 }
 
 std::vector<IouRef> NetMsgServer::TakeCacheObjectsFor(ProcId owner) {
@@ -124,13 +141,16 @@ bool NetMsgServer::SubstituteIous(Message* msg) {
   }
   ACCENT_CHECK(!cached.empty());
 
+  std::vector<PageHashEntry> rider = PublishIouPages(cached, lo);
   IouRef iou = AdoptPages(std::move(cached), "iou-cache", msg->cache_owner);
   // One consolidated IOU spans the cached ranges; receivers needing the
   // precise layout intersect it with the AMap from the Core message. The
   // cache object is VA-indexed and region offsets are base-relative, so the
   // IOU is anchored at the span's base.
   iou.offset = lo;
-  kept.push_back(MemoryRegion::Iou(lo, hi - lo, iou));
+  MemoryRegion iou_region = MemoryRegion::Iou(lo, hi - lo, iou);
+  iou_region.page_hashes = std::move(rider);
+  kept.push_back(std::move(iou_region));
   msg->regions = std::move(kept);
   return true;
 }

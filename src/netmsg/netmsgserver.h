@@ -42,6 +42,7 @@
 namespace accent {
 
 class NetMsgServer;
+class PageService;
 
 // Host -> NetMsgServer lookup shared by all servers in one simulation.
 class NetMsgDirectory {
@@ -132,6 +133,22 @@ class NetMsgServer : public RemoteTransport {
   // exporting or retiring them through the embedded backer.
   std::vector<IouRef> TakeCacheObjectsFor(ProcId owner);
 
+  // Wires the host's content-addressed PageService (docs/INTERNALS.md §15).
+  // Null (the default) keeps the classic protocol: no hashes are computed
+  // and outbound IOU regions carry no rider.
+  void set_page_service(PageService* service) { page_service_ = service; }
+  PageService* page_service() const { return page_service_; }
+
+  // Builds the §15 hash rider for an IOU region based at `lo` whose
+  // payloads are `pages` (VA-page-indexed), publishing every payload into
+  // this host's content plane as a side effect. The rider is sparse: hole
+  // pages — spanned by the consolidated IOU but not present — carry no
+  // entry at all, so a 4 GB zero-fill expanse bridged by the span costs
+  // nothing in memory or on the wire. Returns an empty rider (zero wire
+  // bytes, the classic protocol) when no PageService is wired.
+  std::vector<PageHashEntry> PublishIouPages(
+      const std::vector<std::pair<PageIndex, PageRef>>& pages, Addr lo);
+
   // RemoteTransport: carries `msg` to the NetMsgServer at `dest_host`.
   void ForwardToRemote(HostId dest_host, Message msg) override;
 
@@ -191,6 +208,7 @@ class NetMsgServer : public RemoteTransport {
   Network& network_;
   NetMsgDirectory& directory_;
   SegmentBacker backer_;
+  PageService* page_service_ = nullptr;
   bool iou_caching_ = true;
   std::uint64_t cached_objects_ = 0;
   // Cache objects adopted on behalf of a migrating process, keyed by

@@ -46,6 +46,21 @@ std::vector<MemoryRegion> BuildRimasRegions(const AddressSpace& space) {
         // offset within the backer of the region's first page.
         iou.offset = target.backer_offset;
         MemoryRegion region = MemoryRegion::Iou(PageBase(page), run * kPageSize, iou);
+        // Forward content-hash hints across hops (docs/INTERNALS.md §15):
+        // when the departing space knows every page's hash, the rider
+        // travels with the re-issued IOU so the next destination can keep
+        // probing caches. A partially-hinted run ships no rider.
+        std::vector<PageHashEntry> rider;
+        rider.reserve(run);
+        for (PageIndex i = 0; i < run; ++i) {
+          const PageHash* hint = space.HashHintOf(page + i);
+          if (hint == nullptr) {
+            rider.clear();
+            break;
+          }
+          rider.push_back({i, *hint});
+        }
+        region.page_hashes = std::move(rider);
         regions.push_back(std::move(region));
         page += run;
       }
@@ -218,6 +233,16 @@ void InsertProcess(HostEnv* env, Message core, Message rimas,
         iou.offset = 0;
         Segment* segment = imag_segment_for(iou);
         space->MapImaginary(cursor, stop, segment, target_offset);
+        // Copy the region's hash rider (if any) into per-page hints so the
+        // pager's hash-probe fault walk can consult them later.
+        if (!region->page_hashes.empty()) {
+          for (Addr va = cursor; va < stop; va += kPageSize) {
+            const PageIndex slot = (va - region->base) / kPageSize;
+            if (const PageHash* hash = region->FindPageHash(slot)) {
+              space->SetPageHashHint(PageOf(va), *hash);
+            }
+          }
+        }
         cursor = stop;
       }
     };

@@ -133,6 +133,19 @@ class AddressSpace {
   void NoteTrackedWriteFault() { ++tracked_write_faults_; }
   std::uint64_t tracked_write_faults() const { return tracked_write_faults_; }
 
+  // --- content-hash hints (docs/INTERNALS.md §15) ------------------------------
+  // Sparse per-page hints copied off the RIMAS hash riders at insertion:
+  // the content hash the owed page *will* have once pulled. The pager's
+  // hash-probe fault walk consults these; a page without a hint always
+  // takes the classic origin pull. Hints are advisory — content identity is
+  // re-verified against actual bytes wherever a hint is acted on.
+  void SetPageHashHint(PageIndex page, const PageHash& hash) { hash_hints_[page] = hash; }
+  const PageHash* HashHintOf(PageIndex page) const {
+    auto it = hash_hints_.find(page);
+    return it != hash_hints_.end() ? &it->second : nullptr;
+  }
+  std::size_t hash_hint_count() const { return hash_hints_.size(); }
+
   // Distinct imaginary backers still referenced (for death notification).
   std::vector<IouRef> ImaginaryBackers() const;
 
@@ -175,6 +188,7 @@ class AddressSpace {
   PageStore private_pages_;
   std::set<PageIndex> touched_;
   DirtyBitmap dirty_since_mark_;
+  std::map<PageIndex, PageHash> hash_hints_;
   bool write_tracking_ = false;
   std::uint64_t tracked_write_faults_ = 0;
 };

@@ -367,27 +367,54 @@ void SegmentBacker::ServeRead(const Message& msg) {
     pages.push_back(segment->ReadPage(first + i));  // refcount bump, no byte copy
   }
   ++requests_served_;
-  pages_served_ += count;
 
   ImagReadReply reply;
   reply.request_id = request.request_id;
   reply.segment = request.segment;
   reply.offset = request.offset;
 
+  // Confirm probe (docs/INTERNALS.md §15): the faulting host already holds
+  // the bytes and only needs this backer to vouch that it still owns the
+  // object and that the stored pages hash-match. A full match answers with
+  // a small ack instead of the payload; any divergence (shorter object,
+  // hash drift) silently degrades to the classic payload serve — the
+  // origin's bytes are always authoritative.
+  SimDuration service = costs_.backer_service;
+  bool confirmed = false;
+  if (request.probe == ImagProbeKind::kConfirm) {
+    service += costs_.cache_lookup_cpu;
+    confirmed = count == static_cast<PageIndex>(request.page_count) &&
+                request.page_hashes.size() >= static_cast<std::size_t>(count);
+    for (PageIndex i = 0; confirmed && i < count; ++i) {
+      confirmed = pages[i].Hash() == request.page_hashes[i];
+    }
+    if (confirmed) {
+      pages_confirmed_ += count;
+    } else {
+      ++confirm_mismatches_;
+    }
+  }
+
   Message response;
   response.dest = request.reply_port;
   response.op = MsgOp::kImagReadReply;
   response.traffic = TrafficKind::kFaultData;
-  response.inline_bytes = costs_.fault_reply_header_bytes;
+  if (confirmed) {
+    reply.hash_confirmed = true;
+    response.inline_bytes = costs_.cache_confirm_bytes;
+  } else {
+    pages_served_ += count;
+    response.inline_bytes = costs_.fault_reply_header_bytes;
+    // The pager clamps requests to the mapped object, so a request can
+    // never land wholly outside it.
+    ACCENT_CHECK(!pages.empty()) << " read request beyond object end";
+    response.regions.push_back(MemoryRegion::Data(request.offset, std::move(pages)));
+  }
   response.body = reply;
-  // The pager clamps requests to the mapped object, so a request can never
-  // land wholly outside it.
-  ACCENT_CHECK(!pages.empty()) << " read request beyond object end";
-  response.regions.push_back(MemoryRegion::Data(request.offset, std::move(pages)));
 
   const CpuPriority priority =
       costs_.fault_priority_lane ? CpuPriority::kHigh : CpuPriority::kNormal;
-  fabric_.CpuOf(host_)->Submit(work_category_, costs_.backer_service,
+  fabric_.CpuOf(host_)->Submit(work_category_, service,
                                [this, response = std::move(response)]() mutable {
                                  Result<void> sent = fabric_.Send(host_, std::move(response));
                                  if (!sent.ok()) {

@@ -100,6 +100,11 @@ class SegmentBacker : public Receiver {
   std::size_t stub_count() const { return stubs_.size(); }
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t pages_served() const { return pages_served_; }
+  // Content-cache confirm probes (docs/INTERNALS.md §15): pages whose
+  // ownership + hash were acked without shipping payload, and probes that
+  // mismatched and were answered with the full payload instead.
+  std::uint64_t pages_confirmed() const { return pages_confirmed_; }
+  std::uint64_t confirm_mismatches() const { return confirm_mismatches_; }
   std::uint64_t deaths_received() const { return deaths_received_; }
   std::uint64_t duplicate_deaths() const { return duplicate_deaths_; }
   std::uint64_t deaths_during_export() const { return deaths_during_export_; }
@@ -149,6 +154,8 @@ class SegmentBacker : public Receiver {
   std::map<std::uint64_t, std::function<void(bool)>> pending_exports_;
   std::uint64_t requests_served_ = 0;
   std::uint64_t pages_served_ = 0;
+  std::uint64_t pages_confirmed_ = 0;
+  std::uint64_t confirm_mismatches_ = 0;
   std::uint64_t deaths_received_ = 0;
   std::uint64_t duplicate_deaths_ = 0;
   std::uint64_t deaths_during_export_ = 0;

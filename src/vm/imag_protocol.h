@@ -9,10 +9,23 @@
 #define SRC_VM_IMAG_PROTOCOL_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/base/page_data.h"
 #include "src/base/types.h"
 
 namespace accent {
+
+// Content-cache probe variants of the read request (the hash-probe fault
+// walk, docs/INTERNALS.md §15). kNone is the classic protocol and the only
+// shape that exists when the content cache is off.
+enum class ImagProbeKind : std::uint8_t {
+  kNone = 0,     // plain pull: backer ships payload pages
+  kConfirm,      // destination holds the bytes; backer acks liveness + hash,
+                 // transferring cache_confirm_bytes instead of the payload
+  kCachePull,    // pull addressed to a *holder's* PageService by content
+                 // hash; a holder miss answers with a small miss reply
+};
 
 struct ImagReadRequest {
   std::uint64_t request_id = 0;
@@ -20,6 +33,11 @@ struct ImagReadRequest {
   ByteCount offset = 0;    // page-aligned offset within the object
   std::uint32_t page_count = 1;  // 1 + prefetch
   PortId reply_port;
+  // Hash-probe rider (empty/kNone on the classic path). `page_hashes`
+  // carries one content hash per requested page; its wire weight is
+  // page_hash_bytes each, charged through the carrying message.
+  ImagProbeKind probe = ImagProbeKind::kNone;
+  std::vector<PageHash> page_hashes;
 };
 
 struct ImagReadReply {
@@ -30,6 +48,13 @@ struct ImagReadReply {
   // unreachable for good (dead-lettered request on a lossy wire). The
   // reply carries no pages; the pager fails the waiting accesses.
   bool failed = false;
+  // kConfirm answer: the backer is alive, still owns the object, and its
+  // bytes hash-match — the destination may install its cached pages. The
+  // reply carries no payload region, only cache_confirm_bytes of ack.
+  bool hash_confirmed = false;
+  // kCachePull answer from a holder that no longer caches the bytes: no
+  // payload; the pager re-issues the pull at the origin (tier 3).
+  bool cache_miss = false;
   // Pages ride as the message's single kReal MemoryRegion. The backer may
   // return fewer pages than asked (object end, pages it no longer owns).
 };

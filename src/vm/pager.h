@@ -32,6 +32,8 @@
 
 namespace accent {
 
+class PageService;
+
 enum class FaultKind {
   kNone,  // resident hit
   kFillZero,
@@ -66,6 +68,17 @@ struct PagerStats {
   std::uint64_t pageouts = 0;             // dirty evictions written to disk
   std::uint64_t address_errors = 0;       // BadMem references
   std::uint64_t failed_fetches = 0;       // imaginary faults with dead backers
+
+  // --- content-addressed page service (docs/INTERNALS.md §15) -------------
+  // All zero unless the testbed wires a PageService into this pager; the
+  // classic fault path never touches them.
+  std::uint64_t cache_local_hits = 0;        // faults fully served from this host's cache
+  std::uint64_t cache_pages_confirmed = 0;   // pages installed on a confirm ack (no payload)
+  std::uint64_t cache_pages_from_holders = 0;  // payload pages pulled from non-origin holders
+  std::uint64_t cache_holder_misses = 0;     // holder pulls answered "miss" (origin fallback)
+  std::uint64_t cache_holder_failovers = 0;  // holder pulls that died (host dropped, origin fallback)
+  std::uint64_t cache_pull_pages_served = 0;  // pages this host served to other pagers' pulls
+  std::uint64_t cache_hash_rejects = 0;      // holder payloads rejected: bytes != requested hash
 };
 
 class Pager : public Receiver {
@@ -91,6 +104,14 @@ class Pager : public Receiver {
   // it so a crashed backer can never strand a process.
   void set_fetch_timeout_enabled(bool enabled) { fetch_timeout_enabled_ = enabled; }
 
+  // Wires the host's content-addressed PageService (docs/INTERNALS.md §15).
+  // Null (the default) is the classic protocol: no hashes are consulted or
+  // computed and every imaginary fault pulls from its backing port. With a
+  // service wired, fully-hinted faults walk cache tiers first and this
+  // pager additionally answers kCachePull probes from peer pagers.
+  void set_page_service(PageService* service) { page_service_ = service; }
+  PageService* page_service() const { return page_service_; }
+
   // Resolves a touch of `addr` by `space`; `done` runs once the page is
   // resident (and privately owned, for writes). Charges all fault costs.
   void Access(AddressSpace* space, Addr addr, bool write, AccessDone done);
@@ -112,10 +133,24 @@ class Pager : public Receiver {
     bool write;
     AccessDone done;
   };
+  // Which tier of the hash-probe fault walk a fetch is currently on
+  // (docs/INTERNALS.md §15). Classic faults live their whole life on
+  // kOrigin; probe tiers fall back to kOrigin on any setback.
+  enum class FetchTier {
+    kOrigin,        // pull payload from the backing port (the classic path)
+    kLocalConfirm,  // bytes cached locally; origin only acks ownership+hash
+    kHolderPull,    // pull payload from a nearer directory holder
+  };
   struct PendingFetch {
     AddressSpace* space = nullptr;
     std::vector<PageIndex> va_pages;  // va_pages[i] receives returned page i
     std::vector<Waiter> waiters;
+    FetchTier tier = FetchTier::kOrigin;
+    std::uint64_t attempt = 0;  // guards timeout timers across fallbacks
+    AddressSpace::ImagTarget target;   // original backing target (fallback reissue)
+    std::vector<PageHash> hashes;      // hints for the run (probe tiers only)
+    std::vector<PageRef> cached_pages;  // payloads to install on a confirm ack
+    HostId holder;                     // probed holder (kHolderPull only)
   };
 
   // Makes the page resident, accounting dirty evictions (page-outs).
@@ -126,6 +161,23 @@ class Pager : public Receiver {
   SimDuration ResolveWriteCopy(AddressSpace* space, PageIndex page, AccessOutcome* outcome);
 
   void StartImaginaryFault(AddressSpace* space, PageIndex page, bool write, AccessDone done);
+
+  // Builds and sends the read request for `request_id` according to its
+  // current tier, charging the pager CPU and (re-)arming the timeout.
+  void DispatchFetch(std::uint64_t request_id);
+
+  // A fetch came back without pages: a holder miss/crash falls back to the
+  // origin; anything else fails the fetch like the classic protocol.
+  void FetchSetback(std::uint64_t request_id, bool holder_miss);
+
+  // Installs `pages` for a completed fetch and resumes its waiters.
+  // `counted_fetched` selects between imag_pages_fetched (payload crossed
+  // the wire) and cache_pages_confirmed (installed from the local cache).
+  void CompleteFetch(PendingFetch fetch, const std::vector<PageRef>& pages,
+                     bool payload_fetched);
+
+  // Answers a peer pager's kCachePull probe from the local ContentCache.
+  void ServeCachePull(const Message& msg);
 
   // Completes every waiter of `request_id` with a failed outcome (the
   // backing port has died: the owed memory is unrecoverable).
@@ -140,6 +192,7 @@ class Pager : public Receiver {
   PortId port_;
   std::uint32_t prefetch_pages_ = 0;
   bool fetch_timeout_enabled_ = false;
+  PageService* page_service_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, PendingFetch> pending_;
   // (space,page) currently being fetched -> request id (for waiter joining).

@@ -138,8 +138,8 @@ TEST(PageData, ZeroPageReadsAsZero) {
 }
 
 TEST(PageData, ChecksumDistinguishesContents) {
-  EXPECT_NE(PageChecksum(MakePatternPage(1)), PageChecksum(MakePatternPage(2)));
-  EXPECT_EQ(PageChecksum(PageData{}), PageChecksum(PageData(kPageSize, 0)));
+  EXPECT_NE(PageIntegrityChecksum(MakePatternPage(1)), PageIntegrityChecksum(MakePatternPage(2)));
+  EXPECT_EQ(PageIntegrityChecksum(PageData{}), PageIntegrityChecksum(PageData(kPageSize, 0)));
 }
 
 TEST(PageData, WriteMaterialisesZeroPage) {

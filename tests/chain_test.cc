@@ -122,8 +122,8 @@ TEST_P(ChainStrategyTest, PreservesEveryPlannedPage) {
       EXPECT_NE(space.ImagTargetOf(PageBase(page)).iou.backing_port.value, b_backing.value)
           << "page " << page << " still owed to the evacuated intermediary";
     }
-    EXPECT_EQ(PageChecksum(ObservablePage(space, run.bed.segments(), page)),
-              PageChecksum(ObservablePage(*ref.remote->space(), ref.bed.segments(), page)))
+    EXPECT_EQ(PageIntegrityChecksum(ObservablePage(space, run.bed.segments(), page)),
+              PageIntegrityChecksum(ObservablePage(*ref.remote->space(), ref.bed.segments(), page)))
         << "page " << page << " content mismatch";
   }
 }

@@ -41,9 +41,9 @@ TEST(PageRefTest, ZeroWriteToZeroPageStaysInterned) {
 TEST(PageRefTest, ChecksumParityWithPageData) {
   const PageData pattern = MakePatternPage(7);
   const PageRef ref(pattern);
-  EXPECT_EQ(PageChecksum(ref), PageChecksum(pattern));
+  EXPECT_EQ(PageIntegrityChecksum(ref), PageIntegrityChecksum(pattern));
   // Zero page hashes identically to an empty PageData (kPageSize zeros).
-  EXPECT_EQ(PageChecksum(PageRef{}), PageChecksum(PageData{}));
+  EXPECT_EQ(PageIntegrityChecksum(PageRef{}), PageIntegrityChecksum(PageData{}));
 }
 
 TEST(PageRefTest, EqualityMatchesPageDataSemantics) {

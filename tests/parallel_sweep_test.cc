@@ -187,6 +187,34 @@ TEST(ParallelSweep, ClusterTrialIsByteIdenticalAcross1And2And8Shards) {
   }
 }
 
+TEST(ParallelSweep, CachedClusterTrialIsByteIdenticalAcross1And2And8Shards) {
+  // Same contract with the content cache on: all dedup state (per-host
+  // class caches, confirm accounting) is owned by destination-shard events,
+  // so the fleet cache must not cost a byte of determinism.
+  ClusterConfig config;
+  config.host_count = 10;
+  config.duration = Sec(40.0);
+  config.initial_processes_per_host = 5;
+  config.arrivals_per_host_per_sec = 0.5;
+  config.mean_service_sec = 12.0;
+  config.policy.sample_period = Sec(2.0);
+  config.content_cache = true;
+  config.content_cache_pages = 256;  // small enough to force evictions
+  config.shards = 1;
+  const std::string reference =
+      ClusterResultToJson(RunClusterTrial(config)).Dump(2);
+  EXPECT_NE(reference.find("\"hung\": false"), std::string::npos);
+  EXPECT_NE(reference.find("\"census_ok\": true"), std::string::npos);
+  EXPECT_EQ(reference.find("\"pages_deduped\": 0,"), std::string::npos)
+      << "the cached trial must actually dedup pages";
+  for (int shards : {2, 8}) {
+    config.shards = shards;
+    config.shard_threads = 2;
+    EXPECT_EQ(ClusterResultToJson(RunClusterTrial(config)).Dump(2), reference)
+        << "shards=" << shards;
+  }
+}
+
 TEST(ParallelSweep, GoldenDigestHoldsWithShardKnobSet) {
   // ACCENT_SIM_SHARDS selects the engine for cluster trials only; the
   // classic two-host testbeds never call ConfigureShards, so the golden

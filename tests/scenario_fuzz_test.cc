@@ -54,8 +54,12 @@ TEST(ScenarioFuzz, GeneratorCoversTheAdversarialCorners) {
   int lossy = 0;
   int crash = 0;
   int partition = 0;
+  int cached = 0;
+  int small_cache = 0;
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     const FuzzScenario sc = MakeScenario(seed);
+    cached += sc.content_cache ? 1 : 0;
+    small_cache += (sc.content_cache && sc.content_cache_pages <= 64) ? 1 : 0;
     calibrated += AnyCalibrated(sc.calibrations) ? 1 : 0;
     for (const HostCalibration& cal : sc.calibrations) {
       if (cal.diskless) {
@@ -74,6 +78,11 @@ TEST(ScenarioFuzz, GeneratorCoversTheAdversarialCorners) {
   EXPECT_GT(lossy, 20);
   EXPECT_GT(crash, 5);
   EXPECT_GT(partition, 3);
+  // The content-cache draw must keep both halves of the space populated,
+  // including capacities small enough to force eviction mid-migration.
+  EXPECT_GT(cached, 20);
+  EXPECT_LT(cached, 44);
+  EXPECT_GT(small_cache, 2);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #   check_bench.sh --chain <chain_sweep-binary> [output.json]
 #   check_bench.sh --cluster <cluster_sweep-binary> [output.json]
 #   check_bench.sh --fuzz <fuzz_corpus-binary> [output.json]
+#   check_bench.sh --dedup <dedup_sweep-binary> [output.json]
 #   check_bench.sh --precopy <precopy_sweep-binary> [output.json]
 set -euo pipefail
 
@@ -28,6 +29,9 @@ elif [ "${1:-}" = "--cluster" ]; then
   shift
 elif [ "${1:-}" = "--fuzz" ]; then
   MODE=fuzz
+  shift
+elif [ "${1:-}" = "--dedup" ]; then
+  MODE=dedup
   shift
 elif [ "${1:-}" = "--precopy" ]; then
   MODE=precopy
@@ -152,7 +156,7 @@ elif [ "$MODE" = "fuzz" ]; then
         terminal_faults hung integrity_failures backer_imbalances \
         shard_divergences cluster_census_failures cluster_hangs \
         diskless_backing_anchors payload_leak remigrations crash_scenarios \
-        failures scenarios"
+        cached_scenarios dedup_failures failures scenarios"
 
   # Belt and braces: re-assert the headline oracles from the emitted JSON.
   if ! grep -q '"integrity_failures": 0' "$OUT"; then
@@ -167,8 +171,49 @@ elif [ "$MODE" = "fuzz" ]; then
     echo "check_bench: fuzz corpus reports shard-count divergence in $OUT" >&2
     status=1
   fi
+  if ! grep -q '"dedup_failures": 0' "$OUT"; then
+    echo "check_bench: fuzz corpus reports dedup identity violations in $OUT" >&2
+    status=1
+  fi
   if ! grep -q '"failures": 0' "$OUT"; then
     echo "check_bench: fuzz corpus reports oracle failures in $OUT" >&2
+    status=1
+  fi
+elif [ "$MODE" = "dedup" ]; then
+  OUT=${2:-BENCH_dedup.json}
+  # The same Table 4-1 program migrated N times across the calibrated fleet,
+  # content cache on vs off. The binary exits non-zero if the origin served
+  # more than half of the faulted pages as payload, if the cached run failed
+  # to move strictly fewer bytes than the baseline, if the cache-off run
+  # touched the dedup plane at all, or on any integrity failure.
+  "$BIN" --out "$OUT"
+  KEYS="bench schema_version workload seed repeats hosts \
+        origin_offload_ratio wire_bytes_cached wire_bytes_baseline \
+        wire_bytes_saved integrity_failures hung cached baseline metrics \
+        faulted_pages origin_payload_pages offloaded_pages \
+        cache_hits cache_misses cache_insertions cache_evictions rounds"
+
+  # Belt and braces: re-assert the headline gates from the emitted JSON.
+  # Several gate keys recur inside the nested cached/baseline result objects
+  # (where e.g. the baseline's offload ratio is legitimately 0), so every
+  # grep anchors on the two-space indent of a top-level key.
+  if ! grep -q '^  "integrity_failures": 0' "$OUT"; then
+    echo "check_bench: dedup sweep reports integrity failures in $OUT" >&2
+    status=1
+  fi
+  if ! grep -q '^  "hung": 0' "$OUT"; then
+    echo "check_bench: dedup sweep reports hung rounds in $OUT" >&2
+    status=1
+  fi
+  RATIO=$(grep -o '^  "origin_offload_ratio": [0-9.eE+-]*' "$OUT" | head -n1 | awk '{print $2}')
+  if [ -z "$RATIO" ] || ! awk -v r="$RATIO" 'BEGIN { exit !(r >= 0.5) }'; then
+    echo "check_bench: origin offload '$RATIO' is below 0.5 in $OUT" >&2
+    status=1
+  fi
+  CACHED=$(grep -o '^  "wire_bytes_cached": [0-9]*' "$OUT" | head -n1 | awk '{print $2}')
+  BASE=$(grep -o '^  "wire_bytes_baseline": [0-9]*' "$OUT" | head -n1 | awk '{print $2}')
+  if [ -z "$CACHED" ] || [ -z "$BASE" ] || ! awk -v c="$CACHED" -v b="$BASE" 'BEGIN { exit !(c < b) }'; then
+    echo "check_bench: cached wire bytes '$CACHED' not below baseline '$BASE' in $OUT" >&2
     status=1
   fi
 elif [ "$MODE" = "precopy" ]; then

@@ -9,6 +9,7 @@
 // behaviour, message-handling cost, and (with --series) the transfer-rate
 // series of Figure 4-5.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -37,6 +38,8 @@ void PrintUsage() {
       "  --seed=N               trial seed (default 42)\n"
       "  --frames=N             destination physical memory frames (default 4096)\n"
       "  --no-iou-caching       disable NetMsgServer IOU substitution\n"
+      "  --content-cache        enable the content-addressed page service\n"
+      "                         (capacity: ACCENT_CONTENT_CACHE_PAGES, default 4096)\n"
       "  --trace-out=FILE       write a Chrome-trace JSON of the trial (Perfetto)\n"
       "  --trace-verbose        also record per-fragment / per-dispatch events\n"
       "  --series               print the byte transfer-rate series\n"
@@ -145,6 +148,16 @@ int Run(int argc, char** argv) {
       config.frames_per_host = std::stoul(value);
     } else if (ParseFlag(argv[i], "--no-iou-caching", &value)) {
       config.iou_caching = false;
+    } else if (ParseFlag(argv[i], "--content-cache", &value)) {
+      config.content_cache = true;
+      if (const char* pages = std::getenv("ACCENT_CONTENT_CACHE_PAGES"); pages != nullptr) {
+        const std::int64_t parsed = std::strtoll(pages, nullptr, 10);
+        if (parsed < 1) {
+          std::fprintf(stderr, "ACCENT_CONTENT_CACHE_PAGES must be >= 1, got '%s'\n", pages);
+          return 2;
+        }
+        config.content_cache_pages = parsed;
+      }
     } else if (ParseFlag(argv[i], "--trace-out", &value)) {
       trace_out = value;
     } else if (ParseFlag(argv[i], "--trace-verbose", &value)) {

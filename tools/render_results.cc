@@ -25,7 +25,7 @@ namespace {
 
 // Bump when the set of tables or their columns change, so a committed
 // docs/RESULTS.md rendered by an older binary fails docs_check.
-constexpr int kTemplateVersion = 5;
+constexpr int kTemplateVersion = 6;
 
 // -------------------------------------------------------------------------
 // Paper constants (Zayas, SOSP 1987). Mirrors the kPaper arrays in
@@ -416,6 +416,47 @@ void RenderPreCopy(const Json& precopy, std::ostream& out) {
       << ".\n\n";
 }
 
+void RenderDedup(const Json& dedup, std::ostream& out) {
+  out << "## Content-addressed dedup: repeated migrations of one image\n\n"
+      << "`dedup_sweep` migrates the same " << dedup.Get("workload").AsString() << " image "
+      << dedup.Get("repeats").AsUint64() << " times across a calibrated "
+      << dedup.Get("hosts").AsUint64()
+      << "-host fleet, content cache on vs off. With the cache on, a "
+         "destination that already holds a page's bytes installs it on a "
+         "small confirm ack instead of pulling the payload from the origin "
+         "backer, and misses are served by the nearest holder before the "
+         "origin — the per-round table shows the origin falling out of the "
+         "fault path as the fleet warms up.\n\n";
+
+  MdTable table({"Round", "Dest", "Faulted", "Confirm acks", "Holder pulls",
+                 "Origin payload", "Wire bytes"});
+  for (const Json& row : dedup.Get("cached").Get("rounds").AsArray()) {
+    table.AddRow({FormatWithCommas(row.Get("round").AsUint64()),
+                  "host " + std::to_string(row.Get("dest_host").AsUint64()),
+                  FormatWithCommas(row.Get("faulted_pages").AsUint64()),
+                  FormatWithCommas(row.Get("confirmed_pages").AsUint64()),
+                  FormatWithCommas(row.Get("holder_pages").AsUint64()),
+                  FormatWithCommas(row.Get("origin_payload_pages").AsUint64()),
+                  FormatWithCommas(row.Get("wire_bytes").AsUint64())});
+  }
+  out << table.ToString() << '\n';
+
+  out << "Gates: origin offload "
+      << FormatDouble(100.0 * dedup.Get("origin_offload_ratio").AsDouble(), 1)
+      << "% of faulted pages (>= 50% required); wire bytes "
+      << FormatWithCommas(dedup.Get("wire_bytes_cached").AsUint64()) << " cached vs "
+      << FormatWithCommas(dedup.Get("wire_bytes_baseline").AsUint64()) << " baseline ("
+      << FormatWithCommas(dedup.Get("wire_bytes_saved").AsUint64()) << " saved); cache "
+      << FormatWithCommas(dedup.Get("cached").Get("cache_hits").AsUint64()) << " hits / "
+      << FormatWithCommas(dedup.Get("cached").Get("cache_misses").AsUint64()) << " misses / "
+      << FormatWithCommas(dedup.Get("cached").Get("cache_evictions").AsUint64())
+      << " evictions; " << dedup.Get("integrity_failures").AsUint64()
+      << " integrity failures. The hash rider costs 16 B per real page up "
+         "front, so dedup pays off only when the migrated image's touch "
+         "fraction is high enough — docs/STRATEGIES.md quantifies the "
+         "crossover.\n\n";
+}
+
 void RenderMicroSim(const Json& sim, std::ostream& out) {
   out << "## Event-loop micro bench\n\n"
       << "`micro_sim` drains the simulator queue through the inline-storage "
@@ -518,6 +559,7 @@ int Main(int argc, char** argv) {
   std::string failure_path;
   std::string cluster_path;
   std::string precopy_path;
+  std::string dedup_path;
   std::string out_path = "docs/RESULTS.md";
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -540,6 +582,8 @@ int Main(int argc, char** argv) {
       cluster_path = next("--cluster");
     } else if (std::strcmp(argv[i], "--precopy") == 0) {
       precopy_path = next("--precopy");
+    } else if (std::strcmp(argv[i], "--dedup") == 0) {
+      dedup_path = next("--dedup");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next("--out");
     } else {
@@ -547,7 +591,8 @@ int Main(int argc, char** argv) {
                    "usage: render_results [--sweep BENCH_sweep.json] [--sim BENCH_sim.json]\n"
                    "                      [--failure BENCH_failure.json]\n"
                    "                      [--cluster BENCH_cluster.json]\n"
-                   "                      [--precopy BENCH_precopy.json] [--out RESULTS.md]\n"
+                   "                      [--precopy BENCH_precopy.json]\n"
+                   "                      [--dedup BENCH_dedup.json] [--out RESULTS.md]\n"
                    "                      [--print-template-version]\n");
       return 2;
     }
@@ -573,11 +618,11 @@ int Main(int argc, char** argv) {
       << "```sh\n"
       << "cmake --build build -j\n"
       << "(cd build && ./bench/run_all && ./bench/micro_sim && ./bench/failure_sweep \\\n"
-      << "    && ./bench/cluster_sweep && ./bench/precopy_sweep)\n"
+      << "    && ./bench/cluster_sweep && ./bench/precopy_sweep && ./bench/dedup_sweep)\n"
       << "./build/tools/render_results --sweep build/BENCH_sweep.json \\\n"
       << "    --sim build/BENCH_sim.json --failure build/BENCH_failure.json \\\n"
       << "    --cluster build/BENCH_cluster.json --precopy build/BENCH_precopy.json \\\n"
-      << "    --out docs/RESULTS.md\n"
+      << "    --dedup build/BENCH_dedup.json --out docs/RESULTS.md\n"
       << "```\n\n"
       << "Sweep grid: " << sweep.Get("trial_count").AsUint64() << " trials, seed "
       << sweep.Get("seed").AsUint64() << ".\n\n";
@@ -602,6 +647,14 @@ int Main(int argc, char** argv) {
   } else if (!precopy_path.empty()) {
     std::fprintf(stderr, "render_results: skipping pre-copy frontier (cannot read %s)\n",
                  precopy_path.c_str());
+  }
+
+  Json dedup;
+  if (!dedup_path.empty() && LoadJson(dedup_path, &dedup)) {
+    RenderDedup(dedup, out);
+  } else if (!dedup_path.empty()) {
+    std::fprintf(stderr, "render_results: skipping dedup sweep (cannot read %s)\n",
+                 dedup_path.c_str());
   }
 
   Json sim;
